@@ -1,0 +1,346 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (§6) plus ablations of the design choices called out in
+// DESIGN.md. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// The benches run laptop-scale configurations (hundreds of tuples, |Dm|
+// in the hundreds); cmd/expdriver runs the same experiments at larger
+// scale with readable table output.
+package repro
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/datagen"
+	"repro/internal/experiments"
+	"repro/internal/fix"
+	"repro/internal/master"
+	"repro/internal/monitor"
+	"repro/internal/paperex"
+	"repro/internal/pattern"
+	"repro/internal/relation"
+	"repro/internal/rule"
+	"repro/internal/suggest"
+)
+
+const (
+	benchMaster = 600
+	benchTuples = 150
+)
+
+func benchParams(dataset string) experiments.Params {
+	return experiments.Params{Dataset: dataset, Seed: 1, MasterSize: benchMaster, Tuples: benchTuples}
+}
+
+func mustHosp(b *testing.B, tuples int) *datagen.Dataset {
+	b.Helper()
+	ds, err := datagen.Hosp(datagen.Config{
+		Seed: 1, MasterSize: benchMaster, Tuples: tuples, DupRate: 0.3, NoiseRate: 0.2,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ds
+}
+
+// BenchmarkExp1RegionSize regenerates the Exp-1(1) table: certain-region
+// derivation by CompCRegion and GRegion on both datasets.
+func BenchmarkExp1RegionSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab, err := experiments.Exp1RegionSizes(1, benchMaster)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tab.Rows) != 2 {
+			b.Fatal("bad table")
+		}
+	}
+}
+
+// BenchmarkExp2InitialSuggestion regenerates the Exp-1(2) table (CRHQ vs
+// CRMQ F-measure) on hosp.
+func BenchmarkExp2InitialSuggestion(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Exp2InitialSuggestion(benchParams("hosp")); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig9aRecallTuple regenerates Fig. 9a (tuple-level recall per
+// interaction round) and reports the k=1 and final recalls as metrics.
+func BenchmarkFig9aRecallTuple(b *testing.B) {
+	for _, dataset := range []string{"hosp", "dblp"} {
+		b.Run(dataset, func(b *testing.B) {
+			var tab *experiments.Table
+			var err error
+			for i := 0; i < b.N; i++ {
+				tab, err = experiments.Fig9(benchParams(dataset))
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			reportCell(b, tab, 0, 1, "recall_t_k1")
+			reportCell(b, tab, len(tab.Rows)-1, 1, "recall_t_final")
+		})
+	}
+}
+
+// BenchmarkFig9bRecallAttr regenerates Fig. 9b (attribute-level recall).
+func BenchmarkFig9bRecallAttr(b *testing.B) {
+	for _, dataset := range []string{"hosp", "dblp"} {
+		b.Run(dataset, func(b *testing.B) {
+			var tab *experiments.Table
+			var err error
+			for i := 0; i < b.N; i++ {
+				tab, err = experiments.Fig9(benchParams(dataset))
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			reportCell(b, tab, 0, 2, "recall_a_k1")
+			reportCell(b, tab, len(tab.Rows)-1, 2, "recall_a_final")
+		})
+	}
+}
+
+// BenchmarkFig10DupRate regenerates Fig. 10a/d (recall_t vs d%).
+func BenchmarkFig10DupRate(b *testing.B) {
+	benchFig10(b, "dup", []float64{0.1, 0.3, 0.5})
+}
+
+// BenchmarkFig10MasterSize regenerates Fig. 10b/e (recall_t vs |Dm|).
+func BenchmarkFig10MasterSize(b *testing.B) {
+	benchFig10(b, "master", []float64{benchMaster / 2, benchMaster, benchMaster * 2})
+}
+
+// BenchmarkFig10NoiseRate regenerates Fig. 10c/f (recall_t vs n%).
+func BenchmarkFig10NoiseRate(b *testing.B) {
+	benchFig10(b, "noise", []float64{0.1, 0.3, 0.5})
+}
+
+func benchFig10(b *testing.B, which string, values []float64) {
+	for _, dataset := range []string{"hosp", "dblp"} {
+		b.Run(dataset, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := experiments.Fig10Sweep(benchParams(dataset), which, values); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig11DupRate regenerates Fig. 11a/d (F-measure vs d%, with the
+// IncRep baseline).
+func BenchmarkFig11DupRate(b *testing.B) {
+	benchFig11(b, "dup", []float64{0.1, 0.3, 0.5})
+}
+
+// BenchmarkFig11MasterSize regenerates Fig. 11b/e.
+func BenchmarkFig11MasterSize(b *testing.B) {
+	benchFig11(b, "master", []float64{benchMaster / 2, benchMaster, benchMaster * 2})
+}
+
+// BenchmarkFig11NoiseRate regenerates Fig. 11c/f — the IncRep noise
+// collapse.
+func BenchmarkFig11NoiseRate(b *testing.B) {
+	benchFig11(b, "noise", []float64{0.1, 0.3, 0.5})
+}
+
+func benchFig11(b *testing.B, which string, values []float64) {
+	for _, dataset := range []string{"hosp", "dblp"} {
+		b.Run(dataset, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := experiments.Fig11Sweep(benchParams(dataset), which, values); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig12MasterScaling regenerates Fig. 12a/b: per-round latency
+// vs |Dm|, CertainFix vs CertainFix+.
+func BenchmarkFig12MasterScaling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig12Master(benchParams("hosp"), []int{benchMaster / 2, benchMaster}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig12StreamScaling regenerates Fig. 12c/d: per-round latency
+// vs |D|.
+func BenchmarkFig12StreamScaling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig12Stream(benchParams("hosp"), []int{50, benchTuples}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationIndexedVsScan measures the master-data hash indexes
+// (the "O(1) master probe" TransFix's complexity analysis assumes)
+// against a linear scan.
+func BenchmarkAblationIndexedVsScan(b *testing.B) {
+	ds := mustHosp(b, 1)
+	indexed := ds.Master
+	bare := master.New(ds.Master.Relation())
+	ru := ds.Sigma.Rule(0) // zip → ST
+	probe := ds.Master.Tuple(benchMaster / 2).Clone()
+
+	b.Run("indexed", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if ids := indexed.MatchIDs(ru, probe); len(ids) == 0 {
+				b.Fatal("probe must match")
+			}
+		}
+	})
+	b.Run("scan", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if ids := bare.MatchIDs(ru, probe); len(ids) == 0 {
+				b.Fatal("probe must match")
+			}
+		}
+	})
+}
+
+// BenchmarkAblationBDD measures Suggest+ (BDD-cached suggestions) against
+// plain Suggest over a stream of tuples — the design choice behind
+// CertainFix+ (§5.2).
+func BenchmarkAblationBDD(b *testing.B) {
+	ds := mustHosp(b, benchTuples)
+	for _, cached := range []bool{false, true} {
+		name := "certainfix"
+		if cached {
+			name = "certainfix+"
+		}
+		b.Run(name, func(b *testing.B) {
+			m, err := monitor.New(ds.Sigma, ds.Master, monitor.Config{UseBDD: cached})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				idx := i % len(ds.Inputs)
+				if _, err := m.Fix(ds.Inputs[idx], monitor.SimulatedUser{Truth: ds.Truths[idx]}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationDirectVsGeneral compares the Thm-5 direct-fix checker
+// with the general Thm-4 closure checker on the same direct region.
+func BenchmarkAblationDirectVsGeneral(b *testing.B) {
+	ds := mustHosp(b, 1)
+	checker := analysis.NewChecker(ds.Sigma, ds.Master, analysis.Options{})
+	r := ds.Sigma.Schema()
+	tm := ds.Master.Tuple(0)
+	rm := ds.Master.Schema()
+	z := r.MustPosList("id", "mCode")
+	row := pattern.MustTuple(z, []pattern.Cell{
+		pattern.Eq(tm[rm.MustPos("id")]),
+		pattern.Eq(tm[rm.MustPos("mCode")]),
+	})
+	reg := fix.MustRegion(z, pattern.NewTableau(row))
+
+	b.Run("direct-thm5", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := checker.DirectConsistent(reg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("general-thm4", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := checker.Consistent(reg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationDepGraph compares TransFix (dependency-graph ordering,
+// Fig. 5) with the naive fixpoint iteration over Σ.
+func BenchmarkAblationDepGraph(b *testing.B) {
+	ds := mustHosp(b, 1)
+	g := rule.NewDepGraph(ds.Sigma)
+	r := ds.Sigma.Schema()
+	base := ds.Master.Tuple(0).Clone()
+	z := r.MustPosList("id", "mCode")
+
+	b.Run("transfix", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			t := base.Clone()
+			zSet := relation.NewAttrSet(z...)
+			if _, err := fix.TransFix(g, ds.Master, t, &zSet); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("naive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			t := base.Clone()
+			zSet := relation.NewAttrSet(z...)
+			if _, err := fix.NaiveFix(ds.Sigma, ds.Master, t, &zSet); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkCorePrimitives micro-benchmarks the hot paths: one rule
+// application probe, one Suggest call, one Thm-4 concrete check on the
+// paper's running example.
+func BenchmarkCorePrimitives(b *testing.B) {
+	sigma := paperex.Sigma0()
+	dm := master.MustNewForRules(paperex.MasterRelation(), sigma)
+	d := suggest.NewDeriver(sigma, dm)
+	r := sigma.Schema()
+	t1 := paperex.InputT1()
+	zSet := relation.NewAttrSet(r.MustPosList("zip", "AC", "str", "city")...)
+
+	b.Run("suggest", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if s := d.Suggest(t1, zSet); len(s.S) == 0 {
+				b.Fatal("empty suggestion")
+			}
+		}
+	})
+	b.Run("concrete-check", func(b *testing.B) {
+		z := r.MustPosList("zip", "phn", "type", "item")
+		vals := []relation.Value{
+			relation.String("EH7 4AH"), relation.String("079172485"),
+			relation.String("2"), relation.String("CD"),
+		}
+		for i := 0; i < b.N; i++ {
+			if !d.CertainRow(z, vals) {
+				b.Fatal("row must be certain")
+			}
+		}
+	})
+	b.Run("explore", func(b *testing.B) {
+		zs := relation.NewAttrSet(r.MustPosList("zip", "phn", "type", "item")...)
+		for i := 0; i < b.N; i++ {
+			res := fix.Explore(sigma, dm, t1, zs, 0)
+			if !res.Unique() {
+				b.Fatal("must be unique")
+			}
+		}
+	})
+}
+
+func reportCell(b *testing.B, tab *experiments.Table, row, col int, name string) {
+	b.Helper()
+	var v float64
+	if _, err := fmt.Sscanf(tab.Rows[row][col], "%f", &v); err != nil {
+		b.Fatalf("cell %d,%d: %v", row, col, err)
+	}
+	b.ReportMetric(v, name)
+}

@@ -1,0 +1,249 @@
+// Command certainfix repairs a CSV of input tuples against master data
+// and editing rules — the data-monitoring tool of the paper, batch-style.
+//
+// The rules file uses the rule DSL preceded by two schema headers:
+//
+//	schema R: zip, ST, phn, ...
+//	master Rm: zip, ST, phn, ...
+//	rule h01: (zip ; zip) -> (ST ; ST) when zip != nil
+//	...
+//
+// For each input tuple the tool treats the attributes named by -validated
+// as assured correct, applies every certain fix (TransFix), and writes
+// the repaired relation. With -suggest it instead prints, per tuple, the
+// attributes the interactive framework would ask the user to validate
+// next.
+//
+// Usage:
+//
+//	certainfix -rules hosp.rules -master hosp_master.csv \
+//	           -input hosp_input.csv -validated id,mCode -out fixed.csv
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/pkg/certainfix"
+)
+
+func main() {
+	var (
+		rulesPath   = flag.String("rules", "", "rules file (schema headers + rule DSL)")
+		masterPath  = flag.String("master", "", "master relation CSV")
+		inputPath   = flag.String("input", "", "input tuples CSV")
+		outPath     = flag.String("out", "", "output CSV (default stdout)")
+		validated   = flag.String("validated", "", "comma-separated attributes assured correct")
+		suggestOut  = flag.Bool("suggest", false, "print next-suggestion per tuple instead of repairing")
+		interactive = flag.Bool("interactive", false, "fix each tuple interactively on the terminal")
+	)
+	flag.Parse()
+	if *rulesPath == "" || *masterPath == "" || *inputPath == "" {
+		fatalf("-rules, -master and -input are required")
+	}
+
+	r, rm, rules, err := loadRules(*rulesPath)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	masterRel, err := loadCSV(rm, *masterPath)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	inputs, err := loadCSV(r, *inputPath)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	sys, err := certainfix.New(rules, masterRel, certainfix.Options{})
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	var validatedPos []int
+	if *validated != "" {
+		for _, name := range strings.Split(*validated, ",") {
+			p, ok := r.Pos(strings.TrimSpace(name))
+			if !ok {
+				fatalf("unknown validated attribute %q", name)
+			}
+			validatedPos = append(validatedPos, p)
+		}
+	} else if len(sys.Regions()) > 0 {
+		validatedPos = sys.Regions()[0].Z
+		var names []string
+		for _, p := range validatedPos {
+			names = append(names, r.Attr(p).Name)
+		}
+		fmt.Fprintf(os.Stderr, "certainfix: using best certain region, validating: %s\n", strings.Join(names, ", "))
+	}
+
+	if *interactive {
+		if err := runInteractive(sys, inputs, *outPath); err != nil {
+			fatalf("%v", err)
+		}
+		return
+	}
+
+	if *suggestOut {
+		for i := 0; i < inputs.Len(); i++ {
+			s := sys.Suggest(inputs.Tuple(i), validatedPos)
+			var names []string
+			for _, p := range s {
+				names = append(names, r.Attr(p).Name)
+			}
+			fmt.Printf("tuple %d: validate %s\n", i, strings.Join(names, ", "))
+		}
+		return
+	}
+
+	fixedRel := certainfix.NewRelation(r)
+	totalFixed := 0
+	for i := 0; i < inputs.Len(); i++ {
+		fixed, _, changed, err := sys.RepairOnce(inputs.Tuple(i), validatedPos)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "certainfix: tuple %d: %v (left unchanged)\n", i, err)
+			fixed = inputs.Tuple(i).Clone()
+		}
+		totalFixed += len(changed)
+		fixedRel.MustAppend(fixed)
+	}
+
+	w := os.Stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer f.Close()
+		w = f
+	}
+	bw := bufio.NewWriter(w)
+	if err := fixedRel.WriteCSV(bw); err != nil {
+		fatalf("%v", err)
+	}
+	if err := bw.Flush(); err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Fprintf(os.Stderr, "certainfix: repaired %d cells across %d tuples\n", totalFixed, inputs.Len())
+}
+
+// loadRules parses the schema headers and the rule DSL.
+func loadRules(path string) (*certainfix.Schema, *certainfix.Schema, *certainfix.Rules, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	var r, rm *certainfix.Schema
+	var ruleLines []string
+	for ln, line := range strings.Split(string(data), "\n") {
+		trimmed := strings.TrimSpace(line)
+		switch {
+		case strings.HasPrefix(trimmed, "schema "):
+			r, err = parseSchemaHeader(trimmed, "schema ")
+		case strings.HasPrefix(trimmed, "master "):
+			rm, err = parseSchemaHeader(trimmed, "master ")
+		default:
+			ruleLines = append(ruleLines, line)
+		}
+		if err != nil {
+			return nil, nil, nil, fmt.Errorf("%s:%d: %w", path, ln+1, err)
+		}
+	}
+	if r == nil || rm == nil {
+		return nil, nil, nil, fmt.Errorf("%s: missing 'schema R: ...' or 'master Rm: ...' header", path)
+	}
+	rules, err := certainfix.ParseRules(r, rm, strings.Join(ruleLines, "\n"))
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return r, rm, rules, nil
+}
+
+func parseSchemaHeader(line, prefix string) (*certainfix.Schema, error) {
+	rest := strings.TrimPrefix(line, prefix)
+	name, attrs, ok := strings.Cut(rest, ":")
+	if !ok {
+		return nil, fmt.Errorf("schema header needs 'name: attr, attr, ...'")
+	}
+	var names []string
+	for _, a := range strings.Split(attrs, ",") {
+		a = strings.TrimSpace(a)
+		if a == "" {
+			return nil, fmt.Errorf("empty attribute in schema header")
+		}
+		names = append(names, a)
+	}
+	return certainfix.StringSchema(strings.TrimSpace(name), names...), nil
+}
+
+func loadCSV(schema *certainfix.Schema, path string) (*certainfix.Relation, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return certainfix.ReadCSV(schema, bufio.NewReader(f))
+}
+
+// runInteractive fixes every input tuple through a terminal dialogue:
+// each round shows the suggested attributes with their current values;
+// the user confirms (empty line) or types corrected values.
+func runInteractive(sys *certainfix.System, inputs *certainfix.Relation, outPath string) error {
+	schema := sys.Schema()
+	stdin := bufio.NewScanner(os.Stdin)
+	fixedRel := certainfix.NewRelation(schema)
+
+	for i := 0; i < inputs.Len(); i++ {
+		fmt.Printf("\n--- tuple %d/%d: %v\n", i+1, inputs.Len(), inputs.Tuple(i))
+		sess, err := sys.NewSession(inputs.Tuple(i))
+		if err != nil {
+			return err
+		}
+		for !sess.Done() {
+			attrs := sess.Suggested()
+			cur := sess.Tuple()
+			values := make([]certainfix.Value, len(attrs))
+			fmt.Println("please confirm or correct:")
+			for j, p := range attrs {
+				fmt.Printf("  %s [%v]: ", schema.Attr(p).Name, cur[p])
+				if !stdin.Scan() {
+					return stdin.Err()
+				}
+				text := strings.TrimSpace(stdin.Text())
+				if text == "" {
+					values[j] = cur[p] // confirmed as-is
+				} else {
+					values[j] = certainfix.String(text)
+				}
+			}
+			if err := sess.Provide(attrs, values); err != nil {
+				return err
+			}
+			fmt.Printf("  -> %v\n", sess.Tuple())
+		}
+		fixedRel.MustAppend(sess.Result().Tuple)
+	}
+
+	w := os.Stdout
+	if outPath != "" {
+		f, err := os.Create(outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	bw := bufio.NewWriter(w)
+	if err := fixedRel.WriteCSV(bw); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "certainfix: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,95 @@
+// Command datagen writes a synthetic HOSP or DBLP dataset to disk: the
+// master relation, the dirty input tuples, their ground truths (all CSV)
+// and the editing rules (DSL). The files feed cmd/certainfix and external
+// tooling.
+//
+// Usage:
+//
+//	datagen -dataset hosp -outdir ./data -master 2000 -tuples 500 \
+//	        -dup 0.3 -noise 0.2 -seed 1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/datagen"
+	"repro/internal/relation"
+)
+
+func main() {
+	var (
+		dataset    = flag.String("dataset", "hosp", "dataset: hosp or dblp")
+		outdir     = flag.String("outdir", ".", "output directory")
+		masterSize = flag.Int("master", 2000, "master relation size |Dm|")
+		tuples     = flag.Int("tuples", 500, "input tuples |D|")
+		dup        = flag.Float64("dup", 0.3, "duplicate rate d% in [0,1]")
+		noise      = flag.Float64("noise", 0.2, "noise rate n% in [0,1]")
+		seed       = flag.Int64("seed", 1, "generator seed")
+	)
+	flag.Parse()
+
+	cfg := datagen.Config{
+		Seed:       *seed,
+		MasterSize: *masterSize,
+		Tuples:     *tuples,
+		DupRate:    *dup,
+		NoiseRate:  *noise,
+	}
+	var (
+		ds    *datagen.Dataset
+		rules string
+		err   error
+	)
+	switch *dataset {
+	case "hosp":
+		ds, err = datagen.Hosp(cfg)
+		rules = datagen.HospRulesDSL
+	case "dblp":
+		ds, err = datagen.Dblp(cfg)
+		rules = datagen.DblpRulesDSL
+	default:
+		fatalf("unknown dataset %q", *dataset)
+	}
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	if err := os.MkdirAll(*outdir, 0o755); err != nil {
+		fatalf("%v", err)
+	}
+	writeCSV(filepath.Join(*outdir, *dataset+"_master.csv"), ds.Master.Relation())
+
+	inputs := relation.NewRelation(ds.Sigma.Schema())
+	inputs.MustAppend(ds.Inputs...)
+	writeCSV(filepath.Join(*outdir, *dataset+"_input.csv"), inputs)
+
+	truths := relation.NewRelation(ds.Sigma.Schema())
+	truths.MustAppend(ds.Truths...)
+	writeCSV(filepath.Join(*outdir, *dataset+"_truth.csv"), truths)
+
+	rulesPath := filepath.Join(*outdir, *dataset+".rules")
+	if err := os.WriteFile(rulesPath, []byte(rules), 0o644); err != nil {
+		fatalf("writing %s: %v", rulesPath, err)
+	}
+	fmt.Printf("wrote %s dataset: |Dm|=%d |D|=%d (%d erroneous tuples, %d erroneous cells) to %s\n",
+		*dataset, ds.Master.Len(), len(ds.Inputs), ds.ErroneousTuples(), ds.ErroneousCells(), *outdir)
+}
+
+func writeCSV(path string, rel *relation.Relation) {
+	f, err := os.Create(path)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer f.Close()
+	if err := rel.WriteCSV(f); err != nil {
+		fatalf("writing %s: %v", path, err)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "datagen: "+format+"\n", args...)
+	os.Exit(1)
+}

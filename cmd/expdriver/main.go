@@ -1,0 +1,109 @@
+// Command expdriver regenerates every table and figure of the paper's
+// evaluation (§6) on the synthetic HOSP/DBLP substrate and prints them as
+// aligned text tables. See DESIGN.md for the experiment index and
+// EXPERIMENTS.md for a discussion of paper-vs-measured results.
+//
+// Usage:
+//
+//	expdriver [-experiment all|exp1|exp2|fig9|fig10|fig11|fig12]
+//	          [-dataset hosp|dblp|both] [-master N] [-tuples N] [-seed N]
+//
+// The defaults run a laptop-scale pass (|Dm| = 2000, |D| = 500) in a few
+// seconds; raise -master/-tuples to approach the paper's 10K/10K setting.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "all", "which experiment to run: all, exp1, exp2, fig9, fig10, fig11, fig12")
+		dataset    = flag.String("dataset", "both", "dataset: hosp, dblp or both")
+		masterSize = flag.Int("master", 2000, "master relation size |Dm|")
+		tuples     = flag.Int("tuples", 500, "input tuples |D|")
+		seed       = flag.Int64("seed", 1, "generator seed")
+	)
+	flag.Parse()
+
+	datasets := []string{"hosp", "dblp"}
+	switch *dataset {
+	case "both":
+	case "hosp", "dblp":
+		datasets = []string{*dataset}
+	default:
+		fatalf("unknown dataset %q", *dataset)
+	}
+
+	run := func(name string) bool { return *experiment == "all" || *experiment == name }
+
+	if run("exp1") {
+		t, err := experiments.Exp1RegionSizes(*seed, *masterSize)
+		checkErr(err)
+		t.Fprint(os.Stdout)
+	}
+
+	for _, ds := range datasets {
+		p := experiments.Params{Dataset: ds, Seed: *seed, MasterSize: *masterSize, Tuples: *tuples}
+
+		if run("exp2") {
+			t, err := experiments.Exp2InitialSuggestion(p)
+			checkErr(err)
+			t.Fprint(os.Stdout)
+		}
+		if run("fig9") {
+			t, err := experiments.Fig9(p)
+			checkErr(err)
+			t.Fprint(os.Stdout)
+		}
+		if run("fig10") {
+			t, err := experiments.Fig10Sweep(p, "dup", []float64{0.1, 0.2, 0.3, 0.4, 0.5})
+			checkErr(err)
+			t.Fprint(os.Stdout)
+			sizes := []float64{float64(*masterSize) / 2, float64(*masterSize), float64(*masterSize) * 3 / 2, float64(*masterSize) * 2, float64(*masterSize) * 5 / 2}
+			t, err = experiments.Fig10Sweep(p, "master", sizes)
+			checkErr(err)
+			t.Fprint(os.Stdout)
+			t, err = experiments.Fig10Sweep(p, "noise", []float64{0.1, 0.2, 0.3, 0.4, 0.5})
+			checkErr(err)
+			t.Fprint(os.Stdout)
+		}
+		if run("fig11") {
+			t, err := experiments.Fig11Sweep(p, "dup", []float64{0.1, 0.2, 0.3, 0.4, 0.5})
+			checkErr(err)
+			t.Fprint(os.Stdout)
+			sizes := []float64{float64(*masterSize) / 2, float64(*masterSize), float64(*masterSize) * 3 / 2, float64(*masterSize) * 2, float64(*masterSize) * 5 / 2}
+			t, err = experiments.Fig11Sweep(p, "master", sizes)
+			checkErr(err)
+			t.Fprint(os.Stdout)
+			t, err = experiments.Fig11Sweep(p, "noise", []float64{0.1, 0.2, 0.3, 0.4, 0.5})
+			checkErr(err)
+			t.Fprint(os.Stdout)
+		}
+		if run("fig12") {
+			sizes := []int{*masterSize / 2, *masterSize, *masterSize * 3 / 2, *masterSize * 2}
+			t, err := experiments.Fig12Master(p, sizes)
+			checkErr(err)
+			t.Fprint(os.Stdout)
+			counts := []int{10, 100, *tuples, *tuples * 2}
+			t, err = experiments.Fig12Stream(p, counts)
+			checkErr(err)
+			t.Fprint(os.Stdout)
+		}
+	}
+}
+
+func checkErr(err error) {
+	if err != nil {
+		fatalf("%v", err)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "expdriver: "+format+"\n", args...)
+	os.Exit(1)
+}

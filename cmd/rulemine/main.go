@@ -1,0 +1,80 @@
+// Command rulemine mines candidate editing rules from a master-data CSV
+// and prints them in the rule DSL — the §7 future-work direction of the
+// paper, packaged as a tool. The emitted rules can be reviewed, trimmed
+// and fed to cmd/certainfix.
+//
+// Usage:
+//
+//	rulemine -master hosp_master.csv [-maxlhs 2] [-minsupport 8]
+//
+// The input schema is taken from the CSV header; the rules map each
+// attribute to the master attribute of the same name.
+package main
+
+import (
+	"bufio"
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/pkg/certainfix"
+)
+
+func main() {
+	var (
+		masterPath = flag.String("master", "", "master relation CSV (header = schema)")
+		maxLHS     = flag.Int("maxlhs", 2, "maximum lhs width")
+		minSupport = flag.Int("minsupport", 8, "minimum distinct lhs keys")
+	)
+	flag.Parse()
+	if *masterPath == "" {
+		fatalf("-master is required")
+	}
+
+	f, err := os.Open(*masterPath)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer f.Close()
+	br := bufio.NewReader(f)
+	header, err := csv.NewReader(br).Read()
+	if err != nil {
+		fatalf("reading header: %v", err)
+	}
+	// Re-open: ReadCSV wants the header too.
+	if _, err := f.Seek(0, 0); err != nil {
+		fatalf("%v", err)
+	}
+	rm := certainfix.StringSchema("master", header...)
+	rel, err := certainfix.ReadCSV(rm, bufio.NewReader(f))
+	if err != nil {
+		fatalf("%v", err)
+	}
+	r := certainfix.StringSchema("input", header...)
+
+	rules, deps, err := certainfix.DiscoverRules(r, rel, certainfix.DiscoverOptions{
+		MaxLHS: *maxLHS, MinSupport: *minSupport,
+	})
+	if err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Printf("# %d editing rules mined from %s (|Dm| = %d)\n", rules.Len(), *masterPath, rel.Len())
+	fmt.Printf("schema input: %s\n", strings.Join(header, ", "))
+	fmt.Printf("master master: %s\n", strings.Join(header, ", "))
+	for i, ru := range rules.Rules() {
+		var lhs []string
+		for _, p := range ru.LHS() {
+			lhs = append(lhs, r.Attr(p).Name)
+		}
+		fmt.Printf("rule %s: (%s ; %s) -> (%s ; %s)  # support %d\n",
+			ru.Name(), strings.Join(lhs, ", "), strings.Join(lhs, ", "),
+			r.Attr(ru.RHS()).Name, r.Attr(ru.RHS()).Name, deps[i].Support)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "rulemine: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,72 @@
+// Rule discovery: mine editing rules from master data instead of writing
+// them by hand — the future-work direction of §7 ("effective algorithms
+// have to be in place for discovering editing rules from sample inputs
+// and master data"), implemented as an extension and demonstrated here on
+// the synthetic HOSP world: mine the rules, build a repair system from
+// them, and fix a dirty record.
+//
+// Run with: go run ./examples/discovery
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/datagen"
+	"repro/pkg/certainfix"
+)
+
+func main() {
+	// A HOSP master relation — but no hand-written rules this time.
+	ds, err := datagen.Hosp(datagen.Config{
+		Seed: 21, MasterSize: 600, Tuples: 10, DupRate: 1, NoiseRate: 0.25,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	schema := certainfix.StringSchema("hosp", fieldNames(ds)...)
+
+	rules, deps, err := certainfix.DiscoverRules(schema, ds.Master.Relation(), certainfix.DiscoverOptions{
+		MaxLHS:     1, // single-attribute keys keep the demo readable
+		MinSupport: 20,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("mined %d editing rules from |Dm| = %d; the strongest five:\n",
+		rules.Len(), ds.Master.Len())
+	for i := 0; i < 5 && i < rules.Len(); i++ {
+		fmt.Printf("  %v   (support %d)\n", rules.Rule(i), deps[i].Support)
+	}
+
+	sys, err := certainfix.New(rules, ds.Master.Relation(), certainfix.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nbest certain region from mined rules: validate %v\n",
+		sys.Regions()[0].ZSet.Names(schema))
+
+	// Fix a dirty record with the mined rules.
+	dirty, truth := ds.Inputs[0], ds.Truths[0]
+	res, err := sys.Fix(dirty, certainfix.SimulatedUser{Truth: truth})
+	if err != nil {
+		log.Fatal(err)
+	}
+	_, before, _ := certainfix.Score(dirty, truth, dirty, nil)
+	_, recall, _ := certainfix.Score(dirty, truth, res.Tuple, nil)
+	fmt.Printf("\nfixed a dirty record in %d round(s); error recall %.2f (was %.2f)\n",
+		res.Rounds, recall, before)
+	if !res.Tuple.Equal(truth) {
+		log.Fatal("record should be fully corrected")
+	}
+	fmt.Println("record fully matches the ground truth")
+}
+
+func fieldNames(ds *datagen.Dataset) []string {
+	s := ds.Master.Schema()
+	names := make([]string, s.Arity())
+	for i := range names {
+		names[i] = s.Attr(i).Name
+	}
+	return names
+}

@@ -1,0 +1,69 @@
+package analysis
+
+import (
+	"repro/internal/fix"
+	"repro/internal/relation"
+)
+
+// DirectOracleConsistent decides direct-fix consistency by literal
+// instantiation: for every marked-instantiation and every attribute
+// outside Z, the applicable rules must agree on the assigned value.
+// Ground truth for property-testing DirectConsistent.
+func (c *Checker) DirectOracleConsistent(reg *fix.Region) (Verdict, error) {
+	return c.directOracle(reg, false)
+}
+
+// DirectOracleCertainRegion adds the coverage condition: every attribute
+// outside Z receives a value from at least one applicable rule.
+func (c *Checker) DirectOracleCertainRegion(reg *fix.Region) (Verdict, error) {
+	return c.directOracle(reg, true)
+}
+
+func (c *Checker) directOracle(reg *fix.Region, coverage bool) (Verdict, error) {
+	rules, err := directRules(c.sigma, reg)
+	if err != nil {
+		return Verdict{}, err
+	}
+	r := c.sigma.Schema()
+	zPos := reg.Z()
+	zSet := reg.ZSet()
+	if coverage && reg.Tableau().Len() == 0 {
+		return failf("empty tableau marks no tuples"), nil
+	}
+	for ri := 0; ri < reg.Tableau().Len(); ri++ {
+		insts, err := c.instantiateRow(reg, reg.Tableau().Row(ri))
+		if err != nil {
+			return Verdict{}, err
+		}
+		for _, vals := range insts {
+			t := relation.NewTuple(r.Arity())
+			for j, p := range zPos {
+				t[p] = vals[j]
+			}
+			perAttr := map[int][]relation.Value{}
+			for _, ru := range rules {
+				if !ru.MatchesPattern(t) {
+					continue
+				}
+				for _, v := range c.dm.RHSValues(ru, t) {
+					perAttr[ru.RHS()] = appendDistinct(perAttr[ru.RHS()], v)
+				}
+			}
+			for b, vs := range perAttr {
+				if len(vs) > 1 {
+					return failf("row %d instantiation %v: attribute %s gets %v",
+						ri, vals, r.Attr(b).Name, vs), nil
+				}
+			}
+			if coverage {
+				for b := 0; b < r.Arity(); b++ {
+					if !zSet.Has(b) && len(perAttr[b]) == 0 {
+						return failf("row %d instantiation %v: attribute %s uncovered",
+							ri, vals, r.Attr(b).Name), nil
+					}
+				}
+			}
+		}
+	}
+	return okVerdict, nil
+}

@@ -1,0 +1,68 @@
+package analysis
+
+import (
+	"repro/internal/fix"
+	"repro/internal/relation"
+)
+
+// OracleConsistent decides consistency by exhaustive exploration of the
+// fix space for every instantiation of every tableau row — the definition
+// of §3 executed literally. It is the ground truth the PTIME checker is
+// property-tested against; exponential, use on small inputs only.
+func (c *Checker) OracleConsistent(reg *fix.Region) (Verdict, error) {
+	return c.oracleRows(reg, false)
+}
+
+// OracleCertainRegion is OracleConsistent extended with the coverage
+// condition: every instantiation's unique fix covers all of R.
+func (c *Checker) OracleCertainRegion(reg *fix.Region) (Verdict, error) {
+	return c.oracleRows(reg, true)
+}
+
+func (c *Checker) oracleRows(reg *fix.Region, coverage bool) (Verdict, error) {
+	tc := reg.Tableau()
+	if coverage && tc.Len() == 0 {
+		return failf("empty tableau marks no tuples"), nil
+	}
+	r := c.sigma.Schema()
+	zPos := reg.Z()
+	zSet := reg.ZSet()
+	for i := 0; i < tc.Len(); i++ {
+		insts, err := c.instantiateRow(reg, tc.Row(i))
+		if err != nil {
+			return Verdict{}, err
+		}
+		for _, vals := range insts {
+			t := relation.NewTuple(r.Arity())
+			for j, p := range zPos {
+				t[p] = vals[j]
+			}
+			// Attributes outside Z are unread by the process (premises are
+			// always validated); fresh values stand in for "any".
+			for p := 0; p < r.Arity(); p++ {
+				if !zSet.Has(p) {
+					_, f := c.domainFor(p)
+					t[p] = f
+				}
+			}
+			res := fix.Explore(c.sigma, c.dm, t, zSet, 0)
+			if res.Truncated {
+				return Verdict{}, errTruncated
+			}
+			if len(res.Outcomes) != 1 {
+				return failf("row %d instantiation %v has %d distinct fixes", i, vals, len(res.Outcomes)), nil
+			}
+			if coverage && res.Outcomes[0].Covered.Len() != r.Arity() {
+				return failf("row %d instantiation %v covers only %v", i, vals,
+					res.Outcomes[0].Covered.Names(r)), nil
+			}
+		}
+	}
+	return okVerdict, nil
+}
+
+var errTruncated = errorString("analysis: oracle state space exceeded cap")
+
+type errorString string
+
+func (e errorString) Error() string { return string(e) }

@@ -1,0 +1,118 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/fix"
+	"repro/internal/pattern"
+	"repro/internal/relation"
+)
+
+// TestZValidatingSigma0: (zip, phn, type, item) admits a certain-region
+// tableau for (Σ0, Dm) — Example 9 exhibits one — while dropping item
+// (which no rule can fix) makes every tableau fail coverage.
+func TestZValidatingSigma0(t *testing.T) {
+	c := newChecker(t)
+	r := c.Sigma().Schema()
+
+	ok, err := c.ZValidating(r.MustPosList("zip", "phn", "type", "item"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("Z = (zip, phn, type, item) must validate (Example 9)")
+	}
+
+	ok, err = c.ZValidating(r.MustPosList("zip", "phn", "type"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("Z without item cannot validate: item is unfixable")
+	}
+}
+
+func TestZValidatingRejectsDuplicates(t *testing.T) {
+	c := newChecker(t)
+	r := c.Sigma().Schema()
+	z := []int{r.MustPos("zip"), r.MustPos("zip")}
+	if _, err := c.ZValidating(z); err == nil {
+		t.Fatal("duplicate Z attributes must error")
+	}
+}
+
+// TestZCountingSigma0: the count is positive for the validating Z and the
+// enumeration agrees with ZValidating.
+func TestZCountingSigma0(t *testing.T) {
+	c := newChecker(t)
+	r := c.Sigma().Schema()
+	z := r.MustPosList("zip", "phn", "type", "item")
+	n, err := c.ZCounting(z)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("ZCounting must be positive for a validating Z")
+	}
+	rows, err := c.ZEnumerate(z, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != n {
+		t.Fatalf("ZEnumerate len %d != ZCounting %d", len(rows), n)
+	}
+	// Every enumerated row really is a certain region.
+	for _, row := range rows {
+		reg, err := regionFromRow(z, row)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, err := c.CertainRegion(reg)
+		if err != nil || !v.OK {
+			t.Fatalf("enumerated row is not certain: %v %v", v, err)
+		}
+	}
+	// Limited enumeration stops early.
+	one, err := c.ZEnumerate(z, 1)
+	if err != nil || len(one) != 1 {
+		t.Fatalf("ZEnumerate limit=1 returned %d rows (%v)", len(one), err)
+	}
+}
+
+// TestZMinimumSigma0: the free attributes phn, type, item are forced into
+// every certain region, and one more attribute (zip) suffices — so the
+// minimum is exactly 4.
+func TestZMinimumSigma0(t *testing.T) {
+	c := newChecker(t)
+	r := c.Sigma().Schema()
+
+	if _, ok, err := c.ZMinimum(3); err != nil || ok {
+		t.Fatalf("K=3 must fail (free attributes alone cover nothing): ok=%v err=%v", ok, err)
+	}
+	z, ok, err := c.ZMinimum(4)
+	if err != nil || !ok {
+		t.Fatalf("K=4 must succeed: ok=%v err=%v", ok, err)
+	}
+	zSet := relation.NewAttrSet(z...)
+	for _, name := range []string{"phn", "type", "item"} {
+		if !zSet.Has(r.MustPos(name)) {
+			t.Errorf("minimum Z must contain free attribute %s; got %v", name, zSet.Names(r))
+		}
+	}
+	if len(z) != 4 {
+		t.Errorf("|Z| = %d, want 4", len(z))
+	}
+}
+
+// TestZMinimumTooManyFreeAttrs: when the budget is below the number of
+// free attributes the answer is immediately negative.
+func TestZMinimumTooManyFreeAttrs(t *testing.T) {
+	c := newChecker(t)
+	if _, ok, err := c.ZMinimum(1); err != nil || ok {
+		t.Fatalf("K=1 must fail: ok=%v err=%v", ok, err)
+	}
+}
+
+func regionFromRow(z []int, row pattern.Tuple) (*fix.Region, error) {
+	return fix.NewRegion(z, pattern.NewTableau(row))
+}

@@ -1,0 +1,106 @@
+// Package bdd implements the binary-decision-diagram cache of §5.2
+// (Figs. 7–8) that backs Suggest+ / CertainFix+. Nodes hold previously
+// computed suggestions; the true branch of a node is taken when its
+// suggestion is still valid for the current tuple (and leads to the
+// suggestion tried at the next round of interaction), while the false
+// branch chains to alternative cached suggestions and, when the chain is
+// exhausted, to a freshly computed suggestion that is inserted in place.
+//
+// Checking whether a cached suggestion still applies is much cheaper than
+// computing a new one, which is the entire point: on a stream of similar
+// input tuples the cache eliminates nearly all Suggest invocations
+// (Fig. 12c/d of the paper).
+package bdd
+
+import (
+	"sync"
+)
+
+// Node is one decision node: a cached suggestion and its two branches.
+type Node struct {
+	S          []int
+	True, Fals *Node
+}
+
+// Cache is the shared suggestion store. Safe for concurrent use.
+type Cache struct {
+	mu       sync.Mutex
+	root     *Node
+	size     int
+	maxNodes int
+	hits     int
+	misses   int
+}
+
+// DefaultMaxNodes bounds the cache; beyond it the diagram is reset (the
+// paper compresses its BDD to limit space — a bounded reset keeps the
+// same guarantee with less machinery).
+const DefaultMaxNodes = 4096
+
+// NewCache builds an empty cache. maxNodes ≤ 0 selects DefaultMaxNodes.
+func NewCache(maxNodes int) *Cache {
+	if maxNodes <= 0 {
+		maxNodes = DefaultMaxNodes
+	}
+	return &Cache{maxNodes: maxNodes}
+}
+
+// Stats reports cache hits (suggestions reused) and misses (computed).
+func (c *Cache) Stats() (hits, misses int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// Size reports the number of nodes.
+func (c *Cache) Size() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.size
+}
+
+// Cursor starts a traversal for one input tuple at the root.
+func (c *Cache) Cursor() *Cursor {
+	return &Cursor{cache: c, slot: &c.root}
+}
+
+// Cursor tracks one tuple's position in the diagram across interaction
+// rounds.
+type Cursor struct {
+	cache *Cache
+	slot  **Node
+}
+
+// Next returns the suggestion for the current round: it follows the false
+// chain from the cursor position until a cached suggestion passes check,
+// inserting compute()'s result when the chain runs out. The cursor then
+// descends to the chosen node's true branch, ready for the next round.
+func (cur *Cursor) Next(check func(s []int) bool, compute func() []int) []int {
+	c := cur.cache
+	c.mu.Lock()
+	defer c.mu.Unlock()
+
+	slot := cur.slot
+	for *slot != nil {
+		n := *slot
+		if check(n.S) {
+			c.hits++
+			cur.slot = &n.True
+			return n.S
+		}
+		slot = &n.Fals
+	}
+	// Chain exhausted: compute and insert.
+	c.misses++
+	s := compute()
+	if c.size >= c.maxNodes {
+		c.root = nil
+		c.size = 0
+		slot = &c.root
+	}
+	n := &Node{S: s}
+	*slot = n
+	c.size++
+	cur.slot = &n.True
+	return s
+}

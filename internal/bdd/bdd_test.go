@@ -1,0 +1,118 @@
+package bdd_test
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/bdd"
+)
+
+func TestCursorMissThenHit(t *testing.T) {
+	c := bdd.NewCache(0)
+	computed := 0
+	compute := func() []int { computed++; return []int{1, 2} }
+	accept := func(s []int) bool { return true }
+
+	// First tuple: miss, computes.
+	cur := c.Cursor()
+	s := cur.Next(accept, compute)
+	if !reflect.DeepEqual(s, []int{1, 2}) || computed != 1 {
+		t.Fatalf("first Next: s=%v computed=%d", s, computed)
+	}
+	// Second tuple: hit, no compute.
+	cur2 := c.Cursor()
+	s = cur2.Next(accept, compute)
+	if !reflect.DeepEqual(s, []int{1, 2}) || computed != 1 {
+		t.Fatalf("second Next: s=%v computed=%d", s, computed)
+	}
+	hits, misses := c.Stats()
+	if hits != 1 || misses != 1 {
+		t.Fatalf("stats = %d hits %d misses", hits, misses)
+	}
+}
+
+func TestCursorFalseChain(t *testing.T) {
+	c := bdd.NewCache(0)
+	// Insert {1} via an always-reject check? No: first insert happens on
+	// miss. Build: tuple A accepts only {1}; tuple B rejects {1} and gets
+	// {2}; tuple C rejects {1}, accepts {2}.
+	curA := c.Cursor()
+	curA.Next(func(s []int) bool { return len(s) > 0 && s[0] == 1 }, func() []int { return []int{1} })
+
+	computed := 0
+	curB := c.Cursor()
+	got := curB.Next(func(s []int) bool { return s[0] == 2 }, func() []int { computed++; return []int{2} })
+	if got[0] != 2 || computed != 1 {
+		t.Fatalf("tuple B: got %v computed %d", got, computed)
+	}
+
+	curC := c.Cursor()
+	got = curC.Next(func(s []int) bool { return s[0] == 2 }, func() []int { t.Fatal("must reuse"); return nil })
+	if got[0] != 2 {
+		t.Fatalf("tuple C: got %v", got)
+	}
+	if c.Size() != 2 {
+		t.Fatalf("size = %d, want 2", c.Size())
+	}
+}
+
+func TestCursorDescendsTrueBranch(t *testing.T) {
+	c := bdd.NewCache(0)
+	accept := func(s []int) bool { return true }
+
+	// Tuple A: two rounds, builds root -> true child.
+	curA := c.Cursor()
+	curA.Next(accept, func() []int { return []int{1} })
+	curA.Next(accept, func() []int { return []int{2} })
+
+	// Tuple B follows the same path with zero computes.
+	curB := c.Cursor()
+	r1 := curB.Next(accept, func() []int { t.Fatal("round 1 must hit"); return nil })
+	r2 := curB.Next(accept, func() []int { t.Fatal("round 2 must hit"); return nil })
+	if r1[0] != 1 || r2[0] != 2 {
+		t.Fatalf("rounds = %v %v", r1, r2)
+	}
+}
+
+func TestCacheResetAtCapacity(t *testing.T) {
+	c := bdd.NewCache(2)
+	reject := func(s []int) bool { return false }
+	next := 0
+	compute := func() []int { next++; return []int{next} }
+
+	c.Cursor().Next(reject, compute) // size 1
+	c.Cursor().Next(reject, compute) // walks false chain, size 2
+	if c.Size() != 2 {
+		t.Fatalf("size = %d", c.Size())
+	}
+	c.Cursor().Next(reject, compute) // at cap: resets, inserts afresh
+	if c.Size() != 1 {
+		t.Fatalf("size after reset = %d, want 1", c.Size())
+	}
+}
+
+func TestCacheConcurrentCursors(t *testing.T) {
+	c := bdd.NewCache(0)
+	accept := func(s []int) bool { return true }
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cur := c.Cursor()
+			for r := 0; r < 8; r++ {
+				s := cur.Next(accept, func() []int { return []int{r} })
+				if len(s) != 1 {
+					t.Error("bad suggestion shape")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	hits, misses := c.Stats()
+	if hits+misses != 16*8 {
+		t.Fatalf("hits+misses = %d, want %d", hits+misses, 16*8)
+	}
+}

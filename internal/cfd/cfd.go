@@ -1,0 +1,116 @@
+// Package cfd implements conditional functional dependencies — the
+// constraint class the paper contrasts editing rules against (§1–2,
+// citing Fan et al., TODS 2008) — together with violation detection and
+// instantiation of constant CFDs from editing rules and master data. It
+// is the substrate of the IncRep repairing baseline (§6 Exp-1(7)).
+package cfd
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/pattern"
+	"repro/internal/relation"
+)
+
+// CFD is a conditional functional dependency ψ = (X → B, tp) over a
+// single schema. The lhs pattern constrains X with constants, negations
+// or wildcards; the rhs cell is a constant for a constant CFD (violable
+// by a single tuple) or a wildcard for a variable CFD (violable by a pair
+// of tuples agreeing on X but not on B).
+type CFD struct {
+	name    string
+	schema  *relation.Schema
+	lhs     []int
+	rhs     int
+	lhsPat  pattern.Tuple
+	rhsCell pattern.Cell
+}
+
+// New constructs and validates a CFD.
+func New(name string, schema *relation.Schema, lhs []int, rhs int, lhsPat pattern.Tuple, rhsCell pattern.Cell) (*CFD, error) {
+	lhsSet := relation.NewAttrSet(lhs...)
+	if lhsSet.Len() != len(lhs) {
+		return nil, fmt.Errorf("cfd %s: duplicate lhs attributes", name)
+	}
+	if rhs < 0 || rhs >= schema.Arity() {
+		return nil, fmt.Errorf("cfd %s: rhs out of range", name)
+	}
+	if lhsSet.Has(rhs) {
+		return nil, fmt.Errorf("cfd %s: rhs occurs in lhs", name)
+	}
+	for _, p := range lhsPat.Positions() {
+		if !lhsSet.Has(p) {
+			return nil, fmt.Errorf("cfd %s: pattern constrains non-lhs attribute %d", name, p)
+		}
+	}
+	return &CFD{name: name, schema: schema, lhs: append([]int(nil), lhs...), rhs: rhs, lhsPat: lhsPat, rhsCell: rhsCell}, nil
+}
+
+// MustNew is New that panics on error.
+func MustNew(name string, schema *relation.Schema, lhs []int, rhs int, lhsPat pattern.Tuple, rhsCell pattern.Cell) *CFD {
+	c, err := New(name, schema, lhs, rhs, lhsPat, rhsCell)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Name returns the identifier.
+func (c *CFD) Name() string { return c.name }
+
+// LHS returns the X positions (copy).
+func (c *CFD) LHS() []int { return append([]int(nil), c.lhs...) }
+
+// RHS returns the B position.
+func (c *CFD) RHS() int { return c.rhs }
+
+// LHSPattern returns the lhs pattern.
+func (c *CFD) LHSPattern() pattern.Tuple { return c.lhsPat }
+
+// RHSCell returns the rhs cell.
+func (c *CFD) RHSCell() pattern.Cell { return c.rhsCell }
+
+// IsConstant reports whether the CFD is a constant CFD.
+func (c *CFD) IsConstant() bool { return c.rhsCell.Kind == pattern.Const }
+
+// MatchesLHS reports whether t satisfies the lhs pattern.
+func (c *CFD) MatchesLHS(t relation.Tuple) bool { return c.lhsPat.Matches(t) }
+
+// ViolatedBy reports whether a single tuple violates a constant CFD:
+// the lhs pattern matches but t[B] differs from the rhs constant.
+// Variable CFDs are never violated by a single tuple.
+func (c *CFD) ViolatedBy(t relation.Tuple) bool {
+	if !c.IsConstant() {
+		return false
+	}
+	return c.lhsPat.Matches(t) && !t[c.rhs].Equal(c.rhsCell.Val)
+}
+
+// ViolatedByPair reports whether (t1, t2) violate the CFD as a pair: both
+// match the lhs pattern, agree on X, and their B values are not both
+// compatible with the rhs cell — for a variable CFD, t1[B] ≠ t2[B]; for a
+// constant CFD the single-tuple check subsumes this.
+func (c *CFD) ViolatedByPair(t1, t2 relation.Tuple) bool {
+	if !c.lhsPat.Matches(t1) || !c.lhsPat.Matches(t2) {
+		return false
+	}
+	if !t1.EqualOn(c.lhs, t2) {
+		return false
+	}
+	if c.IsConstant() {
+		return !t1[c.rhs].Equal(c.rhsCell.Val) || !t2[c.rhs].Equal(c.rhsCell.Val)
+	}
+	return !t1[c.rhs].Equal(t2[c.rhs])
+}
+
+// String renders the CFD in the conventional (X → B, tp ‖ rhs) form.
+func (c *CFD) String() string {
+	names := make([]string, len(c.lhs))
+	for i, p := range c.lhs {
+		names[i] = c.schema.Attr(p).Name
+	}
+	return fmt.Sprintf("%s: (%s -> %s, %s || %s)",
+		c.name, strings.Join(names, ","), c.schema.Attr(c.rhs).Name,
+		c.lhsPat.Format(c.schema), c.rhsCell)
+}

@@ -1,0 +1,83 @@
+// Package datagen generates the synthetic HOSP and DBLP datasets of the
+// paper's evaluation (§6) — master relations with the published schemas
+// (19 and 12 attributes) and rule sets (21 and 16 editing rules) — plus
+// the dirty-data generator parameterized by duplicate rate d%, noise rate
+// n% and master size |Dm|, exactly the three knobs of the experiments.
+// All generation is deterministic given a seed.
+//
+// The paper used the real Hospital Compare and DBLP dumps; this package
+// substitutes distribution-compatible synthetic data (DESIGN.md,
+// substitution 1): the functional structure the editing rules rely on
+// (zip→state, phone→zip, id→hospital fields, author→homepage,
+// crossref→venue, ...) is generated exactly, so rule applicability and
+// the d%/n%/|Dm| response — the quantities the experiments measure — are
+// preserved.
+package datagen
+
+import (
+	"math/rand"
+	"strings"
+
+	"repro/internal/relation"
+)
+
+// Corrupt returns a dirtied version of a value: a character-level typo
+// (substitution, deletion, insertion or transposition), a truncation to
+// the missing value, or a replacement with a foreign value. The mix
+// follows common data-entry error models: mostly typos, occasionally a
+// blank or a value from another record.
+func Corrupt(rng *rand.Rand, v relation.Value, foreign relation.Value) relation.Value {
+	switch r := rng.Float64(); {
+	case r < 0.10:
+		return relation.Null // blanked-out field
+	case r < 0.22 && !foreign.IsNull():
+		return foreign // wrong record's value pasted in
+	default:
+		s := v.Encode()
+		if s == "" {
+			return relation.String(randomWord(rng, 6)) // noise in an empty field
+		}
+		return relation.String(typo(rng, s))
+	}
+}
+
+// typo applies 1–2 character-level edits.
+func typo(rng *rand.Rand, s string) string {
+	edits := 1 + rng.Intn(2)
+	out := []rune(s)
+	for e := 0; e < edits && len(out) > 0; e++ {
+		i := rng.Intn(len(out))
+		switch rng.Intn(4) {
+		case 0: // substitute
+			out[i] = randomRune(rng)
+		case 1: // delete
+			out = append(out[:i], out[i+1:]...)
+		case 2: // insert
+			out = append(out[:i], append([]rune{randomRune(rng)}, out[i:]...)...)
+		default: // transpose
+			if i+1 < len(out) {
+				out[i], out[i+1] = out[i+1], out[i]
+			} else {
+				out[i] = randomRune(rng)
+			}
+		}
+	}
+	if len(out) == 0 {
+		return string(randomRune(rng))
+	}
+	return string(out)
+}
+
+const typoAlphabet = "abcdefghijklmnopqrstuvwxyz0123456789"
+
+func randomRune(rng *rand.Rand) rune {
+	return rune(typoAlphabet[rng.Intn(len(typoAlphabet))])
+}
+
+func randomWord(rng *rand.Rand, n int) string {
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		b.WriteRune(randomRune(rng))
+	}
+	return b.String()
+}

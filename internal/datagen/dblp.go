@@ -1,0 +1,144 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/relation"
+	"repro/internal/rule"
+)
+
+// The DBLP dataset (§6): inproceedings joined with their proceedings on
+// crossref, plus author homepages — the paper's 12 attributes.
+
+// dblpAttrs is the paper's 12-attribute schema, in the paper's order.
+var dblpAttrs = []string{
+	"ptitle", "a1", "a2", "hp1", "hp2", "btitle",
+	"publisher", "isbn", "crossref", "year", "type", "pages",
+}
+
+// DblpSchema returns the input schema R for DBLP.
+func DblpSchema() *relation.Schema { return relation.StringSchema("dblp", dblpAttrs...) }
+
+// DblpMasterSchema returns the master schema Rm for DBLP.
+func DblpMasterSchema() *relation.Schema {
+	return relation.StringSchema("dblp_master", dblpAttrs...)
+}
+
+// DblpRulesDSL is the paper's 16-rule set for DBLP (§6), written out in
+// full: φ1–φ4 link authors to homepages across both author positions,
+// φ5 expands over {isbn, publisher, crossref}, φ6 over {btitle, year,
+// isbn, publisher} and φ7 over {isbn, publisher, year, btitle, crossref}.
+const DblpRulesDSL = `
+# φ1–φ4: author ↔ homepage, across both author columns.
+rule d01: (a1 ; a1) -> (hp1 ; hp1) when a1 != nil
+rule d02: (a2 ; a1) -> (hp2 ; hp1) when a2 != nil
+rule d03: (a2 ; a2) -> (hp2 ; hp2) when a2 != nil
+rule d04: (a1 ; a2) -> (hp1 ; hp2) when a1 != nil
+# φ5: (type, btitle, year) determines the venue fields.
+rule d05: (type, btitle, year ; type, btitle, year) -> (isbn ; isbn) when type = "inproceedings"
+rule d06: (type, btitle, year ; type, btitle, year) -> (publisher ; publisher) when type = "inproceedings"
+rule d07: (type, btitle, year ; type, btitle, year) -> (crossref ; crossref) when type = "inproceedings"
+# φ6: (type, crossref) determines the proceedings fields.
+rule d08: (type, crossref ; type, crossref) -> (btitle ; btitle) when type = "inproceedings"
+rule d09: (type, crossref ; type, crossref) -> (year ; year) when type = "inproceedings"
+rule d10: (type, crossref ; type, crossref) -> (isbn ; isbn) when type = "inproceedings"
+rule d11: (type, crossref ; type, crossref) -> (publisher ; publisher) when type = "inproceedings"
+# φ7: the paper key (type, a1, a2, title, pages) determines the venue.
+rule d12: (type, a1, a2, ptitle, pages ; type, a1, a2, ptitle, pages) -> (isbn ; isbn) when type = "inproceedings"
+rule d13: (type, a1, a2, ptitle, pages ; type, a1, a2, ptitle, pages) -> (publisher ; publisher) when type = "inproceedings"
+rule d14: (type, a1, a2, ptitle, pages ; type, a1, a2, ptitle, pages) -> (year ; year) when type = "inproceedings"
+rule d15: (type, a1, a2, ptitle, pages ; type, a1, a2, ptitle, pages) -> (btitle ; btitle) when type = "inproceedings"
+rule d16: (type, a1, a2, ptitle, pages ; type, a1, a2, ptitle, pages) -> (crossref ; crossref) when type = "inproceedings"
+`
+
+// DblpRules parses the DBLP rule set.
+func DblpRules() *rule.Set {
+	s, err := rule.ParseRuleSet(DblpSchema(), DblpMasterSchema(), DblpRulesDSL)
+	if err != nil {
+		panic("datagen: dblp rules: " + err.Error())
+	}
+	return s
+}
+
+var publishers = []string{
+	"Springer", "ACM", "IEEE CS", "Morgan Kaufmann",
+	"VLDB Endowment", "AAAI Press", "USENIX", "IOS Press",
+}
+
+// dblpWorld holds the entity pools behind a DBLP master relation.
+type dblpWorld struct {
+	rng     *rand.Rand
+	papers  int
+	authors int
+	venues  int
+}
+
+// author i and their homepage; homepages are functional in the author.
+// Identifiers are permuted into a sparse space (see datagen/hosp.go).
+func (w *dblpWorld) author(i int) (name, hp string) {
+	n := (i*48271 + 7) % 9999991
+	return fmt.Sprintf("Author %07d", n), fmt.Sprintf("http://pages.example/%07d", n)
+}
+
+// venue fields for venue v; (btitle, year) and crossref both identify it.
+func (w *dblpWorld) venue(v int) map[string]string {
+	year := 1985 + v%38
+	series := v % 60
+	return map[string]string{
+		"btitle":    fmt.Sprintf("Intl. Conference %02d", series),
+		"year":      fmt.Sprintf("%d", year),
+		"publisher": publishers[series%len(publishers)],
+		"isbn":      fmt.Sprintf("978-%02d-%04d-%d", series, year, v%10),
+		"crossref":  fmt.Sprintf("conf/c%02d/%d", series, year),
+	}
+}
+
+// paperAuthors picks the two authors of paper p deterministically; the
+// pools overlap so an author appears sometimes first, sometimes second —
+// which is what gives rules d02/d04 their support.
+func (w *dblpWorld) paperAuthors(p int) (int, int) {
+	a1 := (p * 7) % w.authors
+	a2 := (p*13 + 1) % w.authors
+	if a2 == a1 {
+		a2 = (a2 + 1) % w.authors
+	}
+	return a1, a2
+}
+
+// row assembles the master tuple for paper p.
+func (w *dblpWorld) row(schema *relation.Schema, p int) relation.Tuple {
+	a1, a2 := w.paperAuthors(p)
+	n1, h1 := w.author(a1)
+	n2, h2 := w.author(a2)
+	venue := w.venue(p % w.venues)
+	fields := map[string]string{
+		"ptitle":    fmt.Sprintf("On the Quality of Record %07d", (p*65497+7)%9999991),
+		"a1":        n1,
+		"a2":        n2,
+		"hp1":       h1,
+		"hp2":       h2,
+		"type":      "inproceedings",
+		"pages":     fmt.Sprintf("%d-%d", 10+p%400, 10+p%400+12),
+		"btitle":    venue["btitle"],
+		"year":      venue["year"],
+		"publisher": venue["publisher"],
+		"isbn":      venue["isbn"],
+		"crossref":  venue["crossref"],
+	}
+	t := make(relation.Tuple, schema.Arity())
+	for i, name := range dblpAttrs {
+		t[i] = relation.String(fields[name])
+	}
+	return t
+}
+
+// venueCount keeps (btitle, year) → venue functional: series (0..59) ×
+// years must not collide. venue v and v' share (btitle, year) iff
+// v ≡ v' mod lcm(60, 38)... sizing venues below both periods avoids it.
+const dblpVenues = 500
+
+func newDblpWorld(rng *rand.Rand, masterSize int) *dblpWorld {
+	authors := masterSize/2 + 10
+	return &dblpWorld{rng: rng, papers: masterSize, authors: authors, venues: dblpVenues}
+}

@@ -1,0 +1,205 @@
+// Package discover mines candidate editing rules from master data — the
+// direction §7 of the paper singles out as future work ("effective
+// algorithms have to be in place for discovering editing rules from
+// sample inputs and master data, along the same lines as discovering
+// other data quality rules [12, 26]").
+//
+// The miner searches for functional relationships inside the master
+// relation: an attribute list Xm determines Bm in Dm when no two master
+// tuples agree on Xm but differ on Bm. Every such dependency with enough
+// support yields the editing rule ((X, Xm) → (B, Bm), ()) over an input
+// schema aligned with the master schema — the shape the paper's HOSP and
+// DBLP rule sets take. Like CFD discovery, the search is inherently
+// exponential in the lhs width, so the miner enumerates lhs lists up to
+// a configured width and prunes by support and by the usual
+// minimality/augmentation rules.
+package discover
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/pattern"
+	"repro/internal/relation"
+	"repro/internal/rule"
+)
+
+// Options tunes the miner.
+type Options struct {
+	// MaxLHS bounds the lhs width (default 2; 3+ grows combinatorially).
+	MaxLHS int
+	// MinSupport is the minimum number of distinct lhs keys required for
+	// a dependency to count as evidence rather than coincidence
+	// (default 8).
+	MinSupport int
+	// MinDistinctRatio rejects trivial lhs candidates: the lhs must take
+	// at least this fraction of distinct values over the master tuples
+	// (default 0.05). Near-constant attributes (e.g. type =
+	// "inproceedings") make poor probe keys on their own.
+	MinDistinctRatio float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxLHS <= 0 {
+		o.MaxLHS = 2
+	}
+	if o.MinSupport <= 0 {
+		o.MinSupport = 8
+	}
+	if o.MinDistinctRatio == 0 {
+		o.MinDistinctRatio = 0.05
+	}
+	return o
+}
+
+// Candidate is a mined dependency with its evidence.
+type Candidate struct {
+	LHS     []int // master attribute positions Xm
+	RHS     int   // master attribute position Bm
+	Support int   // distinct lhs keys witnessed
+}
+
+// Rules mines editing rules over (r, rm) from the master relation. The
+// input schema r must align positionally with rm (the §6 datasets use
+// the same attribute list for R and Rm; rules map position i to
+// position i). Rules are named "m<N>" in discovery order.
+func Rules(r *relation.Schema, masterRel *relation.Relation, opts Options) (*rule.Set, []Candidate, error) {
+	rm := masterRel.Schema()
+	if r.Arity() != rm.Arity() {
+		return nil, nil, fmt.Errorf("discover: input schema %s and master schema %s must align positionally", r, rm)
+	}
+	cands := Dependencies(masterRel, opts)
+	out := rule.MustNewSet(r, rm)
+	for i, c := range cands {
+		ru, err := rule.New(fmt.Sprintf("m%02d", i+1), r, rm, c.LHS, c.LHS, c.RHS, c.RHS, patternEmpty())
+		if err != nil {
+			return nil, nil, fmt.Errorf("discover: candidate %d: %w", i, err)
+		}
+		if err := out.Add(ru); err != nil {
+			return nil, nil, err
+		}
+	}
+	return out, cands, nil
+}
+
+// Dependencies mines the functional dependencies Xm → Bm holding in the
+// master relation, minimal in the lhs: once X → B holds, no superset of
+// X is reported for the same B.
+func Dependencies(masterRel *relation.Relation, opts Options) []Candidate {
+	opts = opts.withDefaults()
+	n := masterRel.Len()
+	arity := masterRel.Schema().Arity()
+	if n == 0 {
+		return nil
+	}
+
+	// Distinct-value counts per attribute, for probe-key pruning and for
+	// skipping trivial rhs (constant columns are "determined" by
+	// anything).
+	distinct := make([]int, arity)
+	for a := 0; a < arity; a++ {
+		seen := map[relation.Value]bool{}
+		for _, tm := range masterRel.Tuples() {
+			seen[tm[a]] = true
+		}
+		distinct[a] = len(seen)
+	}
+
+	var out []Candidate
+	// covered[b] holds the minimal lhs sets already found for rhs b.
+	covered := make([][]relation.AttrSet, arity)
+
+	var lhsLists [][]int
+	for width := 1; width <= opts.MaxLHS; width++ {
+		lhsLists = lhsLists[:0]
+		enumerateLists(arity, width, &lhsLists)
+		for _, lhs := range lhsLists {
+			if !probeWorthy(lhs, distinct, n, opts) {
+				continue
+			}
+			for b := 0; b < arity; b++ {
+				if contains(lhs, b) || distinct[b] <= 1 {
+					continue
+				}
+				if subsumed(covered[b], lhs) {
+					continue // a subset lhs already determines b
+				}
+				support, ok := functional(masterRel, lhs, b)
+				if ok && support >= opts.MinSupport {
+					out = append(out, Candidate{LHS: append([]int(nil), lhs...), RHS: b, Support: support})
+					covered[b] = append(covered[b], relation.NewAttrSet(lhs...))
+				}
+			}
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Support > out[j].Support })
+	return out
+}
+
+// functional checks Xm → Bm over the master tuples, returning the number
+// of distinct lhs keys when it holds.
+func functional(rel *relation.Relation, lhs []int, b int) (int, bool) {
+	values := make(map[string]relation.Value, rel.Len())
+	for _, tm := range rel.Tuples() {
+		key := tm.Key(lhs)
+		if prev, ok := values[key]; ok {
+			if !prev.Equal(tm[b]) {
+				return 0, false
+			}
+			continue
+		}
+		values[key] = tm[b]
+	}
+	return len(values), true
+}
+
+// probeWorthy rejects lhs lists whose key space is too small to be a
+// useful (or credible) probe key.
+func probeWorthy(lhs []int, distinct []int, n int, opts Options) bool {
+	best := 0
+	for _, a := range lhs {
+		if distinct[a] > best {
+			best = distinct[a]
+		}
+	}
+	return float64(best) >= opts.MinDistinctRatio*float64(n)
+}
+
+func subsumed(minimal []relation.AttrSet, lhs []int) bool {
+	s := relation.NewAttrSet(lhs...)
+	for _, m := range minimal {
+		if s.ContainsSet(m) {
+			return true
+		}
+	}
+	return false
+}
+
+func contains(xs []int, x int) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+// enumerateLists appends every ascending list of the given width over
+// [0, arity) to out.
+func enumerateLists(arity, width int, out *[][]int) {
+	list := make([]int, width)
+	var walk func(start, depth int)
+	walk = func(start, depth int) {
+		if depth == width {
+			*out = append(*out, append([]int(nil), list...))
+			return
+		}
+		for a := start; a < arity; a++ {
+			list[depth] = a
+			walk(a+1, depth+1)
+		}
+	}
+	walk(0, 0)
+}
+
+func patternEmpty() pattern.Tuple { return pattern.Empty() }

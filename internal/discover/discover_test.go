@@ -1,0 +1,162 @@
+package discover_test
+
+import (
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/discover"
+	"repro/internal/master"
+	"repro/internal/relation"
+	"repro/internal/suggest"
+)
+
+// TestDiscoverRecoversHospStructure: mining the synthetic HOSP master
+// must rediscover the functional skeleton the hand-written rules encode:
+// zip→ST, phn→zip, id→hName, mCode→mName, (id, mCode)→Score, ...
+func TestDiscoverRecoversHospStructure(t *testing.T) {
+	ds, err := datagen.Hosp(datagen.Config{Seed: 2, MasterSize: 600, Tuples: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rm := ds.Master.Schema()
+	_, cands, err := discover.Rules(datagen.HospSchema(), ds.Master.Relation(), discover.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) == 0 {
+		t.Fatal("no dependencies mined")
+	}
+	found := func(lhs []string, rhs string) bool {
+		lp := rm.MustPosList(lhs...)
+		want := relation.NewAttrSet(lp...)
+		rp := rm.MustPos(rhs)
+		for _, c := range cands {
+			if c.RHS == rp && relation.NewAttrSet(c.LHS...).Equal(want) {
+				return true
+			}
+		}
+		return false
+	}
+	for _, dep := range []struct {
+		lhs []string
+		rhs string
+	}{
+		{[]string{"zip"}, "ST"},
+		{[]string{"phn"}, "zip"},
+		{[]string{"id"}, "hName"},
+		{[]string{"mCode"}, "mName"},
+		{[]string{"provNum"}, "id"},
+	} {
+		if !found(dep.lhs, dep.rhs) {
+			t.Errorf("expected mined dependency %v → %s", dep.lhs, dep.rhs)
+		}
+	}
+	// (id, mCode) → Score holds but neither id nor mCode alone does.
+	if !found([]string{"id", "mCode"}, "Score") {
+		t.Error("expected (id, mCode) → Score")
+	}
+	if found([]string{"id"}, "Score") || found([]string{"mCode"}, "Score") {
+		t.Error("single-attribute lhs must not determine Score")
+	}
+}
+
+// TestDiscoverMinimality: once zip→ST is found, (zip, X)→ST supersets are
+// suppressed.
+func TestDiscoverMinimality(t *testing.T) {
+	ds, err := datagen.Hosp(datagen.Config{Seed: 2, MasterSize: 400, Tuples: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rm := ds.Master.Schema()
+	_, cands, err := discover.Rules(datagen.HospSchema(), ds.Master.Relation(), discover.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	zip, st := rm.MustPos("zip"), rm.MustPos("ST")
+	for _, c := range cands {
+		if c.RHS == st && len(c.LHS) == 2 && relation.NewAttrSet(c.LHS...).Has(zip) {
+			t.Errorf("non-minimal lhs %v → ST reported", c.LHS)
+		}
+	}
+}
+
+// TestDiscoveredRulesAreUsable: the mined rule set feeds straight into
+// the region-derivation machinery and yields a working certain region.
+func TestDiscoveredRulesAreUsable(t *testing.T) {
+	ds, err := datagen.Hosp(datagen.Config{Seed: 2, MasterSize: 400, Tuples: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sigma, _, err := discover.Rules(datagen.HospSchema(), ds.Master.Relation(), discover.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sigma.Len() == 0 {
+		t.Fatal("no rules discovered")
+	}
+	dm := master.MustNewForRules(ds.Master.Relation(), sigma)
+	d := suggest.NewDeriver(sigma, dm)
+	cands := d.CompCRegions()
+	if len(cands) == 0 {
+		t.Fatal("mined rules admit no certain region")
+	}
+	// The mined rule set is at least as powerful as the hand-written one:
+	// its best region needs no more user-validated attributes.
+	if got := len(cands[0].Z); got > 2 {
+		t.Errorf("mined-rule region |Z| = %d, want ≤ 2", got)
+	}
+}
+
+// TestDiscoverSupportThreshold: raising MinSupport filters low-evidence
+// dependencies.
+func TestDiscoverSupportThreshold(t *testing.T) {
+	rel := relation.NewRelation(relation.StringSchema("Rm", "A", "B"))
+	for i := 0; i < 4; i++ {
+		b := "x"
+		if i >= 2 {
+			b = "y"
+		}
+		rel.MustAppend(relation.StringTuple(string(rune('a'+i)), b))
+	}
+	low := discover.Dependencies(rel, discover.Options{MinSupport: 2, MinDistinctRatio: 0.01})
+	if len(low) == 0 {
+		t.Fatal("A→B should be mined at MinSupport 2")
+	}
+	high := discover.Dependencies(rel, discover.Options{MinSupport: 10, MinDistinctRatio: 0.01})
+	if len(high) != 0 {
+		t.Fatalf("MinSupport 10 should filter everything, got %v", high)
+	}
+}
+
+// TestDiscoverRejectsNonFunctional: contradicting rows kill a dependency.
+func TestDiscoverRejectsNonFunctional(t *testing.T) {
+	rel := relation.NewRelation(relation.StringSchema("Rm", "A", "B"))
+	rel.MustAppend(
+		relation.StringTuple("k1", "x"),
+		relation.StringTuple("k1", "y"), // contradiction
+		relation.StringTuple("k2", "x"),
+		relation.StringTuple("k3", "x"),
+	)
+	deps := discover.Dependencies(rel, discover.Options{MinSupport: 2, MinDistinctRatio: 0.01})
+	for _, c := range deps {
+		if len(c.LHS) == 1 && c.LHS[0] == 0 && c.RHS == 1 {
+			t.Fatal("A→B does not hold and must not be mined")
+		}
+	}
+}
+
+// TestDiscoverSchemaMismatch: misaligned schemas are rejected.
+func TestDiscoverSchemaMismatch(t *testing.T) {
+	rel := relation.NewRelation(relation.StringSchema("Rm", "A", "B"))
+	if _, _, err := discover.Rules(relation.StringSchema("R", "A"), rel, discover.Options{}); err == nil {
+		t.Fatal("want arity mismatch error")
+	}
+}
+
+// TestDiscoverEmptyMaster: no tuples, no dependencies, no panic.
+func TestDiscoverEmptyMaster(t *testing.T) {
+	rel := relation.NewRelation(relation.StringSchema("Rm", "A", "B"))
+	if deps := discover.Dependencies(rel, discover.Options{}); deps != nil {
+		t.Fatalf("deps = %v", deps)
+	}
+}

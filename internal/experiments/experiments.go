@@ -1,0 +1,186 @@
+// Package experiments drives the evaluation of §6: one function per table
+// and figure of the paper, each regenerating the corresponding rows or
+// series on the synthetic HOSP/DBLP substrate (see DESIGN.md for the
+// experiment index and EXPERIMENTS.md for measured-vs-paper results).
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"repro/internal/datagen"
+	"repro/internal/metrics"
+	"repro/internal/monitor"
+)
+
+// Params selects a dataset configuration. Zero fields take defaults that
+// mirror the paper's defaults scaled to a quick run: d% = 30, n% = 20,
+// |Dm| = 10K tuples in the paper, scaled by Scale here.
+type Params struct {
+	Dataset    string // "hosp" or "dblp"
+	Seed       int64
+	MasterSize int
+	Tuples     int
+	DupRate    float64
+	NoiseRate  float64
+	MaxK       int // interaction rounds to report (hosp: 4, dblp: 3)
+}
+
+// WithDefaults fills unset fields with the §6 defaults.
+func (p Params) WithDefaults() Params {
+	if p.Dataset == "" {
+		p.Dataset = "hosp"
+	}
+	if p.Seed == 0 {
+		p.Seed = 1
+	}
+	if p.MasterSize == 0 {
+		p.MasterSize = 2000
+	}
+	if p.Tuples == 0 {
+		p.Tuples = 500
+	}
+	if p.DupRate == 0 {
+		p.DupRate = 0.30
+	}
+	if p.NoiseRate == 0 {
+		p.NoiseRate = 0.20
+	}
+	if p.MaxK == 0 {
+		if p.Dataset == "dblp" {
+			p.MaxK = 3
+		} else {
+			p.MaxK = 4
+		}
+	}
+	return p
+}
+
+// generate builds the dataset for the parameters.
+func generate(p Params) (*datagen.Dataset, error) {
+	cfg := datagen.Config{
+		Seed:       p.Seed,
+		MasterSize: p.MasterSize,
+		Tuples:     p.Tuples,
+		DupRate:    p.DupRate,
+		NoiseRate:  p.NoiseRate,
+	}
+	switch p.Dataset {
+	case "hosp":
+		return datagen.Hosp(cfg)
+	case "dblp":
+		return datagen.Dblp(cfg)
+	default:
+		return nil, fmt.Errorf("experiments: unknown dataset %q", p.Dataset)
+	}
+}
+
+// RunStats aggregates a full monitoring run over a dataset.
+type RunStats struct {
+	TupleRecall []float64 // recall_t after k = 1..MaxK rounds
+	AttrRecall  []float64 // recall_a after k rounds (rule fixes only)
+	F1          []float64 // F-measure after k rounds
+	AvgLatency  time.Duration
+	TotalRounds int
+	CacheHits   int
+	CacheMisses int
+}
+
+// runMonitor fixes every input tuple with the simulated user and scores
+// the per-round metrics of §6.
+func runMonitor(ds *datagen.Dataset, mcfg monitor.Config, maxK int) (RunStats, error) {
+	m, err := monitor.New(ds.Sigma, ds.Master, mcfg)
+	if err != nil {
+		return RunStats{}, err
+	}
+	return runWith(m, ds, maxK)
+}
+
+func runWith(m *monitor.Monitor, ds *datagen.Dataset, maxK int) (RunStats, error) {
+	tuple := make([]metrics.TupleOutcome, maxK)
+	cell := make([]metrics.CellOutcome, maxK)
+	totalRounds := 0
+	start := time.Now()
+	for i := range ds.Inputs {
+		res, err := m.Fix(ds.Inputs[i], monitor.SimulatedUser{Truth: ds.Truths[i]})
+		if err != nil {
+			return RunStats{}, fmt.Errorf("experiments: fixing tuple %d: %w", i, err)
+		}
+		totalRounds += res.Rounds
+		for k := 1; k <= maxK; k++ {
+			state := stateAtRound(res, k)
+			tuple[k-1].Add(metrics.CompareTuple(ds.Inputs[i], ds.Truths[i], state.Tuple))
+			credited := state.AutoFixed
+			cell[k-1].Add(metrics.CompareCells(ds.Inputs[i], ds.Truths[i], state.Tuple, &credited))
+		}
+	}
+	elapsed := time.Since(start)
+
+	stats := RunStats{TotalRounds: totalRounds}
+	if totalRounds > 0 {
+		stats.AvgLatency = elapsed / time.Duration(totalRounds)
+	}
+	for k := 0; k < maxK; k++ {
+		stats.TupleRecall = append(stats.TupleRecall, tuple[k].Recall())
+		stats.AttrRecall = append(stats.AttrRecall, cell[k].Recall())
+		stats.F1 = append(stats.F1, cell[k].F1())
+	}
+	stats.CacheHits, stats.CacheMisses = m.CacheStats()
+	return stats, nil
+}
+
+// stateAtRound returns the snapshot after min(k, rounds) rounds.
+func stateAtRound(res monitor.Result, k int) monitor.RoundStat {
+	if len(res.PerRound) == 0 {
+		return monitor.RoundStat{
+			Tuple:     res.Tuple,
+			AutoFixed: res.AutoFixed,
+		}
+	}
+	if k > len(res.PerRound) {
+		k = len(res.PerRound)
+	}
+	return res.PerRound[k-1]
+}
+
+// Table is a printable experiment artifact.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// Fprint renders the table with aligned columns.
+func (t *Table) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "== %s ==\n", t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		var b strings.Builder
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		fmt.Fprintln(w, strings.TrimRight(b.String(), " "))
+	}
+	line(t.Columns)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	fmt.Fprintln(w)
+}
+
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }

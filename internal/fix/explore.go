@@ -1,0 +1,149 @@
+package fix
+
+import (
+	"fmt"
+
+	"repro/internal/master"
+	"repro/internal/relation"
+	"repro/internal/rule"
+)
+
+// Outcome is one terminal state of the fixing process: the fixed tuple and
+// the set Zk of attributes covered (validated) when it terminated.
+type Outcome struct {
+	Tuple   relation.Tuple
+	Covered relation.AttrSet
+}
+
+// ExploreResult summarizes the reachable terminal states of the fixing
+// process started from one tuple and one validated set.
+type ExploreResult struct {
+	Outcomes  []Outcome // distinct terminal states, discovery order
+	States    int       // number of distinct intermediate states visited
+	Truncated bool      // state cap was hit; Outcomes may be incomplete
+}
+
+// Unique reports whether exactly one terminal tuple is reachable. (Distinct
+// outcomes always differ in their tuples: §3 implies equal terminal tuples
+// have equal covered sets, and Explore deduplicates on both.)
+func (r ExploreResult) Unique() bool { return len(r.Outcomes) == 1 && !r.Truncated }
+
+// DefaultStateCap bounds the exhaustive search. The underlying decision
+// problems are coNP-hard (Thms 1–2), so the oracle is exponential in the
+// worst case; realistic rule sets terminate in a handful of states.
+const DefaultStateCap = 1 << 17
+
+// Explore exhaustively enumerates every terminal state reachable from
+// (t, zSet) by region-relative rule applications, memoizing states. The
+// input tuple is not mutated. cap ≤ 0 selects DefaultStateCap.
+func Explore(sigma *rule.Set, dm *master.Data, t relation.Tuple, zSet relation.AttrSet, cap int) ExploreResult {
+	if cap <= 0 {
+		cap = DefaultStateCap
+	}
+	e := &explorer{
+		sigma: sigma, dm: dm, cap: cap,
+		seen:     map[string]bool{},
+		outcomes: map[string]Outcome{},
+	}
+	e.dfs(t.Clone(), zSet.Clone())
+	res := ExploreResult{States: e.states, Truncated: e.truncated}
+	res.Outcomes = make([]Outcome, 0, len(e.outcomes))
+	for _, k := range e.order {
+		res.Outcomes = append(res.Outcomes, e.outcomes[k])
+	}
+	return res
+}
+
+type explorer struct {
+	sigma     *rule.Set
+	dm        *master.Data
+	cap       int
+	states    int
+	truncated bool
+	seen      map[string]bool
+	outcomes  map[string]Outcome
+	order     []string
+}
+
+func (e *explorer) dfs(t relation.Tuple, zSet relation.AttrSet) {
+	if e.truncated {
+		return
+	}
+	key := stateKey(t, zSet)
+	if e.seen[key] {
+		return
+	}
+	e.seen[key] = true
+	e.states++
+	if e.states > e.cap {
+		e.truncated = true
+		return
+	}
+
+	pairs := ApplicablePairs(e.sigma, e.dm, t, zSet)
+	if len(pairs) == 0 {
+		ok := key // terminal states are fully identified by their state key
+		if _, dup := e.outcomes[ok]; !dup {
+			e.outcomes[ok] = Outcome{Tuple: t.Clone(), Covered: zSet.Clone()}
+			e.order = append(e.order, ok)
+		}
+		return
+	}
+
+	// Successor states are determined by the (B, value) assignment, not by
+	// which rule/master pair produced it; dedupe to curb branching.
+	type succ struct {
+		b int
+		v relation.Value
+	}
+	tried := map[succ]bool{}
+	for _, p := range pairs {
+		b := p.Rule.RHS()
+		v := e.dm.Tuple(p.MasterID)[p.Rule.RHSM()]
+		s := succ{b, v}
+		if tried[s] {
+			continue
+		}
+		tried[s] = true
+		nt := t.Clone()
+		nt[b] = v
+		nz := zSet.Clone()
+		nz.Add(b)
+		e.dfs(nt, nz)
+	}
+}
+
+func stateKey(t relation.Tuple, zSet relation.AttrSet) string {
+	ps := zSet.Positions()
+	return zSet.Key() + "|" + t.Key(ps)
+}
+
+// UniqueFix computes the fix of t by (Σ, Dm) w.r.t. region (Z, Tc) via
+// exhaustive exploration. It errors when t is not marked by the region
+// (fixing an unmarked tuple is not justified, §3). On success it reports
+// the terminal tuple, the covered attribute set, and whether the fix is
+// unique.
+func UniqueFix(sigma *rule.Set, dm *master.Data, reg *Region, t relation.Tuple) (relation.Tuple, relation.AttrSet, bool, error) {
+	if !reg.Marks(t) {
+		return nil, relation.AttrSet{}, false, fmt.Errorf("fix: tuple %v is not marked by region %v", t, reg.Z())
+	}
+	res := Explore(sigma, dm, t, reg.ZSet(), 0)
+	if res.Truncated {
+		return nil, relation.AttrSet{}, false, fmt.Errorf("fix: state space exceeded cap while exploring fixes")
+	}
+	if !res.Unique() {
+		return nil, relation.AttrSet{}, false, nil
+	}
+	o := res.Outcomes[0]
+	return o.Tuple, o.Covered, true, nil
+}
+
+// IsCertainFix reports whether t has a certain fix by (Σ, Dm) w.r.t. the
+// region: a unique fix whose covered set includes every R attribute (§3).
+func IsCertainFix(sigma *rule.Set, dm *master.Data, reg *Region, t relation.Tuple) (relation.Tuple, bool, error) {
+	fixed, covered, unique, err := UniqueFix(sigma, dm, reg, t)
+	if err != nil || !unique {
+		return nil, false, err
+	}
+	return fixed, covered.Len() == sigma.Schema().Arity(), nil
+}

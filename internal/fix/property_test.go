@@ -1,0 +1,179 @@
+package fix_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/fix"
+	"repro/internal/master"
+	"repro/internal/pattern"
+	"repro/internal/relation"
+	"repro/internal/rule"
+)
+
+// randomFixInstance builds a small random (Σ, Dm, t, Z) quadruple over a
+// tiny domain, mirroring the analysis package's generator.
+func randomFixInstance(rng *rand.Rand) (*rule.Set, *master.Data, relation.Tuple, relation.AttrSet) {
+	nR := 4 + rng.Intn(3)
+	nM := 4 + rng.Intn(3)
+	rNames := make([]string, nR)
+	for i := range rNames {
+		rNames[i] = fmt.Sprintf("A%d", i)
+	}
+	mNames := make([]string, nM)
+	for i := range mNames {
+		mNames[i] = fmt.Sprintf("M%d", i)
+	}
+	r := relation.StringSchema("R", rNames...)
+	rm := relation.StringSchema("Rm", mNames...)
+
+	vals := []string{"a", "b"}
+	rel := relation.NewRelation(rm)
+	for i, n := 0, 2+rng.Intn(3); i < n; i++ {
+		tup := make(relation.Tuple, nM)
+		for j := range tup {
+			tup[j] = relation.String(vals[rng.Intn(len(vals))])
+		}
+		rel.MustAppend(tup)
+	}
+
+	sigma := rule.MustNewSet(r, rm)
+	for i, n := 0, 2+rng.Intn(5); i < n; i++ {
+		xLen := 1 + rng.Intn(2)
+		perm := rng.Perm(nR)
+		x := perm[:xLen]
+		b := perm[xLen]
+		xm := make([]int, xLen)
+		for j := range xm {
+			xm[j] = rng.Intn(nM)
+		}
+		var pPos []int
+		var pCells []pattern.Cell
+		for _, p := range rng.Perm(nR)[:rng.Intn(2)] {
+			pPos = append(pPos, p)
+			v := relation.String(vals[rng.Intn(len(vals))])
+			if rng.Intn(2) == 0 {
+				pCells = append(pCells, pattern.Eq(v))
+			} else {
+				pCells = append(pCells, pattern.Neq(v))
+			}
+		}
+		tp := pattern.MustTuple(pPos, pCells)
+		ru, err := rule.New(fmt.Sprintf("r%d", i), r, rm, x, xm, b, rng.Intn(nM), tp)
+		if err != nil {
+			continue
+		}
+		sigma.Add(ru)
+	}
+
+	t := make(relation.Tuple, nR)
+	for i := range t {
+		t[i] = relation.String(vals[rng.Intn(len(vals))])
+	}
+	zSet := relation.NewAttrSet(rng.Perm(nR)[:1+rng.Intn(nR-1)]...)
+	return sigma, master.MustNewForRules(rel, sigma), t, zSet
+}
+
+// TestTransFixMatchesExploreProperty: whenever the oracle says the fix is
+// unique, TransFix reaches exactly that terminal state; when TransFix
+// reports a conflict, the oracle must see multiple fixes.
+func TestTransFixMatchesExploreProperty(t *testing.T) {
+	iterations := 500
+	if testing.Short() {
+		iterations = 80
+	}
+	for seed := 0; seed < iterations; seed++ {
+		rng := rand.New(rand.NewSource(int64(9_000_000 + seed)))
+		sigma, dm, tup, zSet := randomFixInstance(rng)
+		g := rule.NewDepGraph(sigma)
+
+		res := fix.Explore(sigma, dm, tup, zSet, 0)
+		if res.Truncated {
+			continue
+		}
+		tf := tup.Clone()
+		zf := zSet.Clone()
+		_, err := fix.TransFix(g, dm, tf, &zf)
+
+		if err != nil {
+			if res.Unique() {
+				t.Fatalf("seed %d: TransFix conflict but oracle says unique\nΣ:\n%s", seed, sigma)
+			}
+			continue
+		}
+		if res.Unique() {
+			o := res.Outcomes[0]
+			if !tf.Equal(o.Tuple) {
+				t.Fatalf("seed %d: TransFix %v != oracle %v\nΣ:\n%s", seed, tf, o.Tuple, sigma)
+			}
+			if !zf.Equal(o.Covered) {
+				t.Fatalf("seed %d: covered %v != oracle %v\nΣ:\n%s",
+					seed, zf.Positions(), o.Covered.Positions(), sigma)
+			}
+		} else {
+			// Non-unique: TransFix must still have produced ONE of the
+			// reachable outcomes.
+			found := false
+			for _, o := range res.Outcomes {
+				if tf.Equal(o.Tuple) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("seed %d: TransFix result %v is not a reachable outcome\nΣ:\n%s", seed, tf, sigma)
+			}
+		}
+	}
+}
+
+// TestNaiveFixMatchesTransFixProperty: the ablation baseline agrees with
+// TransFix on random instances.
+func TestNaiveFixMatchesTransFixProperty(t *testing.T) {
+	iterations := 500
+	if testing.Short() {
+		iterations = 80
+	}
+	for seed := 0; seed < iterations; seed++ {
+		rng := rand.New(rand.NewSource(int64(5_000_000 + seed)))
+		sigma, dm, tup, zSet := randomFixInstance(rng)
+		g := rule.NewDepGraph(sigma)
+
+		ta, za := tup.Clone(), zSet.Clone()
+		tb, zb := tup.Clone(), zSet.Clone()
+		_, errA := fix.TransFix(g, dm, ta, &za)
+		_, errB := fix.NaiveFix(sigma, dm, tb, &zb)
+		if (errA == nil) != (errB == nil) {
+			t.Fatalf("seed %d: error mismatch %v vs %v\nΣ:\n%s", seed, errA, errB, sigma)
+		}
+		if errA == nil && (!ta.Equal(tb) || !za.Equal(zb)) {
+			t.Fatalf("seed %d: divergence\n transfix %v %v\n naive    %v %v\nΣ:\n%s",
+				seed, ta, za.Positions(), tb, zb.Positions(), sigma)
+		}
+	}
+}
+
+// TestExploreTerminalStatesAreFixpoints: no applicable pair remains at
+// any reported outcome.
+func TestExploreTerminalStatesAreFixpoints(t *testing.T) {
+	for seed := 0; seed < 200; seed++ {
+		rng := rand.New(rand.NewSource(int64(7_000_000 + seed)))
+		sigma, dm, tup, zSet := randomFixInstance(rng)
+		res := fix.Explore(sigma, dm, tup, zSet, 0)
+		if res.Truncated {
+			continue
+		}
+		for _, o := range res.Outcomes {
+			if pairs := fix.ApplicablePairs(sigma, dm, o.Tuple, o.Covered); len(pairs) != 0 {
+				t.Fatalf("seed %d: outcome %v still has %d applicable pairs", seed, o.Tuple, len(pairs))
+			}
+			// The base Z values are protected throughout.
+			for _, p := range zSet.Positions() {
+				if !o.Tuple[p].Equal(tup[p]) {
+					t.Fatalf("seed %d: base attribute %d changed", seed, p)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,113 @@
+// Package fix implements the dynamic semantics of the paper (§3): regions
+// (Z, Tc), region-relative rule application t →((Z,Tc),ϕ,tm) t', region
+// extension ext(Z, Tc, ϕ), fix sequences and their terminal states, unique
+// and certain fixes, and procedure TransFix of §5.1 (Fig. 5).
+//
+// The package provides two engines over the same semantics:
+//
+//   - Explore: an exhaustive, memoized enumeration of every reachable
+//     terminal state of the (nondeterministic) fixing process. It is the
+//     ground-truth oracle — exponential in the worst case (the problems are
+//     coNP-hard, Thm 1/2) but exact, and fast on realistic rule sets.
+//   - TransFix: the paper's deterministic O(|Σ|²) fixing procedure used in
+//     production by the CertainFix framework, valid once consistency has
+//     been established.
+package fix
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/pattern"
+	"repro/internal/relation"
+)
+
+// Region is a pair (Z, Tc): a list Z of distinct attribute positions of R
+// and a pattern tableau Tc over Z. A tuple t is "marked" by the region if
+// it matches some pattern tuple of Tc; fixing t is justified only when
+// t[Z] is assured correct (validated) and t is marked (§3).
+type Region struct {
+	z    []int
+	zSet relation.AttrSet
+	tc   *pattern.Tableau
+}
+
+// NewRegion builds a region. Positions must be distinct; every pattern row
+// must constrain only attributes inside Z.
+func NewRegion(z []int, tc *pattern.Tableau) (*Region, error) {
+	zSet := relation.NewAttrSet(z...)
+	if zSet.Len() != len(z) {
+		return nil, fmt.Errorf("fix: region Z has duplicate attributes: %v", z)
+	}
+	if tc == nil {
+		tc = pattern.NewTableau()
+	}
+	for _, row := range tc.Rows() {
+		for _, p := range row.Positions() {
+			if !zSet.Has(p) {
+				return nil, fmt.Errorf("fix: region tableau constrains attribute %d outside Z %v", p, z)
+			}
+		}
+	}
+	return &Region{z: append([]int(nil), z...), zSet: zSet, tc: tc}, nil
+}
+
+// MustRegion is NewRegion that panics on error; for fixtures.
+func MustRegion(z []int, tc *pattern.Tableau) *Region {
+	r, err := NewRegion(z, tc)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// Z returns the region's attribute list (copy).
+func (r *Region) Z() []int { return append([]int(nil), r.z...) }
+
+// ZSet returns the region's attribute set (copy).
+func (r *Region) ZSet() relation.AttrSet { return r.zSet.Clone() }
+
+// Tableau returns the region's pattern tableau.
+func (r *Region) Tableau() *pattern.Tableau { return r.tc }
+
+// Marks reports whether t matches some pattern tuple of Tc.
+func (r *Region) Marks(t relation.Tuple) bool { return r.tc.Marks(t) }
+
+// Has reports whether attribute position p is in Z.
+func (r *Region) Has(p int) bool { return r.zSet.Has(p) }
+
+// Extend implements ext(Z, Tc, ϕ) (§3): after applying a rule with rhs B,
+// t[B] is validated as a logical consequence, so B joins Z and every
+// pattern row is (implicitly) widened with a wildcard on B. Extending by
+// an attribute already in Z returns the region unchanged.
+func (r *Region) Extend(b int) *Region {
+	if r.zSet.Has(b) {
+		return r
+	}
+	nz := append(append([]int(nil), r.z...), b)
+	ns := r.zSet.Clone()
+	ns.Add(b)
+	// Wildcards are implicit in pattern.Tuple (unmentioned attributes are
+	// unconstrained), so the tableau itself is reused.
+	return &Region{z: nz, zSet: ns, tc: r.tc}
+}
+
+// WithTableau returns a region over the same Z with a different tableau.
+func (r *Region) WithTableau(tc *pattern.Tableau) (*Region, error) {
+	return NewRegion(r.z, tc)
+}
+
+// SingleRow builds the region (Z, {tc}) for row i of the tableau; used by
+// the checkers, which test pattern rows one at a time (Thm 4 proof).
+func (r *Region) SingleRow(i int) *Region {
+	return &Region{z: r.z, zSet: r.zSet, tc: pattern.NewTableau(r.tc.Row(i))}
+}
+
+// Format renders the region with schema names, e.g. "(zip, AC | 2 rows)".
+func (r *Region) Format(schema *relation.Schema) string {
+	names := make([]string, len(r.z))
+	for i, p := range r.z {
+		names[i] = schema.Attr(p).Name
+	}
+	return fmt.Sprintf("(%s | %d pattern rows)", strings.Join(names, ", "), r.tc.Len())
+}

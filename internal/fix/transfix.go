@@ -1,0 +1,122 @@
+package fix
+
+import (
+	"fmt"
+
+	"repro/internal/master"
+	"repro/internal/relation"
+	"repro/internal/rule"
+)
+
+// ConflictError reports that two applicable rule/master pairs disagree on
+// the value of one attribute — the inconsistency witness of §4. TransFix
+// assumes (Σ, Dm) is consistent relative to the working region; when the
+// assumption fails it surfaces this error instead of guessing.
+type ConflictError struct {
+	Attr   int
+	Values []relation.Value
+}
+
+// Error implements error.
+func (e *ConflictError) Error() string {
+	return fmt.Sprintf("fix: conflicting certain values %v for attribute %d", e.Values, e.Attr)
+}
+
+// node processing states for TransFix.
+const (
+	nodeUnusable = iota // premise not validated, not yet reachable
+	nodeInUset          // candidate: reachable but premise incomplete
+	nodeInVset          // usable: premise validated, awaiting processing
+	nodeDone            // processed; never revisited (premise values frozen)
+)
+
+// TransFix is procedure TransFix of §5.1 (Fig. 5). Given a tuple t whose
+// attributes zSet are validated, it applies editing rules in dependency
+// order, fixing attributes with master values and extending zSet in place.
+// It returns the positions it newly validated, in application order.
+//
+// The dependency graph is computed once per Σ (rule.NewDepGraph) and
+// shared across calls. Each rule is processed at most once: premise values
+// are frozen once validated, so re-examination can never change the
+// outcome. Complexity O(|V|·|Σ|), as analyzed in the paper.
+func TransFix(g *rule.DepGraph, dm *master.Data, t relation.Tuple, zSet *relation.AttrSet) ([]int, error) {
+	sigma := g.Set()
+	n := sigma.Len()
+	state := make([]int, n)
+	var vset []int
+
+	// Lines 1–4: collect rules whose premise X ∪ Xp is already validated.
+	for v := 0; v < n; v++ {
+		if zSet.ContainsSet(sigma.Rule(v).PremiseSet()) {
+			state[v] = nodeInVset
+			vset = append(vset, v)
+		}
+	}
+
+	var fixed []int
+	// Lines 5–15: consume vset, upgrading candidates as attributes become
+	// validated.
+	for len(vset) > 0 {
+		v := vset[len(vset)-1]
+		vset = vset[:len(vset)-1]
+		state[v] = nodeDone
+		rv := sigma.Rule(v)
+
+		if !zSet.Has(rv.RHS()) && rv.MatchesPattern(t) && len(dm.RHSValues(rv, t)) > 0 {
+			values := certainValues(sigma, dm, t, *zSet, rv.RHS())
+			if len(values) > 1 {
+				return fixed, &ConflictError{Attr: rv.RHS(), Values: values}
+			}
+			t[rv.RHS()] = values[0]
+			zSet.Add(rv.RHS())
+			fixed = append(fixed, rv.RHS())
+		}
+
+		// Lines 9–15: examine successors of v.
+		for _, u := range g.Successors(v) {
+			switch state[u] {
+			case nodeInUset:
+				if zSet.ContainsSet(sigma.Rule(u).PremiseSet()) {
+					state[u] = nodeInVset
+					vset = append(vset, u)
+				}
+			case nodeUnusable:
+				if zSet.ContainsSet(sigma.Rule(u).PremiseSet()) {
+					state[u] = nodeInVset
+					vset = append(vset, u)
+				} else {
+					state[u] = nodeInUset
+				}
+			}
+		}
+	}
+	return fixed, nil
+}
+
+// certainValues collects the distinct values that currently-applicable
+// rules (premise validated, pattern matched, master match found) would
+// assign to attribute b. More than one value is a consistency violation at
+// the current state; TransFix and NaiveFix refuse to pick among them.
+// Rules whose premise is not yet validated do not participate — ordering
+// conflicts across states are the checkers' concern (§4), not the fixer's.
+func certainValues(sigma *rule.Set, dm *master.Data, t relation.Tuple, zSet relation.AttrSet, b int) []relation.Value {
+	var values []relation.Value
+	for _, ru := range sigma.RulesFixing(b) {
+		if !zSet.ContainsSet(ru.PremiseSet()) || !ru.MatchesPattern(t) {
+			continue
+		}
+		for _, v := range dm.RHSValues(ru, t) {
+			dup := false
+			for _, w := range values {
+				if w.Equal(v) {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				values = append(values, v)
+			}
+		}
+	}
+	return values
+}

@@ -1,0 +1,174 @@
+// Package master wraps a master relation Dm with hash indexes keyed on the
+// Xm attribute lists of a rule set. The paper's complexity analysis of
+// TransFix (§5.1) assumes "constant time to check whether there exists a
+// master tuple that is applicable to t with an eR, by using a hash table
+// that stores tm[Xm] as a key" — this package provides exactly that.
+//
+// Master data is assumed consistent and complete (§2, citing [31]); this
+// package treats it as immutable after construction, which also makes all
+// lookups safe for concurrent use.
+package master
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/relation"
+	"repro/internal/rule"
+)
+
+// Data is an immutable master relation plus lookup indexes.
+type Data struct {
+	rel     *relation.Relation
+	indexes map[string]map[string][]int // posKey(Xm) -> valueKey -> tuple ids
+}
+
+// New wraps a master relation. Indexes are added with Index or IndexFor.
+func New(rel *relation.Relation) *Data {
+	return &Data{rel: rel, indexes: map[string]map[string][]int{}}
+}
+
+// NewForRules wraps a master relation and eagerly builds one index per
+// distinct Xm list in Σ.
+func NewForRules(rel *relation.Relation, sigma *rule.Set) (*Data, error) {
+	if !sigma.MasterSchema().Equal(rel.Schema()) {
+		return nil, fmt.Errorf("master: relation schema %s does not match Σ's master schema %s",
+			rel.Schema().Name(), sigma.MasterSchema().Name())
+	}
+	d := New(rel)
+	for _, ru := range sigma.Rules() {
+		d.Index(ru.LHSM())
+	}
+	return d, nil
+}
+
+// MustNewForRules is NewForRules that panics on error.
+func MustNewForRules(rel *relation.Relation, sigma *rule.Set) *Data {
+	d, err := NewForRules(rel, sigma)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// Relation returns the wrapped master relation.
+func (d *Data) Relation() *relation.Relation { return d.rel }
+
+// Schema returns the master schema Rm.
+func (d *Data) Schema() *relation.Schema { return d.rel.Schema() }
+
+// Len returns |Dm|.
+func (d *Data) Len() int { return d.rel.Len() }
+
+// Tuple returns master tuple i.
+func (d *Data) Tuple(i int) relation.Tuple { return d.rel.Tuple(i) }
+
+// Index builds (or reuses) a hash index over the Rm positions xm.
+// Not safe to call concurrently with lookups; build indexes up front.
+func (d *Data) Index(xm []int) {
+	pk := posKey(xm)
+	if _, ok := d.indexes[pk]; ok {
+		return
+	}
+	idx := make(map[string][]int, d.rel.Len())
+	for i, tm := range d.rel.Tuples() {
+		k := tm.Key(xm)
+		idx[k] = append(idx[k], i)
+	}
+	d.indexes[pk] = idx
+}
+
+// Lookup returns the ids of master tuples tm with tm[xm] equal to the
+// projection values[i] (aligned with xm). It uses a prebuilt index when
+// available and falls back to a scan otherwise.
+func (d *Data) Lookup(xm []int, values []relation.Value) []int {
+	key := relation.Tuple(values).Key(seq(len(values)))
+	if idx, ok := d.indexes[posKey(xm)]; ok {
+		return idx[key]
+	}
+	var out []int
+	for i, tm := range d.rel.Tuples() {
+		if tm.Key(xm) == key {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// MatchIDs returns the ids of master tuples tm with t[X] = tm[Xm] for the
+// rule's (X, Xm) correspondence. It does not test the rule's pattern
+// (patterns constrain t, not tm).
+func (d *Data) MatchIDs(ru *rule.Rule, t relation.Tuple) []int {
+	xm := ru.LHSM()
+	key := t.Key(ru.LHS())
+	if idx, ok := d.indexes[posKey(xm)]; ok {
+		return idx[key]
+	}
+	x := ru.LHS()
+	var out []int
+	for i, tm := range d.rel.Tuples() {
+		if t.ProjectMatches(x, tm, xm) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// FirstMatch returns the first master tuple applicable with ru to t
+// (pattern checked), with ok=false if none exists.
+func (d *Data) FirstMatch(ru *rule.Rule, t relation.Tuple) (relation.Tuple, int, bool) {
+	if !ru.MatchesPattern(t) {
+		return nil, -1, false
+	}
+	ids := d.MatchIDs(ru, t)
+	if len(ids) == 0 {
+		return nil, -1, false
+	}
+	return d.rel.Tuple(ids[0]), ids[0], true
+}
+
+// AppliesSomeTuple reports whether any (ru, tm) pair applies to t.
+func (d *Data) AppliesSomeTuple(ru *rule.Rule, t relation.Tuple) bool {
+	_, _, ok := d.FirstMatch(ru, t)
+	return ok
+}
+
+// RHSValues returns the distinct values tm[Bm] over all master tuples
+// applicable with ru to t, in first-seen order. Multiple distinct values
+// indicate a same-rule conflict (two master tuples disagree on the fix).
+func (d *Data) RHSValues(ru *rule.Rule, t relation.Tuple) []relation.Value {
+	if !ru.MatchesPattern(t) {
+		return nil
+	}
+	ids := d.MatchIDs(ru, t)
+	var out []relation.Value
+	seen := map[relation.Value]bool{}
+	for _, id := range ids {
+		v := d.rel.Tuple(id)[ru.RHSM()]
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func posKey(ps []int) string {
+	var b strings.Builder
+	for i, p := range ps {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(p))
+	}
+	return b.String()
+}
+
+func seq(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}

@@ -1,0 +1,214 @@
+// Package monitor implements the interactive data-monitoring framework of
+// §5 (Fig. 2/3): algorithm CertainFix and its optimized variant
+// CertainFix+ (Suggest+ with the BDD cache). An input tuple is fixed at
+// the point of entry by alternating user assertions (a User implementation
+// answers suggestions with asserted-correct attribute values) with
+// TransFix cascades, until every attribute is validated — by the users or
+// by editing rules and master data.
+package monitor
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/bdd"
+	"repro/internal/fix"
+	"repro/internal/master"
+	"repro/internal/relation"
+	"repro/internal/rule"
+	"repro/internal/suggest"
+)
+
+// User supplies feedback: given the current tuple and a suggested
+// attribute set, it returns the attributes it asserts correct together
+// with their correct values (aligned slices). Returning a different set
+// than suggested is allowed (§5: "S may not necessarily be the same as
+// sug"); returning no attributes aborts the fix.
+type User interface {
+	Assert(t relation.Tuple, suggested []int) (s []int, values []relation.Value)
+}
+
+// SimulatedUser answers every suggestion with the ground-truth values, the
+// protocol of §6 ("user feedback was simulated by providing the correct
+// values of the given suggestions").
+type SimulatedUser struct {
+	Truth relation.Tuple
+}
+
+// Assert implements User.
+func (u SimulatedUser) Assert(_ relation.Tuple, suggested []int) ([]int, []relation.Value) {
+	values := make([]relation.Value, len(suggested))
+	for i, p := range suggested {
+		values[i] = u.Truth[p]
+	}
+	return suggested, values
+}
+
+// RoundStat snapshots the state after one round of interaction.
+type RoundStat struct {
+	Suggested     []int            // attributes recommended this round
+	UserValidated relation.AttrSet // everything the users asserted so far
+	AutoFixed     relation.AttrSet // everything rules fixed so far
+	Tuple         relation.Tuple   // tuple state at end of round
+}
+
+// Result is the outcome of fixing one tuple.
+type Result struct {
+	Tuple         relation.Tuple // final tuple
+	Rounds        int            // user interaction rounds used
+	Completed     bool           // every attribute validated
+	UserValidated relation.AttrSet
+	AutoFixed     relation.AttrSet
+	PerRound      []RoundStat
+}
+
+// Config tunes the monitor.
+type Config struct {
+	// InitialRegion selects which precomputed certain region seeds the
+	// first suggestion: 0 = highest quality (CRHQ), the Exp-1(2) CRMQ
+	// variant passes the median index.
+	InitialRegion int
+	// UseBDD enables the Suggest+ cache (CertainFix+ of §5.2).
+	UseBDD bool
+	// BDDMaxNodes bounds the cache (0 = default).
+	BDDMaxNodes int
+	// MaxRounds caps interaction rounds (0 = arity + 1).
+	MaxRounds int
+}
+
+// Monitor fixes input tuples for a fixed (Σ, Dm). Safe for concurrent use
+// by multiple goroutines (the BDD cache is internally locked).
+type Monitor struct {
+	deriver *suggest.Deriver
+	graph   *rule.DepGraph
+	initial []suggest.Candidate
+	cache   *bdd.Cache
+	cfg     Config
+}
+
+// New builds a monitor: it precomputes the dependency graph, the certain
+// regions (CompCRegion) and, for CertainFix+, the BDD cache. These are
+// computed once and reused for every input tuple, as the paper prescribes.
+func New(sigma *rule.Set, dm *master.Data, cfg Config) (*Monitor, error) {
+	d := suggest.NewDeriver(sigma, dm)
+	cands := d.CompCRegions()
+	if len(cands) == 0 {
+		return nil, fmt.Errorf("monitor: no certain region derivable from (Σ, Dm); every input would need full manual validation")
+	}
+	// Widen the quality spectrum with the greedy region when it differs:
+	// the candidate list then always offers lower-quality alternatives
+	// (the CRMQ selection of §6 Exp-1(2)).
+	g := d.GRegion()
+	distinct := true
+	for _, c := range cands {
+		if c.ZSet.Equal(g.ZSet) {
+			distinct = false
+			break
+		}
+	}
+	if distinct && len(g.Z) > 0 {
+		cands = append(cands, g)
+		sort.SliceStable(cands, func(i, j int) bool { return cands[i].Quality > cands[j].Quality })
+	}
+	if cfg.InitialRegion >= len(cands) {
+		cfg.InitialRegion = len(cands) - 1
+	}
+	m := &Monitor{
+		deriver: d,
+		graph:   rule.NewDepGraph(sigma),
+		initial: cands,
+		cfg:     cfg,
+	}
+	if cfg.UseBDD {
+		m.cache = bdd.NewCache(cfg.BDDMaxNodes)
+	}
+	return m, nil
+}
+
+// Deriver exposes the underlying suggestion engine.
+func (m *Monitor) Deriver() *suggest.Deriver { return m.deriver }
+
+// DepGraph exposes the precomputed rule dependency graph.
+func (m *Monitor) DepGraph() *rule.DepGraph { return m.graph }
+
+// Regions returns the precomputed certain-region candidates, best first.
+func (m *Monitor) Regions() []suggest.Candidate { return m.initial }
+
+// CacheStats reports BDD hits/misses (zero when UseBDD is off).
+func (m *Monitor) CacheStats() (hits, misses int) {
+	if m.cache == nil {
+		return 0, 0
+	}
+	return m.cache.Stats()
+}
+
+// Fix runs algorithm CertainFix (Fig. 3) on one tuple by driving a
+// Session with the User callback: each round recommends a suggestion
+// (line 4), collects the asserted attributes and values (line 5), checks
+// for a unique fix and cascades TransFix (lines 6–7), finishing when Z'
+// covers R (lines 8–10). The input tuple is not mutated.
+//
+// Two consecutive rounds in which TransFix fixes nothing indicate the
+// tuple lies outside the master data's reach (a fresh entity); the
+// framework then asks for the remainder at once instead of probing one
+// candidate key per round. This bounds interactions the way §6 reports
+// (≤ 3 rounds for dblp, ≤ 4 for hosp). Conflicting rules are never
+// resolved by guessing: the disputed attribute joins the next suggestion.
+func (m *Monitor) Fix(input relation.Tuple, user User) (Result, error) {
+	sess, err := m.NewSession(input)
+	if err != nil {
+		return Result{}, err
+	}
+	for !sess.Done() {
+		attrs, values := user.Assert(sess.t, sess.Suggested())
+		if err := sess.Provide(attrs, values); err != nil {
+			return Result{}, err
+		}
+	}
+	return sess.Result(), nil
+}
+
+// nextSuggestion runs Suggest, or Suggest+ when the BDD cache is enabled.
+func (m *Monitor) nextSuggestion(t relation.Tuple, zSet relation.AttrSet, cursor *bdd.Cursor) []int {
+	if cursor == nil {
+		return m.deriver.Suggest(t, zSet).S
+	}
+	return cursor.Next(
+		func(s []int) bool { return allOutside(s, zSet) && m.deriver.IsSuggestionFast(zSet, s) },
+		func() []int { return m.deriver.Suggest(t, zSet).S },
+	)
+}
+
+// conflictedAttrs finds attributes whose applicable rules currently
+// disagree, so they can be routed to the users.
+func (m *Monitor) conflictedAttrs(t relation.Tuple, zSet relation.AttrSet) []int {
+	assignments := fix.ApplicableAssignments(m.deriver.Sigma(), m.deriver.Master(), t, zSet)
+	var out []int
+	for b, vs := range assignments {
+		if len(vs) > 1 {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+func allOutside(s []int, zSet relation.AttrSet) bool {
+	for _, p := range s {
+		if zSet.Has(p) {
+			return false
+		}
+	}
+	return true
+}
+
+func dedupInts(xs []int) []int {
+	seen := map[int]bool{}
+	out := xs[:0]
+	for _, x := range xs {
+		if !seen[x] {
+			seen[x] = true
+			out = append(out, x)
+		}
+	}
+	return out
+}

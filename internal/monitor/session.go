@@ -1,0 +1,174 @@
+package monitor
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/bdd"
+	"repro/internal/fix"
+	"repro/internal/relation"
+)
+
+// Session drives the interactive fixing of a single tuple one round at a
+// time — the state machine under algorithm CertainFix, exposed for
+// frontends that cannot model the user as a callback (forms, REPLs,
+// network services). The flow is:
+//
+//	sess := m.NewSession(t)
+//	for !sess.Done() {
+//	    attrs := sess.Suggested()          // ask the user about these
+//	    err := sess.Provide(attrs, values) // their asserted values
+//	    ...
+//	}
+//	result := sess.Result()
+type Session struct {
+	m          *Monitor
+	t          relation.Tuple
+	zSet       relation.AttrSet
+	userSet    relation.AttrSet
+	autoSet    relation.AttrSet
+	sug        []int
+	cursor     *bdd.Cursor
+	noProgress int
+	rounds     int
+	maxRounds  int
+	done       bool
+	perRound   []RoundStat
+}
+
+// NewSession starts a fixing session for one tuple; the input is copied.
+func (m *Monitor) NewSession(input relation.Tuple) (*Session, error) {
+	r := m.deriver.Sigma().Schema()
+	if len(input) != r.Arity() {
+		return nil, fmt.Errorf("monitor: tuple arity %d does not match schema %s", len(input), r)
+	}
+	maxRounds := m.cfg.MaxRounds
+	if maxRounds <= 0 {
+		maxRounds = r.Arity() + 1
+	}
+	s := &Session{
+		m:         m,
+		t:         input.Clone(),
+		maxRounds: maxRounds,
+		sug:       m.initial[m.cfg.InitialRegion].Z,
+	}
+	if m.cache != nil {
+		s.cursor = m.cache.Cursor()
+	}
+	return s, nil
+}
+
+// Suggested returns the attribute positions the users should assert this
+// round (copy). Empty once the session is done.
+func (s *Session) Suggested() []int {
+	if s.done {
+		return nil
+	}
+	return append([]int(nil), s.sug...)
+}
+
+// Done reports whether every attribute is validated (or the round cap
+// was hit).
+func (s *Session) Done() bool { return s.done }
+
+// Rounds returns the interaction rounds consumed so far.
+func (s *Session) Rounds() int { return s.rounds }
+
+// Tuple returns the current tuple state (copy).
+func (s *Session) Tuple() relation.Tuple { return s.t.Clone() }
+
+// Validated returns the currently validated attribute set (copy).
+func (s *Session) Validated() relation.AttrSet { return s.zSet.Clone() }
+
+// Provide runs one round: the users assert t[attrs] = values (aligned
+// slices; attrs may differ from Suggested). The session applies the
+// assertions, checks consistency, cascades certain fixes (TransFix) and
+// prepares the next suggestion.
+func (s *Session) Provide(attrs []int, values []relation.Value) error {
+	if s.done {
+		return errors.New("monitor: session already done")
+	}
+	if len(attrs) != len(values) {
+		return fmt.Errorf("monitor: %d attributes but %d values", len(attrs), len(values))
+	}
+	if len(attrs) == 0 {
+		s.done = true // the users declined: stop without completing
+		return nil
+	}
+	r := s.m.deriver.Sigma().Schema()
+	for i, p := range attrs {
+		if p < 0 || p >= r.Arity() {
+			return fmt.Errorf("monitor: attribute position %d out of range", p)
+		}
+		s.t[p] = values[i]
+		s.zSet.Add(p)
+		s.userSet.Add(p)
+	}
+	s.rounds++
+
+	// Check t[Z'] leads to a unique fix, then cascade; conflicts are
+	// routed back to the users rather than guessed.
+	var conflicted []int
+	if s.m.deriver.ConsistentRow(s.zSet.Positions(), s.t.Project(s.zSet.Positions())) {
+		fixed, err := fix.TransFix(s.m.graph, s.m.deriver.Master(), s.t, &s.zSet)
+		s.autoSet.AddAll(fixed)
+		if len(fixed) == 0 {
+			s.noProgress++
+		} else {
+			s.noProgress = 0
+		}
+		if err != nil {
+			var ce *fix.ConflictError
+			if !errors.As(err, &ce) {
+				return err
+			}
+			conflicted = append(conflicted, ce.Attr)
+		}
+	} else {
+		conflicted = s.m.conflictedAttrs(s.t, s.zSet)
+	}
+
+	s.perRound = append(s.perRound, RoundStat{
+		Suggested:     s.sug,
+		UserValidated: s.userSet.Clone(),
+		AutoFixed:     s.autoSet.Clone(),
+		Tuple:         s.t.Clone(),
+	})
+
+	if s.zSet.Len() == r.Arity() || s.rounds >= s.maxRounds {
+		s.done = true
+		return nil
+	}
+
+	// Next suggestion: Suggest / Suggest+, the conflict escalations, and
+	// the mop-up rule after two consecutive no-progress rounds (see
+	// Monitor's documentation).
+	if s.noProgress >= 2 {
+		s.sug = nil
+	} else {
+		sug := s.m.nextSuggestion(s.t, s.zSet, s.cursor)
+		sug = append(sug, conflicted...)
+		s.sug = dedupInts(sug)
+	}
+	if len(s.sug) == 0 {
+		for p := 0; p < r.Arity(); p++ {
+			if !s.zSet.Has(p) {
+				s.sug = append(s.sug, p)
+			}
+		}
+	}
+	return nil
+}
+
+// Result summarizes the session so far (or finally, once Done).
+func (s *Session) Result() Result {
+	r := s.m.deriver.Sigma().Schema()
+	return Result{
+		Tuple:         s.t.Clone(),
+		Rounds:        s.rounds,
+		Completed:     s.zSet.Len() == r.Arity(),
+		UserValidated: s.userSet.Clone(),
+		AutoFixed:     s.autoSet.Clone(),
+		PerRound:      s.perRound,
+	}
+}

@@ -1,0 +1,102 @@
+// Package paperex reconstructs the paper's running example (Fig. 1,
+// Examples 1–12): the supplier schema R, the master schema Rm, the master
+// relation Dm with tuples s1 and s2, the input tuples t1–t4, and the rule
+// set Σ0 of Example 11 (nine editing rules ϕ1–ϕ9). Tests across the
+// repository validate the implementation against the paper's worked
+// examples through this package, and the examples/ programs use it as
+// demo data.
+package paperex
+
+import (
+	"repro/internal/relation"
+	"repro/internal/rule"
+)
+
+// SchemaR is the input (supplier) schema of Fig. 1a:
+// name (FN, LN), phone (AC, phn, type), address (str, city, zip), item.
+func SchemaR() *relation.Schema {
+	return relation.StringSchema("R",
+		"FN", "LN", "AC", "phn", "type", "str", "city", "zip", "item")
+}
+
+// SchemaRm is the master schema of Fig. 1b:
+// name, home phone, mobile phone, address, date of birth, gender.
+func SchemaRm() *relation.Schema {
+	return relation.StringSchema("Rm",
+		"FN", "LN", "AC", "Hphn", "Mphn", "str", "city", "zip", "DOB", "gender")
+}
+
+// MasterTuples returns the master tuples s1, s2 of Fig. 1b.
+func MasterTuples() (s1, s2 relation.Tuple) {
+	s1 = relation.StringTuple(
+		"Robert", "Brady", "131", "6884563", "079172485",
+		"51 Elm Row", "Edi", "EH7 4AH", "11/11/55", "M")
+	s2 = relation.StringTuple(
+		"Mark", "Smith", "020", "6884563", "075568485",
+		"20 Baker St.", "Lnd", "NW1 6XE", "25/12/67", "M")
+	return s1, s2
+}
+
+// MasterRelation returns Dm = {s1, s2}.
+func MasterRelation() *relation.Relation {
+	dm := relation.NewRelation(SchemaRm())
+	s1, s2 := MasterTuples()
+	dm.MustAppend(s1, s2)
+	return dm
+}
+
+// InputT1 is tuple t1 of Fig. 1a: Bob Brady with an inconsistent pair
+// t1[AC] = 020 vs t1[city] = Edi and a matching master zip. The paper
+// fixes AC, str via (ϕ1, s1) and standardizes FN via (ϕ4, s1).
+func InputT1() relation.Tuple {
+	return relation.StringTuple(
+		"Bob", "Brady", "020", "079172485", "2",
+		"501 Elm St.", "Edi", "EH7 4AH", "CD")
+}
+
+// InputT2 is tuple t2: str and zip missing, city inconsistent; fixed and
+// enriched from s1 via ϕ6–ϕ8 (eR3 of Example 2) given type, AC, phn.
+func InputT2() relation.Tuple {
+	return relation.StringTuple(
+		"Robert", "Brady", "131", "6884563", "1",
+		"", "Ldn", "", "CD")
+}
+
+// InputT3 is tuple t3 of Example 5: its zip points at s1 while its
+// (AC, phn, type) points at s2, so ϕ3 (via zip) and ϕ7 (via AC, phn)
+// suggest conflicting cities — no unique fix once both are enabled.
+func InputT3() relation.Tuple {
+	return relation.StringTuple(
+		"Mary", "Burn", "020", "6884563", "1",
+		"49 Elm Row", "Lnd", "EH7 4AH", "CD")
+}
+
+// InputT4 is tuple t4 of Example 5: no rule/master pair applies at all.
+func InputT4() relation.Tuple {
+	return relation.StringTuple(
+		"Joe", "Blake", "0800", "5556666", "1",
+		"1 Main St", "NYC", "ZZ9 9ZZ", "TV")
+}
+
+// RulesDSL is Σ0 of Example 11 in this repository's rule DSL.
+const RulesDSL = `
+# Σ0: the nine editing rules of Example 11.
+rule phi1: (zip ; zip) -> (AC ; AC)
+rule phi2: (zip ; zip) -> (str ; str)
+rule phi3: (zip ; zip) -> (city ; city)
+rule phi4: (phn ; Mphn) -> (FN ; FN) when type = "2"
+rule phi5: (phn ; Mphn) -> (LN ; LN) when type = "2"
+rule phi6: (AC, phn ; AC, Hphn) -> (str ; str) when type = "1", AC != "0800"
+rule phi7: (AC, phn ; AC, Hphn) -> (city ; city) when type = "1", AC != "0800"
+rule phi8: (AC, phn ; AC, Hphn) -> (zip ; zip) when type = "1", AC != "0800"
+rule phi9: (AC ; AC) -> (city ; city) when AC = "0800"
+`
+
+// Sigma0 parses and returns the rule set Σ0 over (SchemaR, SchemaRm).
+func Sigma0() *rule.Set {
+	s, err := rule.ParseRuleSet(SchemaR(), SchemaRm(), RulesDSL)
+	if err != nil {
+		panic("paperex: parsing Σ0: " + err.Error())
+	}
+	return s
+}

@@ -1,0 +1,104 @@
+package pattern
+
+import (
+	"strings"
+
+	"repro/internal/relation"
+)
+
+// Tableau is a pattern tableau Tc: a set of pattern tuples, normally all
+// over the same attribute list Z of a region (§3). A data tuple is "marked"
+// by a region when it matches at least one pattern tuple.
+type Tableau struct {
+	rows []Tuple
+}
+
+// NewTableau builds a tableau from pattern tuples, deduplicating rows.
+func NewTableau(rows ...Tuple) *Tableau {
+	t := &Tableau{}
+	t.Add(rows...)
+	return t
+}
+
+// Add appends pattern tuples, skipping duplicates.
+func (tb *Tableau) Add(rows ...Tuple) {
+	seen := make(map[string]bool, len(tb.rows))
+	for _, r := range tb.rows {
+		seen[r.Key()] = true
+	}
+	for _, r := range rows {
+		k := r.Key()
+		if !seen[k] {
+			seen[k] = true
+			tb.rows = append(tb.rows, r)
+		}
+	}
+}
+
+// Len returns the number of pattern tuples.
+func (tb *Tableau) Len() int { return len(tb.rows) }
+
+// Row returns the i-th pattern tuple.
+func (tb *Tableau) Row(i int) Tuple { return tb.rows[i] }
+
+// Rows returns the backing row slice (not a copy).
+func (tb *Tableau) Rows() []Tuple { return tb.rows }
+
+// Marks reports whether t matches at least one pattern tuple, i.e. t is
+// marked by the region carrying this tableau.
+func (tb *Tableau) Marks(t relation.Tuple) bool {
+	for _, r := range tb.rows {
+		if r.Matches(t) {
+			return true
+		}
+	}
+	return false
+}
+
+// MatchingRows returns the indexes of all pattern tuples matching t.
+func (tb *Tableau) MatchingRows(t relation.Tuple) []int {
+	var out []int
+	for i, r := range tb.rows {
+		if r.Matches(t) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// IsConcrete reports whether every row is concrete (constants only).
+func (tb *Tableau) IsConcrete() bool {
+	for _, r := range tb.rows {
+		if !r.IsConcrete() {
+			return false
+		}
+	}
+	return true
+}
+
+// IsPositive reports whether no row contains a negation.
+func (tb *Tableau) IsPositive() bool {
+	for _, r := range tb.rows {
+		if !r.IsPositive() {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns an independent tableau with the same rows.
+func (tb *Tableau) Clone() *Tableau {
+	return &Tableau{rows: append([]Tuple(nil), tb.rows...)}
+}
+
+// Format renders the tableau one row per line using schema names.
+func (tb *Tableau) Format(schema *relation.Schema) string {
+	var b strings.Builder
+	for i, r := range tb.rows {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		b.WriteString(r.Format(schema))
+	}
+	return b.String()
+}

@@ -1,0 +1,115 @@
+package relation
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+)
+
+// Relation is an in-memory instance of a schema: an ordered bag of tuples.
+type Relation struct {
+	schema *Schema
+	tuples []Tuple
+}
+
+// NewRelation creates an empty relation over the schema.
+func NewRelation(schema *Schema) *Relation {
+	return &Relation{schema: schema}
+}
+
+// Schema returns the relation's schema.
+func (r *Relation) Schema() *Schema { return r.schema }
+
+// Len returns the number of tuples.
+func (r *Relation) Len() int { return len(r.tuples) }
+
+// Tuple returns the i-th tuple (not a copy).
+func (r *Relation) Tuple(i int) Tuple { return r.tuples[i] }
+
+// Tuples returns the backing tuple slice (not a copy); callers must not
+// mutate unless they own the relation.
+func (r *Relation) Tuples() []Tuple { return r.tuples }
+
+// Append adds tuples after checking arity.
+func (r *Relation) Append(ts ...Tuple) error {
+	for _, t := range ts {
+		if len(t) != r.schema.Arity() {
+			return fmt.Errorf("relation: %s expects arity %d, got tuple of arity %d",
+				r.schema.Name(), r.schema.Arity(), len(t))
+		}
+		r.tuples = append(r.tuples, t)
+	}
+	return nil
+}
+
+// MustAppend is Append that panics on arity mismatch; for fixtures.
+func (r *Relation) MustAppend(ts ...Tuple) {
+	if err := r.Append(ts...); err != nil {
+		panic(err)
+	}
+}
+
+// Clone deep-copies the relation (schema shared, tuples copied).
+func (r *Relation) Clone() *Relation {
+	c := &Relation{schema: r.schema, tuples: make([]Tuple, len(r.tuples))}
+	for i, t := range r.tuples {
+		c.tuples[i] = t.Clone()
+	}
+	return c
+}
+
+// WriteCSV writes the relation with a header row of attribute names.
+func (r *Relation) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(r.schema.AttrNames()); err != nil {
+		return fmt.Errorf("relation: write csv header: %w", err)
+	}
+	row := make([]string, r.schema.Arity())
+	for _, t := range r.tuples {
+		for i, v := range t {
+			row[i] = v.Encode()
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("relation: write csv row: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV reads a relation in the format produced by WriteCSV. The header
+// must list exactly the schema's attributes in schema order.
+func ReadCSV(schema *Schema, rd io.Reader) (*Relation, error) {
+	cr := csv.NewReader(rd)
+	cr.FieldsPerRecord = schema.Arity()
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("relation: read csv header: %w", err)
+	}
+	want := schema.AttrNames()
+	for i := range want {
+		if header[i] != want[i] {
+			return nil, fmt.Errorf("relation: csv header mismatch at column %d: got %q, want %q", i, header[i], want[i])
+		}
+	}
+	rel := NewRelation(schema)
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("relation: read csv row: %w", err)
+		}
+		t := make(Tuple, schema.Arity())
+		for i, cell := range rec {
+			v, err := DecodeValue(cell, schema.Attr(i).Type)
+			if err != nil {
+				return nil, fmt.Errorf("relation: row %d column %s: %w", rel.Len()+1, schema.Attr(i).Name, err)
+			}
+			t[i] = v
+		}
+		rel.tuples = append(rel.tuples, t)
+	}
+	return rel, nil
+}

@@ -1,0 +1,119 @@
+package relation
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Tuple is a flat slice of values positionally aligned with a schema.
+// Tuples are mutable by design: the fix semantics of the paper updates
+// t[B] := tm[Bm] in place on working copies.
+type Tuple []Value
+
+// NewTuple allocates an all-Null tuple of the given arity.
+func NewTuple(arity int) Tuple { return make(Tuple, arity) }
+
+// Clone returns a deep copy of the tuple.
+func (t Tuple) Clone() Tuple { return append(Tuple(nil), t...) }
+
+// Equal reports componentwise equality.
+func (t Tuple) Equal(u Tuple) bool {
+	if len(t) != len(u) {
+		return false
+	}
+	for i := range t {
+		if !t[i].Equal(u[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// EqualOn reports whether t and u agree on the given positions.
+func (t Tuple) EqualOn(positions []int, u Tuple) bool {
+	for _, p := range positions {
+		if !t[p].Equal(u[p]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Project returns the values of t at the given positions, in order.
+func (t Tuple) Project(positions []int) []Value {
+	out := make([]Value, len(positions))
+	for i, p := range positions {
+		out[i] = t[p]
+	}
+	return out
+}
+
+// ProjectMatches reports whether t's projection on aPos equals u's
+// projection on bPos; the two position lists must have equal length.
+// This is the t[X] = tm[Xm] test at the heart of rule application.
+func (t Tuple) ProjectMatches(aPos []int, u Tuple, bPos []int) bool {
+	for i := range aPos {
+		if !t[aPos[i]].Equal(u[bPos[i]]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Key encodes the projection of t on positions into a string usable as a
+// map key. The encoding separates cells with an unlikely delimiter and
+// escapes the delimiter inside cells, so distinct projections get distinct
+// keys.
+func (t Tuple) Key(positions []int) string {
+	var b strings.Builder
+	for i, p := range positions {
+		if i > 0 {
+			b.WriteByte(0x1f) // unit separator
+		}
+		v := t[p]
+		b.WriteByte(byte('0' + v.kind))
+		switch v.kind {
+		case KindInt:
+			fmt.Fprintf(&b, "%d", v.num)
+		case KindString:
+			if strings.IndexByte(v.str, 0x1f) >= 0 {
+				b.WriteString(strings.ReplaceAll(v.str, "\x1f", "\x1f\x1f"))
+			} else {
+				b.WriteString(v.str)
+			}
+		}
+	}
+	return b.String()
+}
+
+// String renders the tuple as (v1, v2, ...).
+func (t Tuple) String() string {
+	var b strings.Builder
+	b.WriteByte('(')
+	for i, v := range t {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(v.String())
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// TupleOf builds a tuple from ordered values.
+func TupleOf(values ...Value) Tuple { return Tuple(values) }
+
+// StringTuple builds a tuple of string values; empty strings become Null.
+// Convenience for fixtures mirroring the paper's examples (where empty
+// cells denote missing values).
+func StringTuple(cells ...string) Tuple {
+	t := make(Tuple, len(cells))
+	for i, c := range cells {
+		if c == "" {
+			t[i] = Null
+		} else {
+			t[i] = String(c)
+		}
+	}
+	return t
+}

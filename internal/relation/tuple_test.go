@@ -1,0 +1,98 @@
+package relation
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTupleCloneIndependence(t *testing.T) {
+	a := StringTuple("x", "y")
+	b := a.Clone()
+	b[0] = String("z")
+	if a[0].Str() != "x" {
+		t.Fatal("Clone must not share storage")
+	}
+}
+
+func TestTupleEqual(t *testing.T) {
+	if !StringTuple("a", "b").Equal(StringTuple("a", "b")) {
+		t.Error("equal tuples reported unequal")
+	}
+	if StringTuple("a").Equal(StringTuple("a", "b")) {
+		t.Error("different arities reported equal")
+	}
+	if StringTuple("a", "b").Equal(StringTuple("a", "c")) {
+		t.Error("different values reported equal")
+	}
+}
+
+func TestTupleEqualOnAndProject(t *testing.T) {
+	a := StringTuple("p", "q", "r")
+	b := StringTuple("p", "x", "r")
+	if !a.EqualOn([]int{0, 2}, b) {
+		t.Error("EqualOn({0,2}) should hold")
+	}
+	if a.EqualOn([]int{0, 1}, b) {
+		t.Error("EqualOn({0,1}) should fail")
+	}
+	proj := a.Project([]int{2, 0})
+	if len(proj) != 2 || proj[0].Str() != "r" || proj[1].Str() != "p" {
+		t.Fatalf("Project = %v", proj)
+	}
+}
+
+func TestProjectMatches(t *testing.T) {
+	t1 := StringTuple("131", "5551234")
+	tm := StringTuple("ignored", "131", "5551234")
+	if !t1.ProjectMatches([]int{0, 1}, tm, []int{1, 2}) {
+		t.Error("ProjectMatches should hold for aligned projections")
+	}
+	if t1.ProjectMatches([]int{0, 1}, tm, []int{2, 1}) {
+		t.Error("ProjectMatches should fail for swapped projections")
+	}
+}
+
+func TestTupleKeyDistinguishesProjections(t *testing.T) {
+	a := TupleOf(String("ab"), String("c"))
+	b := TupleOf(String("a"), String("bc"))
+	if a.Key([]int{0, 1}) == b.Key([]int{0, 1}) {
+		t.Error("keys of (ab,c) and (a,bc) must differ")
+	}
+	c := TupleOf(Int(1), Null)
+	d := TupleOf(String("1"), Null)
+	if c.Key([]int{0, 1}) == d.Key([]int{0, 1}) {
+		t.Error("keys must be type-aware")
+	}
+}
+
+func TestTupleKeyProperty(t *testing.T) {
+	// Key is injective on string-pair projections.
+	f := func(a1, a2, b1, b2 string) bool {
+		x := TupleOf(String(a1), String(a2))
+		y := TupleOf(String(b1), String(b2))
+		same := a1 == b1 && a2 == b2
+		return (x.Key([]int{0, 1}) == y.Key([]int{0, 1})) == same
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStringTupleNulls(t *testing.T) {
+	tu := StringTuple("a", "", "c")
+	if !tu[1].IsNull() {
+		t.Error("empty cell should become Null")
+	}
+	if tu.String() != "(a, ⊥, c)" {
+		t.Errorf("String() = %q", tu.String())
+	}
+}
+
+func TestNewTupleAllNull(t *testing.T) {
+	tu := NewTuple(3)
+	for i, v := range tu {
+		if !v.IsNull() {
+			t.Errorf("position %d not null", i)
+		}
+	}
+}

@@ -1,0 +1,68 @@
+package rule
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DepGraph is the dependency graph G(V, E) of a rule set (§5.1): one node
+// per rule; an edge (u, v) when Bu ∈ (Xv ∪ Xpv), i.e. applying ϕu may
+// enable ϕv. TransFix walks this graph to order rule applications; it is
+// computed once per Σ and reused for every input tuple.
+type DepGraph struct {
+	set *Set
+	out [][]int // adjacency: out[u] = nodes v with edge (u, v)
+	in  [][]int // reverse adjacency
+}
+
+// NewDepGraph computes the dependency graph of Σ.
+func NewDepGraph(s *Set) *DepGraph {
+	n := s.Len()
+	g := &DepGraph{set: s, out: make([][]int, n), in: make([][]int, n)}
+	for u := 0; u < n; u++ {
+		bu := s.Rule(u).RHS()
+		for v := 0; v < n; v++ {
+			if u == v {
+				continue
+			}
+			if s.Rule(v).premise().Has(bu) {
+				g.out[u] = append(g.out[u], v)
+				g.in[v] = append(g.in[v], u)
+			}
+		}
+	}
+	return g
+}
+
+// Set returns the rule set the graph was built from.
+func (g *DepGraph) Set() *Set { return g.set }
+
+// Len returns the number of nodes (rules).
+func (g *DepGraph) Len() int { return len(g.out) }
+
+// Successors returns the nodes enabled by applying rule u (copy).
+func (g *DepGraph) Successors(u int) []int { return append([]int(nil), g.out[u]...) }
+
+// Predecessors returns the nodes whose application may enable rule v (copy).
+func (g *DepGraph) Predecessors(v int) []int { return append([]int(nil), g.in[v]...) }
+
+// HasEdge reports whether (u, v) ∈ E.
+func (g *DepGraph) HasEdge(u, v int) bool {
+	for _, w := range g.out[u] {
+		if w == v {
+			return true
+		}
+	}
+	return false
+}
+
+// String renders the graph as "u -> v" lines using rule names.
+func (g *DepGraph) String() string {
+	var b strings.Builder
+	for u, succ := range g.out {
+		for _, v := range succ {
+			fmt.Fprintf(&b, "%s -> %s\n", g.set.Rule(u).Name(), g.set.Rule(v).Name())
+		}
+	}
+	return b.String()
+}

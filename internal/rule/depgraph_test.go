@@ -1,0 +1,78 @@
+package rule_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/paperex"
+	"repro/internal/rule"
+)
+
+// TestDepGraphFig4 checks the dependency graph of Σ0 against Fig. 4 of the
+// paper: applying ϕ1 (fixing AC) enables ϕ6–ϕ9 (which read AC), and
+// applying ϕ8 (fixing zip) enables ϕ1–ϕ3 (which read zip). No other rule
+// enables anything.
+func TestDepGraphFig4(t *testing.T) {
+	sigma := paperex.Sigma0()
+	g := rule.NewDepGraph(sigma)
+	if g.Len() != 9 {
+		t.Fatalf("graph has %d nodes", g.Len())
+	}
+	idx := map[string]int{}
+	for i := 0; i < sigma.Len(); i++ {
+		idx[sigma.Rule(i).Name()] = i
+	}
+	wantEdges := map[string][]string{
+		"phi1": {"phi6", "phi7", "phi8", "phi9"}, // AC feeds ϕ6–ϕ9
+		"phi8": {"phi1", "phi2", "phi3"},         // zip feeds ϕ1–ϕ3
+	}
+	for u := 0; u < g.Len(); u++ {
+		name := sigma.Rule(u).Name()
+		var got []string
+		for _, v := range g.Successors(u) {
+			got = append(got, sigma.Rule(v).Name())
+		}
+		want := wantEdges[name]
+		if len(got) != len(want) {
+			t.Errorf("%s: successors %v, want %v", name, got, want)
+			continue
+		}
+		wantSet := map[string]bool{}
+		for _, w := range want {
+			wantSet[w] = true
+		}
+		for _, w := range got {
+			if !wantSet[w] {
+				t.Errorf("%s: unexpected edge to %s", name, w)
+			}
+		}
+	}
+	if !g.HasEdge(idx["phi1"], idx["phi9"]) {
+		t.Error("HasEdge(ϕ1, ϕ9) should hold")
+	}
+	if g.HasEdge(idx["phi9"], idx["phi1"]) {
+		t.Error("HasEdge(ϕ9, ϕ1) should not hold")
+	}
+	preds := g.Predecessors(idx["phi1"])
+	if len(preds) != 1 || preds[0] != idx["phi8"] {
+		t.Errorf("Predecessors(ϕ1) = %v", preds)
+	}
+	if g.Set() != sigma {
+		t.Error("Set() must return the construction set")
+	}
+	if !strings.Contains(g.String(), "phi1 -> phi6") {
+		t.Errorf("String() = %q", g.String())
+	}
+}
+
+// TestDepGraphNoSelfLoops: a rule whose rhs is in its own premise cannot
+// exist (B ∉ X is enforced), but B may appear in the pattern of another
+// rule; self-edges are excluded by construction.
+func TestDepGraphNoSelfLoops(t *testing.T) {
+	g := rule.NewDepGraph(paperex.Sigma0())
+	for u := 0; u < g.Len(); u++ {
+		if g.HasEdge(u, u) {
+			t.Errorf("self loop at node %d", u)
+		}
+	}
+}

@@ -1,0 +1,255 @@
+package rule
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/pattern"
+	"repro/internal/relation"
+)
+
+// The rule DSL. One rule per line (blank lines and '#' comments ignored):
+//
+//	rule phi3: (AC, phn ; AC, Hphn) -> (zip ; zip) when type = "1", AC != "0800"
+//
+// Grammar:
+//
+//	rule <name>: (<X attrs> ; <Xm attrs>) -> (<B> ; <Bm>) [when <cond> {, <cond>}]
+//	cond    := <attr> = <literal> | <attr> != <literal> | <attr> = _
+//	literal := "double-quoted string" | integer | nil
+//
+// Attribute names resolve against R on the left of each ';' / in conditions,
+// and against Rm on the right. `<attr> = _` writes an explicit wildcard
+// (useful to document intent; it normalizes away).
+
+// ParseRules reads the DSL from rd and returns the rule set over (r, rm).
+func ParseRules(r, rm *relation.Schema, rd io.Reader) (*Set, error) {
+	set := MustNewSet(r, rm)
+	sc := bufio.NewScanner(rd)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		ru, err := ParseRule(r, rm, line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		if err := set.Add(ru); err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("rule: scan: %w", err)
+	}
+	return set, nil
+}
+
+// ParseRuleSet parses the DSL from a string.
+func ParseRuleSet(r, rm *relation.Schema, src string) (*Set, error) {
+	return ParseRules(r, rm, strings.NewReader(src))
+}
+
+// ParseRule parses a single DSL rule line.
+func ParseRule(r, rm *relation.Schema, line string) (*Rule, error) {
+	rest, ok := strings.CutPrefix(strings.TrimSpace(line), "rule ")
+	if !ok {
+		return nil, fmt.Errorf("rule: expected line to start with %q: %q", "rule ", line)
+	}
+	name, rest, ok := strings.Cut(rest, ":")
+	if !ok {
+		return nil, fmt.Errorf("rule: missing ':' after rule name in %q", line)
+	}
+	name = strings.TrimSpace(name)
+	if name == "" {
+		return nil, fmt.Errorf("rule: empty rule name in %q", line)
+	}
+
+	body, cond, _ := cutTopLevel(rest, " when ")
+
+	lhsPart, rhsPart, ok := strings.Cut(body, "->")
+	if !ok {
+		return nil, fmt.Errorf("rule %s: missing '->'", name)
+	}
+	x, xm, err := parseAttrPair(r, rm, lhsPart)
+	if err != nil {
+		return nil, fmt.Errorf("rule %s: lhs: %w", name, err)
+	}
+	bs, bms, err := parseAttrPair(r, rm, rhsPart)
+	if err != nil {
+		return nil, fmt.Errorf("rule %s: rhs: %w", name, err)
+	}
+	if len(bs) != 1 || len(bms) != 1 {
+		return nil, fmt.Errorf("rule %s: rhs must name exactly one attribute per side", name)
+	}
+
+	tp := pattern.Empty()
+	if strings.TrimSpace(cond) != "" {
+		tp, err = parseConditions(r, cond)
+		if err != nil {
+			return nil, fmt.Errorf("rule %s: %w", name, err)
+		}
+	}
+	return New(name, r, rm, x, xm, bs[0], bms[0], tp)
+}
+
+// cutTopLevel splits s at the first occurrence of sep that is not inside
+// double quotes.
+func cutTopLevel(s, sep string) (before, after string, found bool) {
+	inQuote := false
+	for i := 0; i+len(sep) <= len(s); i++ {
+		if s[i] == '"' {
+			inQuote = !inQuote
+			continue
+		}
+		if !inQuote && strings.HasPrefix(s[i:], sep) {
+			return s[:i], s[i+len(sep):], true
+		}
+	}
+	return s, "", false
+}
+
+// parseAttrPair parses "(a, b ; am, bm)" into position lists over (r, rm).
+func parseAttrPair(r, rm *relation.Schema, s string) ([]int, []int, error) {
+	s = strings.TrimSpace(s)
+	if !strings.HasPrefix(s, "(") || !strings.HasSuffix(s, ")") {
+		return nil, nil, fmt.Errorf("expected parenthesized pair, got %q", s)
+	}
+	inner := s[1 : len(s)-1]
+	left, right, ok := strings.Cut(inner, ";")
+	if !ok {
+		return nil, nil, fmt.Errorf("expected ';' separating R and Rm attributes in %q", s)
+	}
+	x, err := parseAttrList(r, left)
+	if err != nil {
+		return nil, nil, err
+	}
+	xm, err := parseAttrList(rm, right)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(x) != len(xm) {
+		return nil, nil, fmt.Errorf("attribute lists have different lengths in %q", s)
+	}
+	return x, xm, nil
+}
+
+func parseAttrList(s *relation.Schema, list string) ([]int, error) {
+	var out []int
+	for _, tok := range strings.Split(list, ",") {
+		name := strings.TrimSpace(tok)
+		if name == "" {
+			return nil, fmt.Errorf("empty attribute name in %q", list)
+		}
+		p, ok := s.Pos(name)
+		if !ok {
+			return nil, fmt.Errorf("schema %s has no attribute %q", s.Name(), name)
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// parseConditions parses "A = "v", B != "w"" into a pattern tuple over r.
+func parseConditions(r *relation.Schema, s string) (pattern.Tuple, error) {
+	var positions []int
+	var cells []pattern.Cell
+	for _, clause := range splitTopLevel(s, ',') {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		var attr, lit string
+		var neq bool
+		if a, l, ok := strings.Cut(clause, "!="); ok {
+			attr, lit, neq = a, l, true
+		} else if a, l, ok := strings.Cut(clause, "="); ok {
+			attr, lit = a, l
+		} else {
+			return pattern.Tuple{}, fmt.Errorf("cannot parse condition %q", clause)
+		}
+		attr = strings.TrimSpace(attr)
+		lit = strings.TrimSpace(lit)
+		p, ok := r.Pos(attr)
+		if !ok {
+			return pattern.Tuple{}, fmt.Errorf("schema %s has no attribute %q", r.Name(), attr)
+		}
+		if lit == "_" {
+			if neq {
+				return pattern.Tuple{}, fmt.Errorf("condition %q: '!= _' is not meaningful", clause)
+			}
+			positions = append(positions, p)
+			cells = append(cells, pattern.Any)
+			continue
+		}
+		if lit == "nil" {
+			// `A != nil` requires a present value (the paper's ϕ[zip] =
+			// (nil̄) patterns); `A = nil` requires a missing one.
+			positions = append(positions, p)
+			if neq {
+				cells = append(cells, pattern.Neq(relation.Null))
+			} else {
+				cells = append(cells, pattern.Eq(relation.Null))
+			}
+			continue
+		}
+		v, err := parseLiteral(lit, r.Attr(p).Type)
+		if err != nil {
+			return pattern.Tuple{}, fmt.Errorf("condition %q: %w", clause, err)
+		}
+		positions = append(positions, p)
+		if neq {
+			cells = append(cells, pattern.Neq(v))
+		} else {
+			cells = append(cells, pattern.Eq(v))
+		}
+	}
+	return pattern.NewTuple(positions, cells)
+}
+
+// splitTopLevel splits on sep outside double quotes.
+func splitTopLevel(s string, sep byte) []string {
+	var out []string
+	start, inQuote := 0, false
+	for i := 0; i < len(s); i++ {
+		switch {
+		case s[i] == '"':
+			inQuote = !inQuote
+		case s[i] == sep && !inQuote:
+			out = append(out, s[start:i])
+			start = i + 1
+		}
+	}
+	return append(out, s[start:])
+}
+
+func parseLiteral(lit string, t relation.Type) (relation.Value, error) {
+	if strings.HasPrefix(lit, `"`) {
+		unq, err := strconv.Unquote(lit)
+		if err != nil {
+			return relation.Null, fmt.Errorf("bad string literal %s: %w", lit, err)
+		}
+		if t == relation.TypeInt {
+			n, err := strconv.ParseInt(unq, 10, 64)
+			if err != nil {
+				return relation.Null, fmt.Errorf("attribute is int but literal %s is not numeric", lit)
+			}
+			return relation.Int(n), nil
+		}
+		return relation.String(unq), nil
+	}
+	n, err := strconv.ParseInt(lit, 10, 64)
+	if err != nil {
+		return relation.Null, fmt.Errorf("bad literal %q (quote strings)", lit)
+	}
+	if t == relation.TypeString {
+		return relation.String(lit), nil
+	}
+	return relation.Int(n), nil
+}

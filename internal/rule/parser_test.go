@@ -1,0 +1,147 @@
+package rule_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/paperex"
+	"repro/internal/pattern"
+	"repro/internal/relation"
+	"repro/internal/rule"
+)
+
+func TestParseSigma0(t *testing.T) {
+	r, rm := paperex.SchemaR(), paperex.SchemaRm()
+	set, err := rule.ParseRuleSet(r, rm, paperex.RulesDSL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.Len() != 9 {
+		t.Fatalf("parsed %d rules, want 9", set.Len())
+	}
+	// Spot-check ϕ7: ((AC, phn ; AC, Hphn) -> (city ; city), type=1, AC≠0800
+	phi7 := set.Rule(6)
+	if phi7.Name() != "phi7" {
+		t.Fatalf("rule 6 is %s", phi7.Name())
+	}
+	wantX := []int{r.MustPos("AC"), r.MustPos("phn")}
+	gotX := phi7.LHS()
+	if len(gotX) != 2 || gotX[0] != wantX[0] || gotX[1] != wantX[1] {
+		t.Errorf("ϕ7 X = %v, want %v", gotX, wantX)
+	}
+	wantXm := []int{rm.MustPos("AC"), rm.MustPos("Hphn")}
+	gotXm := phi7.LHSM()
+	if gotXm[0] != wantXm[0] || gotXm[1] != wantXm[1] {
+		t.Errorf("ϕ7 Xm = %v, want %v", gotXm, wantXm)
+	}
+	if phi7.RHS() != r.MustPos("city") || phi7.RHSM() != rm.MustPos("city") {
+		t.Error("ϕ7 rhs wrong")
+	}
+	cell, ok := phi7.Pattern().CellFor(r.MustPos("AC"))
+	if !ok || cell.Kind != pattern.NotConst || cell.Val.Str() != "0800" {
+		t.Errorf("ϕ7 AC pattern cell = %v", cell)
+	}
+	cell, ok = phi7.Pattern().CellFor(r.MustPos("type"))
+	if !ok || cell.Kind != pattern.Const || cell.Val.Str() != "1" {
+		t.Errorf("ϕ7 type pattern cell = %v", cell)
+	}
+}
+
+func TestParseRuleErrors(t *testing.T) {
+	r := relation.StringSchema("R", "A", "B")
+	rm := relation.StringSchema("Rm", "Am", "Bm")
+	cases := []struct {
+		line, substr string
+	}{
+		{`nonsense`, "expected line to start"},
+		{`rule : (A ; Am) -> (B ; Bm)`, "empty rule name"},
+		{`rule x (A ; Am) -> (B ; Bm)`, "missing ':'"},
+		{`rule x: (A ; Am) (B ; Bm)`, "missing '->'"},
+		{`rule x: (A, Am) -> (B ; Bm)`, "';'"},
+		{`rule x: (Zed ; Am) -> (B ; Bm)`, "no attribute"},
+		{`rule x: (A ; Zed) -> (B ; Bm)`, "no attribute"},
+		{`rule x: (A ; Am) -> (A, B ; Am, Bm)`, "exactly one"},
+		{`rule x: (A, B ; Am) -> (B ; Bm)`, "different lengths"},
+		{`rule x: (A ; Am) -> (B ; Bm) when Zed = "1"`, "no attribute"},
+		{`rule x: (A ; Am) -> (B ; Bm) when B ~ "1"`, "cannot parse condition"},
+		{`rule x: (A ; Am) -> (B ; Bm) when B != _`, "not meaningful"},
+		{`rule x: (A ; Am) -> (B ; Bm) when B = bare`, "quote strings"},
+		{`rule x: (A ; Am) -> (A ; Bm)`, "must not occur in X"},
+	}
+	for _, c := range cases {
+		_, err := rule.ParseRule(r, rm, c.line)
+		if err == nil || !strings.Contains(err.Error(), c.substr) {
+			t.Errorf("%q: want error containing %q, got %v", c.line, c.substr, err)
+		}
+	}
+}
+
+func TestParseIntLiteralsAndWildcards(t *testing.T) {
+	r := relation.MustSchema("R",
+		relation.Attribute{Name: "A", Type: relation.TypeString},
+		relation.Attribute{Name: "N", Type: relation.TypeInt},
+		relation.Attribute{Name: "B", Type: relation.TypeString},
+	)
+	rm := relation.StringSchema("Rm", "Am", "Bm")
+	ru, err := rule.ParseRule(r, rm, `rule x: (A ; Am) -> (B ; Bm) when N = 42, A = _`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cell, ok := ru.Pattern().CellFor(r.MustPos("N"))
+	if !ok || !cell.Val.Equal(relation.Int(42)) {
+		t.Errorf("N cell = %v", cell)
+	}
+	cell, ok = ru.Pattern().CellFor(r.MustPos("A"))
+	if !ok || cell.Kind != pattern.Wildcard {
+		t.Errorf("A cell = %v", cell)
+	}
+	// int literal against a string attribute becomes a string constant
+	ru2, err := rule.ParseRule(r, rm, `rule y: (A ; Am) -> (B ; Bm) when A = 7`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cell, _ = ru2.Pattern().CellFor(r.MustPos("A"))
+	if !cell.Val.Equal(relation.String("7")) {
+		t.Errorf("string-typed numeric literal = %v", cell.Val)
+	}
+	// quoted numeric against int attribute parses as int
+	ru3, err := rule.ParseRule(r, rm, `rule z: (A ; Am) -> (B ; Bm) when N = "5"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cell, _ = ru3.Pattern().CellFor(r.MustPos("N"))
+	if !cell.Val.Equal(relation.Int(5)) {
+		t.Errorf("int-typed quoted literal = %v", cell.Val)
+	}
+	// quoted non-numeric against int attribute fails
+	if _, err := rule.ParseRule(r, rm, `rule w: (A ; Am) -> (B ; Bm) when N = "xy"`); err == nil {
+		t.Error("want error for non-numeric literal on int attribute")
+	}
+}
+
+func TestParseQuotedCommasAndWhen(t *testing.T) {
+	r := relation.StringSchema("R", "A", "B")
+	rm := relation.StringSchema("Rm", "Am", "Bm")
+	ru, err := rule.ParseRule(r, rm, `rule q: (A ; Am) -> (B ; Bm) when A = "v, when x"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cell, _ := ru.Pattern().CellFor(0)
+	if cell.Val.Str() != "v, when x" {
+		t.Errorf("quoted literal = %q", cell.Val.Str())
+	}
+}
+
+func TestParseRulesReaderCommentsAndErrors(t *testing.T) {
+	r := relation.StringSchema("R", "A", "B")
+	rm := relation.StringSchema("Rm", "Am", "Bm")
+	src := "# comment\n\nrule a: (A ; Am) -> (B ; Bm)\n"
+	set, err := rule.ParseRules(r, rm, strings.NewReader(src))
+	if err != nil || set.Len() != 1 {
+		t.Fatalf("set=%v err=%v", set, err)
+	}
+	_, err = rule.ParseRules(r, rm, strings.NewReader("rule broken\n"))
+	if err == nil || !strings.Contains(err.Error(), "line 1") {
+		t.Fatalf("want line-numbered error, got %v", err)
+	}
+}

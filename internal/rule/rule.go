@@ -1,0 +1,193 @@
+// Package rule implements editing rules (eRs) as defined in §2 of the
+// paper: ϕ = ((X, Xm) → (B, Bm), tp[Xp]) over a pair of schemas (R, Rm).
+// It also provides rule sets Σ, a textual rule DSL with parser, and the
+// rule dependency graph of §5.1 used by TransFix.
+package rule
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/pattern"
+	"repro/internal/relation"
+)
+
+// Rule is an editing rule ((X, Xm) → (B, Bm), tp[Xp]).
+//
+// X (lhs) and Xm (lhsm) are equal-length lists of attribute positions in R
+// and Rm respectively; B (rhs) is an R attribute outside X; Bm (rhsm) is an
+// Rm attribute; tp is a pattern tuple over R attributes Xp.
+//
+// Semantics (§2): ϕ and a master tuple tm apply to t, written
+// t →(ϕ,tm) t', iff t ≈ tp, t[X] = tm[Xm]; then t' is t with
+// t[B] := tm[Bm].
+type Rule struct {
+	name   string
+	r, rm  *relation.Schema
+	x, xm  []int
+	b, bm  int
+	tp     pattern.Tuple
+	xSet   relation.AttrSet
+	xpSet  relation.AttrSet
+	xxpSet relation.AttrSet // X ∪ Xp, the attributes that must be validated
+}
+
+// New constructs and validates an editing rule.
+func New(name string, r, rm *relation.Schema, x, xm []int, b, bm int, tp pattern.Tuple) (*Rule, error) {
+	if r == nil || rm == nil {
+		return nil, fmt.Errorf("rule %s: nil schema", name)
+	}
+	if len(x) != len(xm) {
+		return nil, fmt.Errorf("rule %s: |X| = %d but |Xm| = %d", name, len(x), len(xm))
+	}
+	seen := map[int]bool{}
+	for _, p := range x {
+		if p < 0 || p >= r.Arity() {
+			return nil, fmt.Errorf("rule %s: X position %d out of range for %s", name, p, r.Name())
+		}
+		if seen[p] {
+			return nil, fmt.Errorf("rule %s: duplicate attribute %s in X", name, r.Attr(p).Name)
+		}
+		seen[p] = true
+	}
+	for _, p := range xm {
+		if p < 0 || p >= rm.Arity() {
+			return nil, fmt.Errorf("rule %s: Xm position %d out of range for %s", name, p, rm.Name())
+		}
+	}
+	if b < 0 || b >= r.Arity() {
+		return nil, fmt.Errorf("rule %s: B position %d out of range for %s", name, b, r.Name())
+	}
+	if seen[b] {
+		return nil, fmt.Errorf("rule %s: B = %s must not occur in X", name, r.Attr(b).Name)
+	}
+	if bm < 0 || bm >= rm.Arity() {
+		return nil, fmt.Errorf("rule %s: Bm position %d out of range for %s", name, bm, rm.Name())
+	}
+	for _, p := range tp.Positions() {
+		if p >= r.Arity() {
+			return nil, fmt.Errorf("rule %s: pattern position %d out of range for %s", name, p, r.Name())
+		}
+	}
+	ru := &Rule{
+		name: name, r: r, rm: rm,
+		x: append([]int(nil), x...), xm: append([]int(nil), xm...),
+		b: b, bm: bm, tp: tp,
+	}
+	ru.xSet = relation.NewAttrSet(x...)
+	ru.xpSet = tp.AttrSet()
+	ru.xxpSet = ru.xSet.Union(ru.xpSet)
+	return ru, nil
+}
+
+// MustNew is New that panics on error; for fixtures and generated rules.
+func MustNew(name string, r, rm *relation.Schema, x, xm []int, b, bm int, tp pattern.Tuple) *Rule {
+	ru, err := New(name, r, rm, x, xm, b, bm, tp)
+	if err != nil {
+		panic(err)
+	}
+	return ru
+}
+
+// Name returns the rule's identifier (may be empty).
+func (ru *Rule) Name() string { return ru.name }
+
+// Schema returns the input schema R.
+func (ru *Rule) Schema() *relation.Schema { return ru.r }
+
+// MasterSchema returns the master schema Rm.
+func (ru *Rule) MasterSchema() *relation.Schema { return ru.rm }
+
+// LHS returns the positions of X in R (copy).
+func (ru *Rule) LHS() []int { return append([]int(nil), ru.x...) }
+
+// LHSM returns the positions of Xm in Rm (copy).
+func (ru *Rule) LHSM() []int { return append([]int(nil), ru.xm...) }
+
+// RHS returns the position of B in R.
+func (ru *Rule) RHS() int { return ru.b }
+
+// RHSM returns the position of Bm in Rm.
+func (ru *Rule) RHSM() int { return ru.bm }
+
+// Pattern returns the pattern tuple tp[Xp].
+func (ru *Rule) Pattern() pattern.Tuple { return ru.tp }
+
+// LHSSet returns X as a set.
+func (ru *Rule) LHSSet() relation.AttrSet { return ru.xSet.Clone() }
+
+// PatternSet returns Xp as a set.
+func (ru *Rule) PatternSet() relation.AttrSet { return ru.xpSet.Clone() }
+
+// PremiseSet returns X ∪ Xp — the attributes that must be validated before
+// the rule may fire against a region.
+func (ru *Rule) PremiseSet() relation.AttrSet { return ru.xxpSet.Clone() }
+
+// premise returns the internal premise set without copying (hot paths).
+func (ru *Rule) premise() relation.AttrSet { return ru.xxpSet }
+
+// MasterPosFor returns the Rm position paired with R position p in (X, Xm),
+// i.e. λϕ of §5.2 on a single attribute; ok=false when p ∉ X.
+func (ru *Rule) MasterPosFor(p int) (int, bool) {
+	for i, q := range ru.x {
+		if q == p {
+			return ru.xm[i], true
+		}
+	}
+	return -1, false
+}
+
+// IsDirect reports whether Xp ⊆ X, the "direct fix" restriction of §4
+// (special case 5) under which consistency and coverage are PTIME (Thm 5).
+func (ru *Rule) IsDirect() bool { return ru.xSet.ContainsSet(ru.xpSet) }
+
+// Normalize returns an equivalent rule whose pattern contains no wildcard
+// cells (the normal form of §2).
+func (ru *Rule) Normalize() *Rule {
+	n := ru.tp.Normalize()
+	if n.Len() == ru.tp.Len() {
+		return ru
+	}
+	return MustNew(ru.name, ru.r, ru.rm, ru.x, ru.xm, ru.b, ru.bm, n)
+}
+
+// WithPattern returns a copy of the rule carrying pattern tp instead; used
+// for the refined rules ϕ+ of §5.2.
+func (ru *Rule) WithPattern(tp pattern.Tuple) (*Rule, error) {
+	return New(ru.name+"+", ru.r, ru.rm, ru.x, ru.xm, ru.b, ru.bm, tp)
+}
+
+// MatchesPattern reports t ≈ tp for this rule's pattern.
+func (ru *Rule) MatchesPattern(t relation.Tuple) bool { return ru.tp.Matches(t) }
+
+// Applies reports whether (ϕ, tm) apply to t: t ≈ tp and t[X] = tm[Xm].
+func (ru *Rule) Applies(t, tm relation.Tuple) bool {
+	return ru.tp.Matches(t) && t.ProjectMatches(ru.x, tm, ru.xm)
+}
+
+// Apply performs t[B] := tm[Bm] in place, assuming Applies holds, and
+// returns whether the value actually changed.
+func (ru *Rule) Apply(t, tm relation.Tuple) bool {
+	v := tm[ru.bm]
+	if t[ru.b].Equal(v) {
+		return false
+	}
+	t[ru.b] = v
+	return true
+}
+
+// String renders the rule in the paper's notation using attribute names.
+func (ru *Rule) String() string {
+	xn := make([]string, len(ru.x))
+	xmn := make([]string, len(ru.xm))
+	for i := range ru.x {
+		xn[i] = ru.r.Attr(ru.x[i]).Name
+		xmn[i] = ru.rm.Attr(ru.xm[i]).Name
+	}
+	s := fmt.Sprintf("%s: (([%s], [%s]) -> (%s, %s), tp%s)",
+		ru.name,
+		strings.Join(xn, ", "), strings.Join(xmn, ", "),
+		ru.r.Attr(ru.b).Name, ru.rm.Attr(ru.bm).Name,
+		ru.tp.Format(ru.r))
+	return s
+}

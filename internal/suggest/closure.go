@@ -1,0 +1,94 @@
+// Package suggest implements certain-region derivation and the suggestion
+// machinery of §5 of the paper:
+//
+//   - CompCRegion — the heuristic that derives certain regions from
+//     (Σ, Dm) ranked by a quality metric. The paper delegates this to its
+//     companion conference paper [20] and omits the algorithm; this is a
+//     reconstruction with the published interface, complexity envelope
+//     (O(|Σ|²·|Dm|·log|Dm|)) and contract (see DESIGN.md, substitution 2):
+//     greedy seed growth over the structural rule closure, reverse-delete
+//     minimization, verification through the Theorem-4 checker.
+//   - GRegion — the greedy baseline of §6 Exp-1(1): at each stage pick the
+//     attribute that directly fixes the most uncovered attributes.
+//   - ApplicableRules — the refined rule set Σ_t[Z] of §5.2 (Prop. 20).
+//   - Suggest — procedure Suggest of Fig. 6: the next attribute set to ask
+//     the users about.
+//
+// The Z-minimum and S-minimum problems behind these heuristics are
+// NP-complete and inapproximable within c·log n (Thms 12, 17, 19), which
+// is why the paper itself prescribes heuristics here.
+package suggest
+
+import (
+	"repro/internal/master"
+	"repro/internal/relation"
+	"repro/internal/rule"
+)
+
+// supportMap caches, per rule, whether some master tuple satisfies the
+// rule's pattern cells on the λϕ-mapped attributes (the structural
+// "is there any master evidence this rule can ever fire" test). Computed
+// once per (Σ, Dm): O(|Σ|·|Dm|).
+type supportMap []bool
+
+func computeSupport(sigma *rule.Set, dm *master.Data) supportMap {
+	sup := make(supportMap, sigma.Len())
+	for i, ru := range sigma.Rules() {
+		sup[i] = masterSupports(dm, ru)
+	}
+	return sup
+}
+
+func masterSupports(dm *master.Data, ru *rule.Rule) bool {
+	x, xm := ru.LHS(), ru.LHSM()
+	tp := ru.Pattern()
+	for _, tm := range dm.Relation().Tuples() {
+		ok := true
+		for i := range x {
+			if cell, has := tp.CellFor(x[i]); has && !cell.Matches(tm[xm[i]]) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+// structuralClosure computes the set of attributes validated from zSet by
+// cascading rule applications, using only the structure of Σ plus the
+// master-support precomputation: a rule fires when its premise is inside
+// the closure and some master tuple is pattern-compatible. This
+// over-approximates per-tuple coverage (specific values may find no master
+// match) and is the engine of region derivation; candidate regions are
+// then verified value-by-value with the Theorem-4 checker.
+func structuralClosure(sigma *rule.Set, sup supportMap, zSet relation.AttrSet) relation.AttrSet {
+	out := zSet.Clone()
+	for changed := true; changed; {
+		changed = false
+		for i, ru := range sigma.Rules() {
+			if !sup[i] || out.Has(ru.RHS()) {
+				continue
+			}
+			if out.ContainsSet(ru.PremiseSet()) {
+				out.Add(ru.RHS())
+				changed = true
+			}
+		}
+	}
+	return out
+}
+
+// directCover counts the attributes fixable in exactly one step from zSet
+// (no cascading) — the myopic objective GRegion maximizes.
+func directCover(sigma *rule.Set, sup supportMap, zSet relation.AttrSet) relation.AttrSet {
+	out := zSet.Clone()
+	for i, ru := range sigma.Rules() {
+		if sup[i] && !zSet.Has(ru.RHS()) && zSet.ContainsSet(ru.PremiseSet()) {
+			out.Add(ru.RHS())
+		}
+	}
+	return out
+}

@@ -1,0 +1,124 @@
+package suggest_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/master"
+	"repro/internal/pattern"
+	"repro/internal/relation"
+	"repro/internal/rule"
+	"repro/internal/suggest"
+)
+
+// randomSuggestInstance mirrors the analysis package's generator.
+func randomSuggestInstance(rng *rand.Rand) (*suggest.Deriver, relation.Tuple, relation.AttrSet) {
+	nR := 4 + rng.Intn(3)
+	nM := 4 + rng.Intn(3)
+	rNames := make([]string, nR)
+	for i := range rNames {
+		rNames[i] = fmt.Sprintf("A%d", i)
+	}
+	mNames := make([]string, nM)
+	for i := range mNames {
+		mNames[i] = fmt.Sprintf("M%d", i)
+	}
+	r := relation.StringSchema("R", rNames...)
+	rm := relation.StringSchema("Rm", mNames...)
+
+	vals := []string{"a", "b"}
+	rel := relation.NewRelation(rm)
+	for i, n := 0, 2+rng.Intn(3); i < n; i++ {
+		tup := make(relation.Tuple, nM)
+		for j := range tup {
+			tup[j] = relation.String(vals[rng.Intn(len(vals))])
+		}
+		rel.MustAppend(tup)
+	}
+
+	sigma := rule.MustNewSet(r, rm)
+	for i, n := 0, 2+rng.Intn(5); i < n; i++ {
+		xLen := 1 + rng.Intn(2)
+		perm := rng.Perm(nR)
+		x := perm[:xLen]
+		b := perm[xLen]
+		xm := make([]int, xLen)
+		for j := range xm {
+			xm[j] = rng.Intn(nM)
+		}
+		var pPos []int
+		var pCells []pattern.Cell
+		for _, p := range rng.Perm(nR)[:rng.Intn(2)] {
+			pPos = append(pPos, p)
+			pCells = append(pCells, pattern.Eq(relation.String(vals[rng.Intn(len(vals))])))
+		}
+		ru, err := rule.New(fmt.Sprintf("r%d", i), r, rm, x, xm, b, rng.Intn(nM), pattern.MustTuple(pPos, pCells))
+		if err != nil {
+			continue
+		}
+		sigma.Add(ru)
+	}
+
+	t := make(relation.Tuple, nR)
+	for i := range t {
+		t[i] = relation.String(vals[rng.Intn(len(vals))])
+	}
+	zSet := relation.NewAttrSet(rng.Perm(nR)[:1+rng.Intn(nR-1)]...)
+	dm := master.MustNewForRules(rel, sigma)
+	return suggest.NewDeriver(sigma, dm), t, zSet
+}
+
+// TestSuggestInvariantsProperty: on random instances, Suggest's output is
+// disjoint from Z, passes its own IsSuggestion test, and is minimal under
+// single-attribute removal (the reverse-delete guarantee).
+func TestSuggestInvariantsProperty(t *testing.T) {
+	iterations := 400
+	if testing.Short() {
+		iterations = 60
+	}
+	for seed := 0; seed < iterations; seed++ {
+		rng := rand.New(rand.NewSource(int64(3_000_000 + seed)))
+		d, tup, zSet := randomSuggestInstance(rng)
+
+		sug := d.Suggest(tup, zSet)
+		for _, p := range sug.S {
+			if zSet.Has(p) {
+				t.Fatalf("seed %d: suggestion overlaps Z at %d", seed, p)
+			}
+		}
+		if !d.IsSuggestion(tup, zSet, sug.S) {
+			t.Fatalf("seed %d: Suggest output fails IsSuggestion", seed)
+		}
+		// Minimality: removing any single attribute breaks coverage.
+		for i := range sug.S {
+			trimmed := append(append([]int(nil), sug.S[:i]...), sug.S[i+1:]...)
+			if d.IsSuggestion(tup, zSet, trimmed) {
+				t.Fatalf("seed %d: suggestion %v not minimal (attr %d removable)",
+					seed, sug.S, sug.S[i])
+			}
+		}
+	}
+}
+
+// TestApplicableRulesInvariantsProperty: every refined rule has an
+// unvalidated rhs and a tuple-compatible pattern on Z.
+func TestApplicableRulesInvariantsProperty(t *testing.T) {
+	for seed := 0; seed < 200; seed++ {
+		rng := rand.New(rand.NewSource(int64(4_000_000 + seed)))
+		d, tup, zSet := randomSuggestInstance(rng)
+		refined := d.ApplicableRules(tup, zSet)
+		for _, ru := range refined.Rules() {
+			if zSet.Has(ru.RHS()) {
+				t.Fatalf("seed %d: refined rule %s writes a validated attribute", seed, ru.Name())
+			}
+			tp := ru.Pattern()
+			for i := 0; i < tp.Len(); i++ {
+				pos, cell := tp.CellAt(i)
+				if zSet.Has(pos) && !cell.Matches(tup[pos]) {
+					t.Fatalf("seed %d: refined rule %s pattern rejects the validated tuple", seed, ru.Name())
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,338 @@
+package suggest
+
+import (
+	"sort"
+
+	"repro/internal/analysis"
+	"repro/internal/master"
+	"repro/internal/relation"
+	"repro/internal/rule"
+)
+
+// Candidate is a derived certain-region skeleton: the attribute list Z,
+// its quality score, and how many sampled master-derived pattern rows were
+// verified certain. The tableau is intensional: a concrete value vector v
+// over Z belongs to it iff the Theorem-4 check over (Z, v) covers — use
+// Deriver.CertainRow to test membership. (Materializing Tc would cost one
+// row per master tuple, as in Example 9; the framework never needs that.)
+type Candidate struct {
+	Z       []int
+	ZSet    relation.AttrSet
+	Quality float64
+	Support int
+}
+
+// Deriver derives certain regions and suggestions for a fixed (Σ, Dm).
+// Safe for concurrent use after construction.
+type Deriver struct {
+	sigma   *rule.Set
+	dm      *master.Data
+	checker *analysis.Checker
+	sup     supportMap
+	actDom  map[int][]relation.Value
+	// sampleCap bounds how many master tuples seed verification rows.
+	sampleCap int
+}
+
+// NewDeriver precomputes the support map and checker for (Σ, Dm).
+func NewDeriver(sigma *rule.Set, dm *master.Data) *Deriver {
+	return &Deriver{
+		sigma:     sigma,
+		dm:        dm,
+		checker:   analysis.NewChecker(sigma, dm, analysis.Options{}),
+		sup:       computeSupport(sigma, dm),
+		actDom:    sigma.ActiveDomain(),
+		sampleCap: 64,
+	}
+}
+
+// Sigma returns Σ.
+func (d *Deriver) Sigma() *rule.Set { return d.sigma }
+
+// Master returns Dm.
+func (d *Deriver) Master() *master.Data { return d.dm }
+
+// Checker returns the shared §4 checker.
+func (d *Deriver) Checker() *analysis.Checker { return d.checker }
+
+// CertainRow reports whether the concrete values vals over z form a
+// certain-region pattern row: consistent and covering (Theorem 4).
+func (d *Deriver) CertainRow(z []int, vals []relation.Value) bool {
+	return d.checker.ConcreteVerdict(z, vals, true).OK
+}
+
+// ConsistentRow reports whether vals over z lead to a unique fix.
+func (d *Deriver) ConsistentRow(z []int, vals []relation.Value) bool {
+	return d.checker.ConcreteVerdict(z, vals, false).OK
+}
+
+// CompCRegions derives candidate certain regions ranked by quality
+// (descending). Different seeds explore different greedy starting points;
+// duplicates (same Z) are merged. The first element is the CRHQ region of
+// §6 Exp-1(2); the middle element is CRMQ.
+func (d *Deriver) CompCRegions() []Candidate {
+	free := d.sigma.FreeAttrs()
+
+	// Seeds: the bare free set, plus free ∪ {A} for every attribute read
+	// by some rule (lhs or pattern attribute).
+	seedExtras := d.sigma.LHS().Union(d.sigma.PatternAttrs()).Positions()
+	seen := map[string]bool{}
+	var out []Candidate
+	tryZ := func(zSet relation.AttrSet) {
+		z := d.growAndMinimize(zSet)
+		if z == nil {
+			return
+		}
+		key := relation.NewAttrSet(z...).Key()
+		if seen[key] {
+			return
+		}
+		seen[key] = true
+		cand := d.score(z)
+		if cand.Support > 0 {
+			out = append(out, cand)
+		}
+	}
+	tryZ(free.Clone())
+	for _, a := range seedExtras {
+		s := free.Clone()
+		s.Add(a)
+		tryZ(s)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Quality > out[j].Quality })
+	return out
+}
+
+// growAndMinimize grows zSet greedily until the structural closure covers
+// R (preferring the attribute whose addition enlarges the closure most),
+// then reverse-deletes redundant attributes. Returns nil when full
+// coverage is unreachable.
+func (d *Deriver) growAndMinimize(zSet relation.AttrSet) []int {
+	r := d.sigma.Schema()
+	arity := r.Arity()
+	cur := zSet.Clone()
+	free := d.sigma.FreeAttrs()
+
+	for structuralClosure(d.sigma, d.sup, cur).Len() < arity {
+		bestAttr, bestGain := -1, -1
+		for a := 0; a < arity; a++ {
+			if cur.Has(a) {
+				continue
+			}
+			trial := cur.Clone()
+			trial.Add(a)
+			gain := structuralClosure(d.sigma, d.sup, trial).Len()
+			if gain > bestGain {
+				bestGain, bestAttr = gain, a
+			}
+		}
+		if bestAttr < 0 {
+			return nil
+		}
+		before := structuralClosure(d.sigma, d.sup, cur).Len()
+		cur.Add(bestAttr)
+		if bestGain <= before {
+			// No attribute makes progress: coverage unreachable.
+			return nil
+		}
+	}
+
+	// Reverse-delete: drop attributes (never free ones) whose removal
+	// keeps the closure complete.
+	for _, a := range cur.Positions() {
+		if free.Has(a) {
+			continue
+		}
+		trial := cur.Clone()
+		trial.Remove(a)
+		if structuralClosure(d.sigma, d.sup, trial).Len() == arity {
+			cur = trial
+		}
+	}
+	return cur.Positions()
+}
+
+// score verifies sampled master-derived rows for Z and computes the
+// quality: primarily fewer user-validated attributes (more coverage by
+// rules), secondarily the fraction of sampled rows that verified certain.
+func (d *Deriver) score(z []int) Candidate {
+	r := d.sigma.Schema()
+	support, samples := 0, 0
+	for _, vals := range d.sampleRows(z) {
+		samples++
+		if d.CertainRow(z, vals) {
+			support++
+		}
+	}
+	frac := 0.0
+	if samples > 0 {
+		frac = float64(support) / float64(samples)
+	}
+	quality := float64(r.Arity()-len(z)) + frac
+	return Candidate{Z: z, ZSet: relation.NewAttrSet(z...), Quality: quality, Support: support}
+}
+
+// sampleRows builds candidate pattern rows for Z from master tuples: for
+// each sampled tm, each Z attribute takes tm's λϕ-paired value when it is
+// an lhs attribute, a pattern constant when only patterns mention it, and
+// a placeholder otherwise. Multiple choices (e.g. type ∈ {1, 2}) multiply
+// within a small bound.
+func (d *Deriver) sampleRows(z []int) [][]relation.Value {
+	n := d.dm.Len()
+	if n == 0 {
+		return nil
+	}
+	step := 1
+	if n > d.sampleCap {
+		step = n / d.sampleCap
+	}
+	var rows [][]relation.Value
+	for id := 0; id < n; id += step {
+		tm := d.dm.Tuple(id)
+		choices := make([][]relation.Value, len(z))
+		for i, a := range z {
+			choices[i] = d.attrChoices(a, tm)
+		}
+		rows = appendProduct(rows, choices, 8)
+	}
+	return rows
+}
+
+// attrChoices lists the plausible validated values of attribute a given
+// master tuple tm.
+func (d *Deriver) attrChoices(a int, tm relation.Tuple) []relation.Value {
+	var out []relation.Value
+	add := func(v relation.Value) {
+		for _, w := range out {
+			if w.Equal(v) {
+				return
+			}
+		}
+		out = append(out, v)
+	}
+	for _, ru := range d.sigma.Rules() {
+		if mp, ok := ru.MasterPosFor(a); ok {
+			add(tm[mp])
+		}
+	}
+	if vs, ok := d.actDom[a]; ok {
+		for _, v := range vs {
+			add(v)
+		}
+	}
+	if len(out) == 0 {
+		// Attribute outside Σ (like `item`): its value is irrelevant to
+		// rule firing; any placeholder works.
+		add(relation.String("*"))
+	}
+	return out
+}
+
+// appendProduct appends the cartesian product of choices to rows, bounded
+// per master tuple to avoid blowups from wide pattern domains.
+func appendProduct(rows [][]relation.Value, choices [][]relation.Value, bound int) [][]relation.Value {
+	total := 1
+	for _, c := range choices {
+		total *= len(c)
+		if total > bound {
+			total = bound
+			break
+		}
+	}
+	vec := make([]relation.Value, len(choices))
+	count := 0
+	var walk func(i int)
+	walk = func(i int) {
+		if count >= bound {
+			return
+		}
+		if i == len(choices) {
+			rows = append(rows, append([]relation.Value(nil), vec...))
+			count++
+			return
+		}
+		for _, v := range choices[i] {
+			vec[i] = v
+			walk(i + 1)
+		}
+	}
+	walk(0)
+	return rows
+}
+
+// GRegion is the greedy baseline of §6 Exp-1(1): "at each stage, choose
+// an attribute which may fix the largest number of uncovered attributes".
+// It reasons one step at a time — no cascade closure, no reverse-delete —
+// so it picks intermediate attributes a cascade would have covered for
+// free, ending with a larger Z than CompCRegion (the paper's table:
+// 4 vs 2 on HOSP, 9 vs 5 on DBLP).
+func (d *Deriver) GRegion() Candidate {
+	arity := d.sigma.Schema().Arity()
+	var cur relation.AttrSet
+
+	for {
+		covered := directCover(d.sigma, d.sup, cur)
+		if covered.Len() >= arity {
+			break
+		}
+		// Greedy step: the attribute enabling the most one-step fixes.
+		bestAttr, bestGain := -1, 0
+		for a := 0; a < arity; a++ {
+			if cur.Has(a) {
+				continue
+			}
+			trial := cur.Clone()
+			trial.Add(a)
+			gain := directCover(d.sigma, d.sup, trial).Len() - covered.Len()
+			if !covered.Has(a) {
+				gain-- // do not count the attribute covering itself
+			}
+			if gain > bestGain {
+				bestGain, bestAttr = gain, a
+			}
+		}
+		if bestAttr >= 0 {
+			cur.Add(bestAttr)
+			continue
+		}
+		// No attribute fixes anything by itself: add the uncovered
+		// attribute occurring in the most premises of rules whose rhs is
+		// still uncovered (a multi-attribute premise needs several stages
+		// to assemble); free attributes come last, one per stage.
+		cur.Add(d.gRegionFallback(covered, cur))
+	}
+	return d.score(cur.Positions())
+}
+
+// gRegionFallback picks the next attribute when no single addition fires
+// a rule.
+func (d *Deriver) gRegionFallback(covered, cur relation.AttrSet) int {
+	arity := d.sigma.Schema().Arity()
+	counts := make([]int, arity)
+	for i, ru := range d.sigma.Rules() {
+		if !d.sup[i] || covered.Has(ru.RHS()) {
+			continue
+		}
+		for _, p := range ru.PremiseSet().Positions() {
+			if !cur.Has(p) {
+				counts[p]++
+			}
+		}
+	}
+	best, bestCount := -1, 0
+	for a := 0; a < arity; a++ {
+		if !cur.Has(a) && counts[a] > bestCount {
+			best, bestCount = a, counts[a]
+		}
+	}
+	if best >= 0 {
+		return best
+	}
+	for a := 0; a < arity; a++ {
+		if !covered.Has(a) && !cur.Has(a) {
+			return a
+		}
+	}
+	// Unreachable: the loop only calls this while something is uncovered.
+	return 0
+}

@@ -1,0 +1,206 @@
+package suggest
+
+import (
+	"repro/internal/pattern"
+	"repro/internal/relation"
+	"repro/internal/rule"
+)
+
+// ApplicableRules computes Σ_t[Z] of §5.2: the rules that can still
+// participate in fixing t once t[Z] is validated, each refined into ϕ+ by
+// pinning its pattern to t's validated values. A rule ϕ is kept when
+//
+//	(a) rhs(ϕ) ∉ Z (validated attributes are protected),
+//	(b) its pattern cells on Z accept t's values, and
+//	(c) some master tuple is compatible: it satisfies the pattern cells on
+//	    the λϕ-mapped lhs attributes and agrees with t on λϕ(X ∩ Z).
+//
+// ϕ+ extends the pattern with X ∩ Z pinned to t's constants (Prop. 20
+// shows suggestions may be computed against Σ_t[Z] instead of Σ).
+func (d *Deriver) ApplicableRules(t relation.Tuple, zSet relation.AttrSet) *rule.Set {
+	out := rule.MustNewSet(d.sigma.Schema(), d.dm.Schema())
+	for _, ru := range d.sigma.Rules() {
+		if zSet.Has(ru.RHS()) {
+			continue // (a)
+		}
+		if !patternAccepts(ru, t, zSet) {
+			continue // (b)
+		}
+		if !d.masterCompatible(ru, t, zSet) {
+			continue // (c)
+		}
+		refined := ru.Pattern()
+		touched := false
+		for _, p := range ru.LHS() {
+			if zSet.Has(p) {
+				refined = refined.WithCell(p, pattern.Eq(t[p]))
+				touched = true
+			}
+		}
+		if !touched {
+			out.Add(ru) // X ∩ Z = ∅: ϕ+ coincides with ϕ (Example 14's ϕ4, ϕ5)
+			continue
+		}
+		plus, err := ru.WithPattern(refined)
+		if err != nil {
+			continue // cannot happen: refinement keeps positions valid
+		}
+		out.Add(plus)
+	}
+	return out
+}
+
+// patternAccepts checks condition (b): tp[Xp ∩ Z] ≈ t[Xp ∩ Z].
+func patternAccepts(ru *rule.Rule, t relation.Tuple, zSet relation.AttrSet) bool {
+	tp := ru.Pattern()
+	for i := 0; i < tp.Len(); i++ {
+		pos, cell := tp.CellAt(i)
+		if zSet.Has(pos) && !cell.Matches(t[pos]) {
+			return false
+		}
+	}
+	return true
+}
+
+// masterCompatible checks condition (c). When X ⊆ Z it probes the master
+// index on the full Xm key (O(1)); for partially validated lhs it scans
+// for a tuple agreeing on the validated part and pattern-compatible on
+// the rest.
+func (d *Deriver) masterCompatible(ru *rule.Rule, t relation.Tuple, zSet relation.AttrSet) bool {
+	x, xm := ru.LHS(), ru.LHSM()
+	if zSet.ContainsSet(ru.LHSSet()) {
+		// Fully validated lhs: one O(1) index probe on tm[Xm] = t[X].
+		for _, id := range d.dm.MatchIDs(ru, t) {
+			if d.patternCompatibleMaster(ru, d.dm.Tuple(id)) {
+				return true
+			}
+		}
+		return false
+	}
+	tp := ru.Pattern()
+	for _, tm := range d.dm.Relation().Tuples() {
+		ok := true
+		for i := range x {
+			if zSet.Has(x[i]) {
+				if !t[x[i]].Equal(tm[xm[i]]) {
+					ok = false
+					break
+				}
+			}
+			if cell, has := tp.CellFor(x[i]); has && !cell.Matches(tm[xm[i]]) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+// patternCompatibleMaster checks tm[λϕ(Xp ∩ X)] ≈ tp[Xp ∩ X].
+func (d *Deriver) patternCompatibleMaster(ru *rule.Rule, tm relation.Tuple) bool {
+	x, xm := ru.LHS(), ru.LHSM()
+	tp := ru.Pattern()
+	for i := range x {
+		if cell, has := tp.CellFor(x[i]); has && !cell.Matches(tm[xm[i]]) {
+			return false
+		}
+	}
+	return true
+}
+
+// allSupported marks every rule of a refined set as master-supported:
+// ApplicableRules admits a rule only after finding a compatible master
+// tuple (condition (c)), so recomputing support would be redundant work.
+func allSupported(s *rule.Set) supportMap {
+	sup := make(supportMap, s.Len())
+	for i := range sup {
+		sup[i] = true
+	}
+	return sup
+}
+
+// Suggestion is the result of procedure Suggest: the attribute set S to
+// recommend, with the refined rule set used to justify it.
+type Suggestion struct {
+	S       []int
+	Refined *rule.Set
+}
+
+// Suggest implements procedure Suggest of Fig. 6: derive Σ_t[Z], compute a
+// (small) attribute set S such that validating t[S] on top of t[Z]
+// reaches full structural coverage, and return it. An empty S means the
+// closure of Z under the refined rules already covers R. Attributes no
+// rule can reach end up in S themselves — the users must assert them
+// directly, exactly as the paper's framework expects (Example 8: item has
+// to be assured by the users).
+func (d *Deriver) Suggest(t relation.Tuple, zSet relation.AttrSet) Suggestion {
+	refined := d.ApplicableRules(t, zSet)
+	sup := allSupported(refined)
+	arity := d.sigma.Schema().Arity()
+
+	cur := zSet.Clone()
+	var s relation.AttrSet
+	for structuralClosure(refined, sup, cur).Len() < arity {
+		bestAttr, bestGain := -1, -1
+		closNow := structuralClosure(refined, sup, cur).Len()
+		for a := 0; a < arity; a++ {
+			if cur.Has(a) {
+				continue
+			}
+			trial := cur.Clone()
+			trial.Add(a)
+			gain := structuralClosure(refined, sup, trial).Len()
+			if gain > bestGain {
+				bestGain, bestAttr = gain, a
+			}
+		}
+		if bestAttr < 0 {
+			break
+		}
+		cur.Add(bestAttr)
+		s.Add(bestAttr)
+		if bestGain <= closNow+1 {
+			// The attribute only covered itself; keep going — remaining
+			// unreachable attributes all end up in S this way.
+			continue
+		}
+	}
+
+	// Reverse-delete to keep S minimal (S-minimum is NP-hard, Thm 12 via
+	// the Z = ∅ special case; greedy + reverse-delete is the heuristic).
+	for _, a := range s.Positions() {
+		trialS := s.Clone()
+		trialS.Remove(a)
+		trial := zSet.Union(trialS)
+		if structuralClosure(refined, sup, trial).Len() == arity {
+			s = trialS
+		}
+	}
+	return Suggestion{S: s.Positions(), Refined: refined}
+}
+
+// IsSuggestion reports whether validating t[S] on top of t[Z] reaches full
+// structural coverage under the refined rules Σ_t[Z].
+func (d *Deriver) IsSuggestion(t relation.Tuple, zSet relation.AttrSet, s []int) bool {
+	refined := d.ApplicableRules(t, zSet)
+	sup := allSupported(refined)
+	cur := zSet.Clone()
+	cur.AddAll(s)
+	return structuralClosure(refined, sup, cur).Len() == d.sigma.Schema().Arity()
+}
+
+// IsSuggestionFast is the reuse test of Suggest+ (§5.2): it decides
+// whether a cached suggestion still covers R using only the precomputed
+// per-rule master support — no per-tuple master scans. Checking a cached
+// suggestion this way is far cheaper than computing a fresh one (which
+// must derive Σ_t[Z] against the master data); optimism about the
+// specific tuple's values is safe because the framework re-validates
+// through TransFix after the users answer.
+func (d *Deriver) IsSuggestionFast(zSet relation.AttrSet, s []int) bool {
+	cur := zSet.Clone()
+	cur.AddAll(s)
+	return structuralClosure(d.sigma, d.sup, cur).Len() == d.sigma.Schema().Arity()
+}

@@ -1,0 +1,212 @@
+package suggest_test
+
+import (
+	"testing"
+
+	"repro/internal/master"
+	"repro/internal/paperex"
+	"repro/internal/relation"
+	"repro/internal/rule"
+	"repro/internal/suggest"
+)
+
+func parseRules(r, rm *relation.Schema, dsl string) (*rule.Set, error) {
+	return rule.ParseRuleSet(r, rm, dsl)
+}
+
+func newDeriver(t *testing.T) *suggest.Deriver {
+	t.Helper()
+	sigma := paperex.Sigma0()
+	dm := master.MustNewForRules(paperex.MasterRelation(), sigma)
+	return suggest.NewDeriver(sigma, dm)
+}
+
+// TestCompCRegionsSigma0: the best region for Σ0 asks the user for
+// exactly (phn, type, item, zip) — matching the minimal Z established by
+// the exact Z-minimum solver in the analysis tests.
+func TestCompCRegionsSigma0(t *testing.T) {
+	d := newDeriver(t)
+	r := d.Sigma().Schema()
+	cands := d.CompCRegions()
+	if len(cands) == 0 {
+		t.Fatal("CompCRegions returned nothing")
+	}
+	best := cands[0]
+	want := relation.NewAttrSet(r.MustPosList("phn", "type", "item", "zip")...)
+	if !best.ZSet.Equal(want) {
+		t.Fatalf("best Z = %v, want phn+type+item+zip", best.ZSet.Names(r))
+	}
+	if best.Support == 0 {
+		t.Fatal("best region must have verified master support")
+	}
+	// Quality sorted descending.
+	for i := 1; i < len(cands); i++ {
+		if cands[i].Quality > cands[i-1].Quality {
+			t.Fatal("candidates must be sorted by quality descending")
+		}
+	}
+}
+
+// TestCertainRowSigma0: the Example 9 row (s1 zip, s1 Mphn, 2, *) is a
+// certain row; swapping type to 1 breaks coverage (names unfixable).
+func TestCertainRowSigma0(t *testing.T) {
+	d := newDeriver(t)
+	r := d.Sigma().Schema()
+	z := r.MustPosList("zip", "phn", "type", "item")
+	good := []relation.Value{
+		relation.String("EH7 4AH"), relation.String("079172485"),
+		relation.String("2"), relation.String("CD"),
+	}
+	if !d.CertainRow(z, good) {
+		t.Fatal("Example 9 row must be certain")
+	}
+	bad := append([]relation.Value(nil), good...)
+	bad[2] = relation.String("1")
+	if d.CertainRow(z, bad) {
+		t.Fatal("type=1 with a mobile number covers no names; not certain")
+	}
+	if !d.ConsistentRow(z, bad) {
+		t.Fatal("the type=1 row is still consistent (just not covering)")
+	}
+}
+
+// TestGRegionLargerThanCompCRegion: on a chained rule set (A fixes B, B
+// fixes C, ...) the cascade-aware CompCRegion needs only the chain head
+// while the myopic GRegion also picks intermediate attributes — the
+// qualitative result of §6 Exp-1(1).
+func TestGRegionLargerThanCompCRegion(t *testing.T) {
+	r := relation.StringSchema("R", "A", "B", "C", "D")
+	rm := relation.StringSchema("Rm", "Am", "Bm", "Cm", "Dm")
+	rel := relation.NewRelation(rm)
+	rel.MustAppend(relation.StringTuple("a", "b", "c", "d"))
+	dsl := `
+rule r1: (A ; Am) -> (B ; Bm)
+rule r2: (B ; Bm) -> (C ; Cm)
+rule r3: (C ; Cm) -> (D ; Dm)
+`
+	sigma, err := parseRules(r, rm, dsl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := suggest.NewDeriver(sigma, master.MustNewForRules(rel, sigma))
+
+	comp := d.CompCRegions()
+	if len(comp) == 0 {
+		t.Fatal("no CompCRegion candidates")
+	}
+	if got := len(comp[0].Z); got != 1 {
+		t.Fatalf("CompCRegion |Z| = %d, want 1 (just A)", got)
+	}
+	g := d.GRegion()
+	if len(g.Z) <= len(comp[0].Z) {
+		t.Fatalf("GRegion |Z| = %d must exceed CompCRegion |Z| = %d", len(g.Z), len(comp[0].Z))
+	}
+}
+
+// TestApplicableRulesExample14: after validating t1[zip, AC, str, city],
+// the applicable rules are ϕ4 and ϕ5 (the name-fixing rules); the
+// address-fixing rules are excluded because their rhs is validated.
+func TestApplicableRulesExample14(t *testing.T) {
+	d := newDeriver(t)
+	r := d.Sigma().Schema()
+	// t1 after Example 12's TransFix run.
+	t1 := paperex.InputT1()
+	t1[r.MustPos("AC")] = relation.String("131")
+	t1[r.MustPos("str")] = relation.String("51 Elm Row")
+	zSet := relation.NewAttrSet(r.MustPosList("zip", "AC", "str", "city")...)
+
+	refined := d.ApplicableRules(t1, zSet)
+	names := map[string]bool{}
+	for _, ru := range refined.Rules() {
+		names[ru.Name()] = true
+	}
+	if !names["phi4"] || !names["phi5"] {
+		t.Fatalf("ϕ4, ϕ5 must be applicable; got %v", names)
+	}
+	for n := range names {
+		if n != "phi4" && n != "phi5" {
+			t.Errorf("unexpected applicable rule %s (rhs validated or unsupported)", n)
+		}
+	}
+}
+
+// TestApplicableRulesRefinement: a partially validated lhs pins the
+// pattern to t's constants (the ϕ+6 refinement of Example 14, shown here
+// on ϕ6 with only AC validated).
+func TestApplicableRulesRefinement(t *testing.T) {
+	d := newDeriver(t)
+	r := d.Sigma().Schema()
+	t1 := paperex.InputT2() // AC = 131, type = 1
+	zSet := relation.NewAttrSet(r.MustPos("AC"))
+
+	refined := d.ApplicableRules(t1, zSet)
+	var found bool
+	for _, ru := range refined.Rules() {
+		if ru.Name() == "phi6+" {
+			found = true
+			cell, ok := ru.Pattern().CellFor(r.MustPos("AC"))
+			if !ok || cell.Val.Str() != "131" {
+				t.Fatalf("ϕ6+ must pin AC to 131; cell = %v", cell)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("ϕ6+ must be derived when AC is validated and master-compatible")
+	}
+}
+
+// TestApplicableRulesMasterIncompatible: with AC validated to a value no
+// master tuple carries, the address rules are filtered by condition (c).
+func TestApplicableRulesMasterIncompatible(t *testing.T) {
+	d := newDeriver(t)
+	r := d.Sigma().Schema()
+	tup := paperex.InputT2()
+	tup[r.MustPos("AC")] = relation.String("999")
+	zSet := relation.NewAttrSet(r.MustPos("AC"))
+
+	refined := d.ApplicableRules(tup, zSet)
+	for _, ru := range refined.Rules() {
+		switch ru.Name() {
+		case "phi6+", "phi7+", "phi8+":
+			t.Errorf("%s must be filtered: no master tuple has AC=999", ru.Name())
+		}
+	}
+}
+
+// TestSuggestExample13: for t1 with (zip, AC, str, city) validated, the
+// suggestion is exactly {phn, type, item} (Example 13).
+func TestSuggestExample13(t *testing.T) {
+	d := newDeriver(t)
+	r := d.Sigma().Schema()
+	t1 := paperex.InputT1()
+	t1[r.MustPos("AC")] = relation.String("131")
+	t1[r.MustPos("str")] = relation.String("51 Elm Row")
+	zSet := relation.NewAttrSet(r.MustPosList("zip", "AC", "str", "city")...)
+
+	sug := d.Suggest(t1, zSet)
+	got := relation.NewAttrSet(sug.S...)
+	want := relation.NewAttrSet(r.MustPosList("phn", "type", "item")...)
+	if !got.Equal(want) {
+		t.Fatalf("S = %v, want {phn, type, item}", got.Names(r))
+	}
+	if !d.IsSuggestion(t1, zSet, sug.S) {
+		t.Fatal("Suggest's own output must pass IsSuggestion")
+	}
+	// A strict subset is not a suggestion (item is unreachable).
+	if d.IsSuggestion(t1, zSet, r.MustPosList("phn", "type")) {
+		t.Fatal("dropping item must fail IsSuggestion")
+	}
+}
+
+// TestSuggestAlreadyCovered: when Z plus cascades already cover R the
+// suggestion is empty.
+func TestSuggestAlreadyCovered(t *testing.T) {
+	d := newDeriver(t)
+	r := d.Sigma().Schema()
+	t1 := paperex.InputT1()
+	zSet := relation.NewAttrSet(r.MustPosList("zip", "phn", "type", "item")...)
+	sug := d.Suggest(t1, zSet)
+	if len(sug.S) != 0 {
+		t.Fatalf("S = %v, want empty (closure covers R)", relation.NewAttrSet(sug.S...).Names(r))
+	}
+}

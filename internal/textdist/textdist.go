@@ -1,0 +1,67 @@
+// Package textdist provides the string-distance metrics used by the
+// IncRep baseline's cost model (Cong et al., VLDB 2007 — reference [14]
+// of the paper) and by the dirty-data generator. The repair cost of
+// changing value v to v' is dist(v, v') weighted by attribute weight;
+// IncRep prefers cheap changes.
+package textdist
+
+// Levenshtein returns the edit distance between a and b (unit costs for
+// insert, delete, substitute), computed with the two-row dynamic program
+// in O(len(a)·len(b)) time and O(min) space.
+func Levenshtein(a, b string) int {
+	if a == b {
+		return 0
+	}
+	// Work on runes so multi-byte text measures sensibly.
+	ra, rb := []rune(a), []rune(b)
+	if len(ra) == 0 {
+		return len(rb)
+	}
+	if len(rb) == 0 {
+		return len(ra)
+	}
+	if len(ra) < len(rb) {
+		ra, rb = rb, ra
+	}
+	prev := make([]int, len(rb)+1)
+	cur := make([]int, len(rb)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(ra); i++ {
+		cur[0] = i
+		for j := 1; j <= len(rb); j++ {
+			cost := 1
+			if ra[i-1] == rb[j-1] {
+				cost = 0
+			}
+			cur[j] = min3(prev[j]+1, cur[j-1]+1, prev[j-1]+cost)
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(rb)]
+}
+
+// Normalized returns Levenshtein(a, b) divided by the longer length,
+// in [0, 1]; 0 for two empty strings.
+func Normalized(a, b string) float64 {
+	la, lb := len([]rune(a)), len([]rune(b))
+	longest := la
+	if lb > longest {
+		longest = lb
+	}
+	if longest == 0 {
+		return 0
+	}
+	return float64(Levenshtein(a, b)) / float64(longest)
+}
+
+func min3(a, b, c int) int {
+	if b < a {
+		a = b
+	}
+	if c < a {
+		a = c
+	}
+	return a
+}

@@ -1,0 +1,67 @@
+package textdist
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLevenshteinKnownCases(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"a", "", 1},
+		{"", "abc", 3},
+		{"kitten", "sitting", 3},
+		{"flaw", "lawn", 2},
+		{"Ldn", "Edi", 2},
+		{"Bob", "Robert", 4},
+		{"same", "same", 0},
+		{"Edi", "Edinburgh", 6},
+		{"日本語", "日本", 1}, // rune-aware
+	}
+	for _, c := range cases {
+		if got := Levenshtein(c.a, c.b); got != c.want {
+			t.Errorf("Levenshtein(%q, %q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestLevenshteinSymmetryProperty(t *testing.T) {
+	f := func(a, b string) bool { return Levenshtein(a, b) == Levenshtein(b, a) }
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLevenshteinIdentityProperty(t *testing.T) {
+	f := func(a string) bool { return Levenshtein(a, a) == 0 }
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLevenshteinTriangleProperty(t *testing.T) {
+	f := func(a, b, c string) bool {
+		return Levenshtein(a, c) <= Levenshtein(a, b)+Levenshtein(b, c)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNormalized(t *testing.T) {
+	if got := Normalized("", ""); got != 0 {
+		t.Errorf("Normalized empty = %v", got)
+	}
+	if got := Normalized("abc", "abc"); got != 0 {
+		t.Errorf("Normalized equal = %v", got)
+	}
+	if got := Normalized("abc", "xyz"); got != 1 {
+		t.Errorf("Normalized disjoint = %v", got)
+	}
+	if got := Normalized("ab", "abcd"); got != 0.5 {
+		t.Errorf("Normalized half = %v", got)
+	}
+}

@@ -1,0 +1,233 @@
+// Package certainfix is the public API of the certain-fix data-cleaning
+// library — a Go implementation of "Towards Certain Fixes with Editing
+// Rules and Master Data" (Fan, Li, Ma, Tang, Yu; VLDB 2010 / VLDBJ 2012).
+//
+// The library repairs input tuples at the point of data entry using a
+// master relation and a set of editing rules, with a correctness
+// guarantee the constraint-based repair methods lack: an attribute is
+// modified only when the fix is *certain* — implied by user-validated
+// attributes, the rules and the master data.
+//
+// # Quick start
+//
+//	r := certainfix.StringSchema("order", "sku", "price", "desc")
+//	rm := certainfix.StringSchema("catalog", "sku", "price", "desc")
+//	rules, _ := certainfix.ParseRules(r, rm, `
+//	rule price: (sku ; sku) -> (price ; price) when sku != nil
+//	rule desc:  (sku ; sku) -> (desc ; desc)  when sku != nil
+//	`)
+//	sys, _ := certainfix.New(rules, masterRelation, certainfix.Options{})
+//	res, _ := sys.Fix(dirtyTuple, user) // user answers suggestions
+//
+// See examples/ for complete programs and DESIGN.md for the architecture.
+package certainfix
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/analysis"
+	"repro/internal/fix"
+	"repro/internal/master"
+	"repro/internal/monitor"
+	"repro/internal/pattern"
+	"repro/internal/relation"
+	"repro/internal/rule"
+	"repro/internal/suggest"
+)
+
+// Core relational types, re-exported for API ergonomics.
+type (
+	// Schema describes a relation's attributes.
+	Schema = relation.Schema
+	// Tuple is a row; index it by schema position.
+	Tuple = relation.Tuple
+	// Value is a typed scalar cell.
+	Value = relation.Value
+	// Relation is an in-memory table.
+	Relation = relation.Relation
+	// AttrSet is a set of attribute positions.
+	AttrSet = relation.AttrSet
+	// Rules is a set Σ of editing rules over (R, Rm).
+	Rules = rule.Set
+	// Region is a pair (Z, Tc): user-validated attributes plus a pattern
+	// tableau describing which tuples the guarantee covers.
+	Region = fix.Region
+	// User supplies interactive feedback; see SimulatedUser for testing.
+	User = monitor.User
+	// SimulatedUser answers suggestions from a ground-truth tuple.
+	SimulatedUser = monitor.SimulatedUser
+	// Result reports a finished fix.
+	Result = monitor.Result
+	// Verdict is the outcome of a consistency or coverage check.
+	Verdict = analysis.Verdict
+	// RegionCandidate is a derived certain region with its quality score.
+	RegionCandidate = suggest.Candidate
+)
+
+// Value constructors.
+var (
+	// Null is the missing value.
+	Null = relation.Null
+	// String builds a string value.
+	String = relation.String
+	// Int builds an integer value.
+	Int = relation.Int
+	// StringTuple builds a tuple of strings; empty cells become Null.
+	StringTuple = relation.StringTuple
+)
+
+// StringSchema builds a schema whose attributes are all string-typed.
+func StringSchema(name string, attrs ...string) *Schema {
+	return relation.StringSchema(name, attrs...)
+}
+
+// NewRelation creates an empty relation over the schema.
+func NewRelation(schema *Schema) *Relation {
+	return relation.NewRelation(schema)
+}
+
+// ParseRules parses the textual rule DSL (one rule per line; see
+// internal/rule's documentation for the grammar):
+//
+//	rule phi3: (AC, phn ; AC, Hphn) -> (zip ; zip) when type = "1", AC != "0800"
+func ParseRules(r, rm *Schema, src string) (*Rules, error) {
+	return rule.ParseRuleSet(r, rm, src)
+}
+
+// ReadRules parses the rule DSL from a reader (e.g. a .rules file).
+func ReadRules(r, rm *Schema, rd io.Reader) (*Rules, error) {
+	return rule.ParseRules(r, rm, rd)
+}
+
+// ReadCSV loads a relation from CSV with a header row matching the schema.
+func ReadCSV(schema *Schema, rd io.Reader) (*Relation, error) {
+	return relation.ReadCSV(schema, rd)
+}
+
+// Options configures a System.
+type Options struct {
+	// UseSuggestionCache enables CertainFix+ (the BDD cache of §5.2),
+	// which amortizes suggestion computation across a stream of tuples.
+	UseSuggestionCache bool
+	// InitialRegion selects the precomputed certain region seeding the
+	// first suggestion (0 = highest quality).
+	InitialRegion int
+	// MaxRounds caps user-interaction rounds per tuple (0 = arity + 1).
+	MaxRounds int
+}
+
+// System binds a rule set Σ and master data Dm, precomputing indexes,
+// the rule dependency graph and the certain regions. Safe for concurrent
+// use.
+type System struct {
+	sigma   *rule.Set
+	dm      *master.Data
+	mon     *monitor.Monitor
+	checker *analysis.Checker
+}
+
+// New builds a System. The master relation must be an instance of Σ's
+// master schema; it is assumed consistent and complete (the master-data
+// contract of the paper, §2).
+func New(rules *Rules, masterRel *Relation, opts Options) (*System, error) {
+	dm, err := master.NewForRules(masterRel, rules)
+	if err != nil {
+		return nil, err
+	}
+	mon, err := monitor.New(rules, dm, monitor.Config{
+		UseBDD:        opts.UseSuggestionCache,
+		InitialRegion: opts.InitialRegion,
+		MaxRounds:     opts.MaxRounds,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &System{
+		sigma:   rules,
+		dm:      dm,
+		mon:     mon,
+		checker: analysis.NewChecker(rules, dm, analysis.Options{}),
+	}, nil
+}
+
+// Rules returns Σ.
+func (s *System) Rules() *Rules { return s.sigma }
+
+// Schema returns the input schema R.
+func (s *System) Schema() *Schema { return s.sigma.Schema() }
+
+// Regions returns the precomputed certain-region candidates, best first.
+// The first candidate's Z is what the users are asked to validate first.
+func (s *System) Regions() []RegionCandidate { return s.mon.Regions() }
+
+// Fix interactively finds a certain fix for one input tuple (algorithm
+// CertainFix, Fig. 3 of the paper). The input is not mutated.
+func (s *System) Fix(t Tuple, user User) (Result, error) {
+	return s.mon.Fix(t, user)
+}
+
+// RepairOnce applies every certain fix that follows from the attributes
+// in validated (assumed correct) without user interaction — procedure
+// TransFix. It returns the repaired tuple, the set of all validated
+// attributes afterwards, and the positions the rules fixed.
+func (s *System) RepairOnce(t Tuple, validated []int) (Tuple, AttrSet, []int, error) {
+	out := t.Clone()
+	zSet := relation.NewAttrSet(validated...)
+	if zSet.Len() != len(validated) {
+		return nil, AttrSet{}, nil, fmt.Errorf("certainfix: duplicate validated attributes")
+	}
+	fixed, err := fix.TransFix(s.mon.DepGraph(), s.dm, out, &zSet)
+	if err != nil {
+		return nil, AttrSet{}, nil, err
+	}
+	return out, zSet, fixed, nil
+}
+
+// Consistent decides whether (Σ, Dm) is consistent relative to the
+// region: every tuple it marks has a unique fix (§4, Thm 1/4).
+func (s *System) Consistent(reg *Region) (Verdict, error) {
+	return s.checker.Consistent(reg)
+}
+
+// CertainRegion decides whether the region guarantees certain fixes for
+// every tuple it marks (§4, Thm 2/4).
+func (s *System) CertainRegion(reg *Region) (Verdict, error) {
+	return s.checker.CertainRegion(reg)
+}
+
+// Suggest computes the attribute set the users should validate next for
+// tuple t given already-validated attributes (procedure Suggest, Fig. 6).
+func (s *System) Suggest(t Tuple, validated []int) []int {
+	return s.mon.Deriver().Suggest(t, relation.NewAttrSet(validated...)).S
+}
+
+// NewRegion builds a region from attribute names and a tableau of rows,
+// where each row maps attribute names to required constants (a
+// convenience for concrete tableaus; use the fix and pattern packages
+// directly for wildcards and negations).
+func NewRegion(schema *Schema, attrs []string, rows []map[string]Value) (*Region, error) {
+	z, err := schema.PosList(attrs...)
+	if err != nil {
+		return nil, err
+	}
+	tab := pattern.NewTableau()
+	for _, row := range rows {
+		var pos []int
+		var cells []pattern.Cell
+		for name, v := range row {
+			p, ok := schema.Pos(name)
+			if !ok {
+				return nil, fmt.Errorf("certainfix: region row names unknown attribute %q", name)
+			}
+			pos = append(pos, p)
+			cells = append(cells, pattern.Eq(v))
+		}
+		pt, err := pattern.NewTuple(pos, cells)
+		if err != nil {
+			return nil, err
+		}
+		tab.Add(pt)
+	}
+	return fix.NewRegion(z, tab)
+}

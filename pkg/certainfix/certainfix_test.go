@@ -1,0 +1,139 @@
+package certainfix_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/paperex"
+	"repro/pkg/certainfix"
+)
+
+func paperSystem(t *testing.T, opts certainfix.Options) *certainfix.System {
+	t.Helper()
+	sigma := paperex.Sigma0()
+	sys, err := certainfix.New(sigma, paperex.MasterRelation(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestSystemFixEndToEnd(t *testing.T) {
+	sys := paperSystem(t, certainfix.Options{})
+	truth := certainfix.StringTuple(
+		"Robert", "Brady", "131", "079172485", "2",
+		"51 Elm Row", "Edi", "EH7 4AH", "CD")
+	res, err := sys.Fix(paperex.InputT1(), certainfix.SimulatedUser{Truth: truth})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed || !res.Tuple.Equal(truth) {
+		t.Fatalf("completed=%v tuple=%v", res.Completed, res.Tuple)
+	}
+}
+
+func TestSystemRepairOnce(t *testing.T) {
+	sys := paperSystem(t, certainfix.Options{})
+	r := sys.Schema()
+	t1 := paperex.InputT1()
+	fixed, covered, changed, err := sys.RepairOnce(t1, []int{r.MustPos("zip")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fixed[r.MustPos("AC")].Str() != "131" {
+		t.Fatalf("AC = %v", fixed[r.MustPos("AC")])
+	}
+	// Input untouched.
+	if t1[r.MustPos("AC")].Str() != "020" {
+		t.Fatal("RepairOnce must not mutate its input")
+	}
+	if len(changed) != 3 || covered.Len() != 4 {
+		t.Fatalf("changed=%v covered=%v", changed, covered.Positions())
+	}
+	if _, _, _, err := sys.RepairOnce(t1, []int{0, 0}); err == nil {
+		t.Fatal("duplicate validated attributes must error")
+	}
+}
+
+func TestSystemRegionChecks(t *testing.T) {
+	sys := paperSystem(t, certainfix.Options{})
+	reg, err := certainfix.NewRegion(sys.Schema(),
+		[]string{"zip", "phn", "type", "item"},
+		[]map[string]certainfix.Value{
+			{"zip": certainfix.String("EH7 4AH"), "phn": certainfix.String("079172485"), "type": certainfix.String("2")},
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := sys.CertainRegion(reg)
+	if err != nil || !v.OK {
+		t.Fatalf("Example 9 region must be certain: %v %v", v, err)
+	}
+	v, err = sys.Consistent(reg)
+	if err != nil || !v.OK {
+		t.Fatalf("region must be consistent: %v %v", v, err)
+	}
+	if _, err := certainfix.NewRegion(sys.Schema(), []string{"zip"},
+		[]map[string]certainfix.Value{{"nope": certainfix.Null}}); err == nil {
+		t.Fatal("unknown attribute in region row must error")
+	}
+}
+
+func TestSystemSuggest(t *testing.T) {
+	sys := paperSystem(t, certainfix.Options{})
+	r := sys.Schema()
+	t1 := paperex.InputT1()
+	t1[r.MustPos("AC")] = certainfix.String("131")
+	t1[r.MustPos("str")] = certainfix.String("51 Elm Row")
+	s := sys.Suggest(t1, r.MustPosList("zip", "AC", "str", "city"))
+	if len(s) != 3 {
+		t.Fatalf("suggestion = %v, want {phn, type, item}", s)
+	}
+}
+
+func TestSystemRegions(t *testing.T) {
+	sys := paperSystem(t, certainfix.Options{})
+	regions := sys.Regions()
+	if len(regions) == 0 {
+		t.Fatal("no derived regions")
+	}
+	if len(regions[0].Z) == 0 {
+		t.Fatal("best region has empty Z")
+	}
+}
+
+func TestParseRulesAndCSV(t *testing.T) {
+	r := certainfix.StringSchema("R", "K", "V")
+	rm := certainfix.StringSchema("Rm", "K", "V")
+	rules, err := certainfix.ParseRules(r, rm, `rule kv: (K ; K) -> (V ; V) when K != nil`)
+	if err != nil || rules.Len() != 1 {
+		t.Fatalf("rules=%v err=%v", rules, err)
+	}
+	rel, err := certainfix.ReadCSV(rm, strings.NewReader("K,V\nk1,v1\nk2,v2\n"))
+	if err != nil || rel.Len() != 2 {
+		t.Fatalf("rel=%v err=%v", rel, err)
+	}
+	sys, err := certainfix.New(rules, rel, certainfix.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixed, _, changed, err := sys.RepairOnce(certainfix.StringTuple("k1", "wrong"), []int{0})
+	if err != nil || len(changed) != 1 || fixed[1].Str() != "v1" {
+		t.Fatalf("fixed=%v changed=%v err=%v", fixed, changed, err)
+	}
+	rules2, err := certainfix.ReadRules(r, rm, strings.NewReader("rule a: (K ; K) -> (V ; V)\n"))
+	if err != nil || rules2.Len() != 1 {
+		t.Fatalf("ReadRules: %v %v", rules2, err)
+	}
+}
+
+func TestSystemWithCache(t *testing.T) {
+	sys := paperSystem(t, certainfix.Options{UseSuggestionCache: true})
+	t4 := paperex.InputT4()
+	for i := 0; i < 3; i++ {
+		res, err := sys.Fix(t4, certainfix.SimulatedUser{Truth: t4})
+		if err != nil || !res.Completed {
+			t.Fatalf("iteration %d: res=%v err=%v", i, res, err)
+		}
+	}
+}

@@ -1,0 +1,63 @@
+package certainfix
+
+import (
+	"repro/internal/discover"
+	"repro/internal/metrics"
+	"repro/internal/monitor"
+	"repro/internal/relation"
+)
+
+// Session is the step-wise interactive API: obtain suggestions and
+// provide asserted values one round at a time (for form UIs, REPLs or
+// services that cannot model the user as a callback).
+type Session = monitor.Session
+
+// NewSession starts a step-wise fixing session for one tuple.
+func (s *System) NewSession(t Tuple) (*Session, error) {
+	return s.mon.NewSession(t)
+}
+
+// RepairRelation applies RepairOnce to every tuple of a relation,
+// trusting the given attribute positions on each, and returns a new
+// relation with the repaired tuples plus the total number of cells the
+// rules fixed. Tuples whose validated values expose rule conflicts are
+// copied unchanged (certainty first); their indexes are returned.
+func (s *System) RepairRelation(rel *Relation, validated []int) (*Relation, int, []int, error) {
+	out := relation.NewRelation(rel.Schema())
+	totalFixed := 0
+	var conflicted []int
+	for i := 0; i < rel.Len(); i++ {
+		fixed, _, changed, err := s.RepairOnce(rel.Tuple(i), validated)
+		if err != nil {
+			conflicted = append(conflicted, i)
+			fixed = rel.Tuple(i).Clone()
+		}
+		totalFixed += len(changed)
+		if err := out.Append(fixed); err != nil {
+			return nil, 0, nil, err
+		}
+	}
+	return out, totalFixed, conflicted, nil
+}
+
+// DiscoverOptions tunes rule mining; see DiscoverRules.
+type DiscoverOptions = discover.Options
+
+// MinedDependency is one mined functional dependency with its evidence.
+type MinedDependency = discover.Candidate
+
+// DiscoverRules mines editing rules from a master relation whose schema
+// aligns positionally with the input schema r — the §7 future-work
+// direction of the paper ("discovering editing rules from sample inputs
+// and master data"). The mined rules feed directly into New.
+func DiscoverRules(r *Schema, masterRel *Relation, opts DiscoverOptions) (*Rules, []MinedDependency, error) {
+	return discover.Rules(r, masterRel, opts)
+}
+
+// Score compares a repaired tuple against its ground truth, crediting
+// only the given positions as machine changes (pass nil to credit all) —
+// the evaluation measures of §6.
+func Score(input, truth, repaired Tuple, credited *AttrSet) (precision, recall, f1 float64) {
+	o := metrics.CompareCells(input, truth, repaired, credited)
+	return o.Precision(), o.Recall(), o.F1()
+}

@@ -1,0 +1,121 @@
+package certainfix_test
+
+import (
+	"testing"
+
+	"repro/internal/paperex"
+	"repro/pkg/certainfix"
+)
+
+func TestSessionThroughPublicAPI(t *testing.T) {
+	sys := paperSystem(t, certainfix.Options{})
+	truth := certainfix.StringTuple(
+		"Robert", "Brady", "131", "079172485", "2",
+		"51 Elm Row", "Edi", "EH7 4AH", "CD")
+	sess, err := sys.NewSession(paperex.InputT1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for !sess.Done() {
+		attrs := sess.Suggested()
+		values := make([]certainfix.Value, len(attrs))
+		for i, p := range attrs {
+			values[i] = truth[p]
+		}
+		if err := sess.Provide(attrs, values); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if res := sess.Result(); !res.Completed || !res.Tuple.Equal(truth) {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+func TestRepairRelation(t *testing.T) {
+	sys := paperSystem(t, certainfix.Options{})
+	r := sys.Schema()
+	rel := certainfix.NewRelation(r)
+	rel.MustAppend(paperex.InputT1(), paperex.InputT2(), paperex.InputT4())
+
+	out, fixed, conflicted, err := sys.RepairRelation(rel, []int{r.MustPos("zip")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 3 {
+		t.Fatalf("output length %d", out.Len())
+	}
+	if fixed == 0 {
+		t.Fatal("expected some fixed cells")
+	}
+	if len(conflicted) != 0 {
+		t.Fatalf("unexpected conflicts: %v", conflicted)
+	}
+	// t1's AC corrected via zip → s1.
+	if out.Tuple(0)[r.MustPos("AC")].Str() != "131" {
+		t.Fatalf("t1 AC = %v", out.Tuple(0)[r.MustPos("AC")])
+	}
+	// t4 untouched (zip not in master).
+	if !out.Tuple(2).Equal(paperex.InputT4()) {
+		t.Fatal("t4 must be unchanged")
+	}
+	// Inputs untouched.
+	if rel.Tuple(0)[r.MustPos("AC")].Str() != "020" {
+		t.Fatal("RepairRelation must not mutate inputs")
+	}
+}
+
+func TestRepairRelationConflict(t *testing.T) {
+	sys := paperSystem(t, certainfix.Options{})
+	r := sys.Schema()
+	rel := certainfix.NewRelation(r)
+	rel.MustAppend(paperex.InputT3()) // zip→s1 vs phone→s2
+
+	out, _, conflicted, err := sys.RepairRelation(rel, r.MustPosList("zip", "AC", "phn", "type"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(conflicted) != 1 || conflicted[0] != 0 {
+		t.Fatalf("conflicted = %v, want [0]", conflicted)
+	}
+	if !out.Tuple(0).Equal(paperex.InputT3()) {
+		t.Fatal("conflicted tuples must be copied unchanged")
+	}
+}
+
+func TestDiscoverRulesPublicAPI(t *testing.T) {
+	// Mine rules from the paper's master data with R aligned to Rm.
+	rm := paperex.SchemaRm()
+	r := certainfix.StringSchema("R", rm.AttrNames()...)
+	rules, deps, err := certainfix.DiscoverRules(r, paperex.MasterRelation(), certainfix.DiscoverOptions{
+		MinSupport: 2, MinDistinctRatio: 0.01,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rules.Len() == 0 || len(deps) != rules.Len() {
+		t.Fatalf("rules=%d deps=%d", rules.Len(), len(deps))
+	}
+	// zip determines city in {s1, s2}.
+	found := false
+	for _, ru := range rules.Rules() {
+		if len(ru.LHS()) == 1 && ru.LHS()[0] == r.MustPos("zip") && ru.RHS() == r.MustPos("city") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("zip → city should be mined from {s1, s2}")
+	}
+}
+
+func TestScore(t *testing.T) {
+	input := certainfix.StringTuple("a", "b")
+	truth := certainfix.StringTuple("A", "B")
+	repaired := certainfix.StringTuple("A", "b")
+	p, r, f1 := certainfix.Score(input, truth, repaired, nil)
+	if p != 1 || r != 0.5 {
+		t.Fatalf("p=%v r=%v", p, r)
+	}
+	if f1 <= 0.6 || f1 >= 0.7 {
+		t.Fatalf("f1=%v", f1)
+	}
+}
