@@ -194,6 +194,7 @@ func BenchmarkAblationIndexedVsScan(b *testing.B) {
 	probe := ds.Master.Tuple(benchMaster / 2).Clone()
 
 	b.Run("indexed", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if ids := indexed.MatchIDs(ru, probe); len(ids) == 0 {
 				b.Fatal("probe must match")
@@ -201,12 +202,106 @@ func BenchmarkAblationIndexedVsScan(b *testing.B) {
 		}
 	})
 	b.Run("scan", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if ids := bare.MatchIDs(ru, probe); len(ids) == 0 {
 				b.Fatal("probe must match")
 			}
 		}
 	})
+}
+
+// BenchmarkProbeAlloc pins the tentpole guarantee on a realistic master:
+// the indexed probe path (hash + bucket walk + verification) performs zero
+// heap allocations per MatchIDs call, hit or miss. TestProbeZeroAlloc in
+// internal/master enforces the same property as a hard test.
+//
+// Two distinct miss shapes are measured: an uninterned probe value (the
+// symbol-table early exit) and interned values in a combination absent
+// from the master (the full hash fold + empty-bucket path).
+func BenchmarkProbeAlloc(b *testing.B) {
+	ds := mustHosp(b, 1)
+	ru := ds.Sigma.Rule(0)
+	hit := ds.Master.Tuple(benchMaster / 2).Clone()
+	missUninterned := hit.Clone()
+	missUninterned[ru.LHS()[0]] = relation.String("no-such-key")
+
+	// h04 keys on (id, mCode): splice another tuple's mCode into tuple 0
+	// to build a probe of interned values whose pair misses.
+	ru2 := ruleNamed(b, ds, "h04")
+	missInterned := ds.Master.Tuple(0).Clone()
+	x, xm := ru2.LHS(), ru2.LHSM()
+	found := false
+	for k := 1; k < ds.Master.Len() && !found; k++ {
+		missInterned[x[1]] = ds.Master.Tuple(k)[xm[1]]
+		found = len(ds.Master.MatchIDs(ru2, missInterned)) == 0
+	}
+	if !found {
+		b.Fatal("could not build an interned-miss probe")
+	}
+
+	b.Run("hit", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if ids := ds.Master.MatchIDs(ru, hit); len(ids) == 0 {
+				b.Fatal("probe must match")
+			}
+		}
+	})
+	b.Run("miss-uninterned", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if ids := ds.Master.MatchIDs(ru, missUninterned); len(ids) != 0 {
+				b.Fatal("probe must miss")
+			}
+		}
+	})
+	b.Run("miss-interned", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if ids := ds.Master.MatchIDs(ru2, missInterned); len(ids) != 0 {
+				b.Fatal("probe must miss")
+			}
+		}
+	})
+}
+
+func ruleNamed(b *testing.B, ds *datagen.Dataset, name string) *rule.Rule {
+	b.Helper()
+	for _, ru := range ds.Sigma.Rules() {
+		if ru.Name() == name {
+			return ru
+		}
+	}
+	b.Fatalf("rule %s not found", name)
+	return nil
+}
+
+// BenchmarkFixBatch sweeps the worker count of the concurrent batch
+// pipeline over one stream of dirty tuples — the throughput layer on top
+// of the zero-allocation probes. b.N counts individual tuple fixes.
+func BenchmarkFixBatch(b *testing.B) {
+	ds := mustHosp(b, benchTuples)
+	m, err := monitor.New(ds.Sigma, ds.Master, monitor.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	userFor := func(i int) monitor.User {
+		return monitor.SimulatedUser{Truth: ds.Truths[i%len(ds.Truths)]}
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			inputs := make([]relation.Tuple, b.N)
+			for i := range inputs {
+				inputs[i] = ds.Inputs[i%len(ds.Inputs)]
+			}
+			b.ResetTimer()
+			if _, err := m.FixBatch(inputs, userFor, monitor.BatchOptions{Workers: workers}); err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
 }
 
 // BenchmarkAblationBDD measures Suggest+ (BDD-cached suggestions) against
@@ -307,6 +402,7 @@ func BenchmarkCorePrimitives(b *testing.B) {
 	zSet := relation.NewAttrSet(r.MustPosList("zip", "AC", "str", "city")...)
 
 	b.Run("suggest", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if s := d.Suggest(t1, zSet); len(s.S) == 0 {
 				b.Fatal("empty suggestion")

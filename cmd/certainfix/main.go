@@ -39,6 +39,7 @@ func main() {
 		validated   = flag.String("validated", "", "comma-separated attributes assured correct")
 		suggestOut  = flag.Bool("suggest", false, "print next-suggestion per tuple instead of repairing")
 		interactive = flag.Bool("interactive", false, "fix each tuple interactively on the terminal")
+		workers     = flag.Int("workers", 0, "concurrent repair workers (0 = all CPUs)")
 	)
 	flag.Parse()
 	if *rulesPath == "" || *masterPath == "" || *inputPath == "" {
@@ -101,13 +102,14 @@ func main() {
 
 	fixedRel := certainfix.NewRelation(r)
 	totalFixed := 0
-	for i := 0; i < inputs.Len(); i++ {
-		fixed, _, changed, err := sys.RepairOnce(inputs.Tuple(i), validatedPos)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "certainfix: tuple %d: %v (left unchanged)\n", i, err)
+	repairs := sys.RepairBatch(inputs.Tuples(), validatedPos, *workers)
+	for i, rep := range repairs {
+		fixed := rep.Tuple
+		if rep.Err != nil {
+			fmt.Fprintf(os.Stderr, "certainfix: tuple %d: %v (left unchanged)\n", i, rep.Err)
 			fixed = inputs.Tuple(i).Clone()
 		}
-		totalFixed += len(changed)
+		totalFixed += len(rep.Fixed)
 		fixedRel.MustAppend(fixed)
 	}
 

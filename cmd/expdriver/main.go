@@ -27,6 +27,7 @@ func main() {
 		masterSize = flag.Int("master", 2000, "master relation size |Dm|")
 		tuples     = flag.Int("tuples", 500, "input tuples |D|")
 		seed       = flag.Int64("seed", 1, "generator seed")
+		workers    = flag.Int("workers", 1, "batch-fix workers for accuracy experiments (fig12 latency always runs sequentially)")
 	)
 	flag.Parse()
 
@@ -48,7 +49,7 @@ func main() {
 	}
 
 	for _, ds := range datasets {
-		p := experiments.Params{Dataset: ds, Seed: *seed, MasterSize: *masterSize, Tuples: *tuples}
+		p := experiments.Params{Dataset: ds, Seed: *seed, MasterSize: *masterSize, Tuples: *tuples, Workers: *workers}
 
 		if run("exp2") {
 			t, err := experiments.Exp2InitialSuggestion(p)

@@ -26,6 +26,11 @@ type Params struct {
 	DupRate    float64
 	NoiseRate  float64
 	MaxK       int // interaction rounds to report (hosp: 4, dblp: 3)
+	// Workers > 1 fixes tuples through monitor.FixBatch on that many
+	// workers. Accuracy sweeps are embarrassingly parallel; the Fig-12
+	// latency experiments ignore this and always run sequentially so that
+	// concurrent runs cannot contaminate each other's timings.
+	Workers int
 }
 
 // WithDefaults fills unset fields with the §6 defaults.
@@ -89,31 +94,73 @@ type RunStats struct {
 }
 
 // runMonitor fixes every input tuple with the simulated user and scores
-// the per-round metrics of §6.
-func runMonitor(ds *datagen.Dataset, mcfg monitor.Config, maxK int) (RunStats, error) {
+// the per-round metrics of §6. workers > 1 routes the run through the
+// concurrent batch pipeline; accuracy metrics are unaffected (FixBatch is
+// deterministic without the BDD cache), but AvgLatency then reflects
+// wall-clock over all workers, so latency experiments must pass 1.
+func runMonitor(ds *datagen.Dataset, mcfg monitor.Config, maxK, workers int) (RunStats, error) {
 	m, err := monitor.New(ds.Sigma, ds.Master, mcfg)
 	if err != nil {
 		return RunStats{}, err
 	}
-	return runWith(m, ds, maxK)
+	return runWith(m, ds, maxK, workers)
 }
 
-func runWith(m *monitor.Monitor, ds *datagen.Dataset, maxK int) (RunStats, error) {
+func runWith(m *monitor.Monitor, ds *datagen.Dataset, maxK, workers int) (RunStats, error) {
 	tuple := make([]metrics.TupleOutcome, maxK)
 	cell := make([]metrics.CellOutcome, maxK)
 	totalRounds := 0
-	start := time.Now()
-	for i := range ds.Inputs {
-		res, err := m.Fix(ds.Inputs[i], monitor.SimulatedUser{Truth: ds.Truths[i]})
-		if err != nil {
-			return RunStats{}, fmt.Errorf("experiments: fixing tuple %d: %w", i, err)
-		}
+	score := func(i int, res monitor.Result) {
 		totalRounds += res.Rounds
 		for k := 1; k <= maxK; k++ {
 			state := stateAtRound(res, k)
 			tuple[k-1].Add(metrics.CompareTuple(ds.Inputs[i], ds.Truths[i], state.Tuple))
 			credited := state.AutoFixed
 			cell[k-1].Add(metrics.CompareCells(ds.Inputs[i], ds.Truths[i], state.Tuple, &credited))
+		}
+	}
+	start := time.Now()
+	if workers > 1 {
+		// Stream-score on completion: the metric accumulators are integer
+		// counters, so completion order cannot change the results, and
+		// peak memory stays O(workers) instead of O(tuples) snapshots.
+		in := make(chan monitor.StreamRequest)
+		out := m.FixStream(in, monitor.BatchOptions{Workers: workers})
+		go func() {
+			for i := range ds.Inputs {
+				in <- monitor.StreamRequest{
+					ID:    i,
+					Tuple: ds.Inputs[i],
+					User:  monitor.SimulatedUser{Truth: ds.Truths[i]},
+				}
+			}
+			close(in)
+		}()
+		// Report the lowest-index failure so error output is reproducible
+		// regardless of completion order (matching the sequential branch).
+		errID := -1
+		var batchErr error
+		for res := range out {
+			if res.Err != nil {
+				if errID < 0 || res.ID < errID {
+					errID, batchErr = res.ID, res.Err
+				}
+				continue
+			}
+			score(res.ID, res.Result)
+		}
+		if batchErr != nil {
+			return RunStats{}, fmt.Errorf("experiments: fixing tuple %d: %w", errID, batchErr)
+		}
+	} else {
+		// Score-and-discard per tuple: large sweeps must not retain every
+		// per-round snapshot simultaneously.
+		for i := range ds.Inputs {
+			res, err := m.Fix(ds.Inputs[i], monitor.SimulatedUser{Truth: ds.Truths[i]})
+			if err != nil {
+				return RunStats{}, fmt.Errorf("experiments: fixing tuple %d: %w", i, err)
+			}
+			score(i, res)
 		}
 	}
 	elapsed := time.Since(start)

@@ -54,11 +54,11 @@ func Exp2InitialSuggestion(p Params) (*Table, error) {
 	// small (a handful of regions vs the paper's larger inventory), so
 	// the lowest-ranked candidate plays the below-best role.
 	lower := len(m.Regions()) - 1
-	hq, err := runMonitor(ds, monitor.Config{InitialRegion: 0}, p.MaxK)
+	hq, err := runMonitor(ds, monitor.Config{InitialRegion: 0}, p.MaxK, p.Workers)
 	if err != nil {
 		return nil, err
 	}
-	mq, err := runMonitor(ds, monitor.Config{InitialRegion: lower}, p.MaxK)
+	mq, err := runMonitor(ds, monitor.Config{InitialRegion: lower}, p.MaxK, p.Workers)
 	if err != nil {
 		return nil, err
 	}
@@ -80,7 +80,7 @@ func Fig9(p Params) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	stats, err := runMonitor(ds, monitor.Config{}, p.MaxK)
+	stats, err := runMonitor(ds, monitor.Config{}, p.MaxK, p.Workers)
 	if err != nil {
 		return nil, err
 	}
@@ -111,7 +111,7 @@ func Fig10Sweep(p Params, which string, values []float64) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		stats, err := runMonitor(ds, monitor.Config{}, q.MaxK)
+		stats, err := runMonitor(ds, monitor.Config{}, q.MaxK, q.Workers)
 		if err != nil {
 			return nil, err
 		}
@@ -144,7 +144,7 @@ func Fig11Sweep(p Params, which string, values []float64) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		stats, err := runMonitor(ds, monitor.Config{}, q.MaxK)
+		stats, err := runMonitor(ds, monitor.Config{}, q.MaxK, q.Workers)
 		if err != nil {
 			return nil, err
 		}
@@ -210,11 +210,11 @@ func Fig12Master(p Params, masterSizes []int) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		plain, err := runMonitor(ds, monitor.Config{}, q.MaxK)
+		plain, err := runMonitor(ds, monitor.Config{}, q.MaxK, 1)
 		if err != nil {
 			return nil, err
 		}
-		plus, err := runMonitor(ds, monitor.Config{UseBDD: true}, q.MaxK)
+		plus, err := runMonitor(ds, monitor.Config{UseBDD: true}, q.MaxK, 1)
 		if err != nil {
 			return nil, err
 		}
@@ -248,11 +248,11 @@ func Fig12Stream(p Params, tupleCounts []int) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		plain, err := runMonitor(ds, monitor.Config{}, q.MaxK)
+		plain, err := runMonitor(ds, monitor.Config{}, q.MaxK, 1)
 		if err != nil {
 			return nil, err
 		}
-		plus, err := runMonitor(ds, monitor.Config{UseBDD: true}, q.MaxK)
+		plus, err := runMonitor(ds, monitor.Config{UseBDD: true}, q.MaxK, 1)
 		if err != nil {
 			return nil, err
 		}

@@ -1,45 +1,12 @@
 package experiments
 
-import (
-	"runtime"
-	"sync"
-)
+import "repro/internal/parallel"
 
 // parallelMap computes fn over the indexes [0, n) on a bounded worker
-// pool, preserving result order. The first error wins and is returned
-// after all workers drain. Latency-measuring experiments (Fig 12) must
+// pool, preserving result order; it delegates to the shared
+// internal/parallel helper. Latency-measuring experiments (Fig 12) must
 // NOT use this — concurrent runs would contaminate each other's timings —
 // but the accuracy sweeps of Figs 10/11 are embarrassingly parallel.
 func parallelMap[T any](n int, fn func(i int) (T, error)) ([]T, error) {
-	out := make([]T, n)
-	errs := make([]error, n)
-	workers := runtime.GOMAXPROCS(0)
-	if workers > n {
-		workers = n
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	var wg sync.WaitGroup
-	jobs := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range jobs {
-				out[i], errs[i] = fn(i)
-			}
-		}()
-	}
-	for i := 0; i < n; i++ {
-		jobs <- i
-	}
-	close(jobs)
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
-	return out, nil
+	return parallel.Map(n, 0, fn)
 }

@@ -62,7 +62,7 @@ func TransFix(g *rule.DepGraph, dm *master.Data, t relation.Tuple, zSet *relatio
 		state[v] = nodeDone
 		rv := sigma.Rule(v)
 
-		if !zSet.Has(rv.RHS()) && rv.MatchesPattern(t) && len(dm.RHSValues(rv, t)) > 0 {
+		if !zSet.Has(rv.RHS()) && rv.MatchesPattern(t) && dm.HasMatch(rv, t) {
 			values := certainValues(sigma, dm, t, *zSet, rv.RHS())
 			if len(values) > 1 {
 				return fixed, &ConflictError{Attr: rv.RHS(), Values: values}

@@ -1,0 +1,140 @@
+package master
+
+// Internal tests for the uint64-keyed probe path: bucket verification
+// against stored tuples, probe-plan resolution, and the zero-allocation
+// guarantee. These live inside the package so they can force hash
+// collisions that FNV-1a will essentially never produce naturally.
+
+import (
+	"testing"
+
+	"repro/internal/pattern"
+	"repro/internal/relation"
+	"repro/internal/rule"
+)
+
+func kvData(t *testing.T) (*rule.Set, *rule.Rule, *Data) {
+	t.Helper()
+	r := relation.StringSchema("R", "K", "V", "W")
+	rm := relation.StringSchema("Rm", "K", "V", "W")
+	ru := rule.MustNew("kv", r, rm, []int{0}, []int{0}, 1, 1, pattern.Empty())
+	// kv2 keys on (K, V): its index interns both columns, enabling miss
+	// probes whose values are interned but whose combination is absent.
+	ru2 := rule.MustNew("kv2", r, rm, []int{0, 1}, []int{0, 1}, 2, 2, pattern.Empty())
+	sigma := rule.MustNewSet(r, rm, ru, ru2)
+	rel := relation.NewRelation(rm)
+	rel.MustAppend(
+		relation.StringTuple("k1", "v1", "w1"),
+		relation.StringTuple("k2", "v2", "w2"),
+		relation.StringTuple("k1", "v1b", "w3"),
+	)
+	dm, err := NewForRules(rel, sigma)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sigma, ru, dm
+}
+
+// TestBucketVerificationFiltersCollisions injects a foreign tuple id into
+// the bucket a probe hits — simulating a uint64 hash collision — and
+// checks every probe entry point filters it out by verifying the stored
+// tuple's projection.
+func TestBucketVerificationFiltersCollisions(t *testing.T) {
+	_, ru, dm := kvData(t)
+	probe := relation.StringTuple("k1", "dirty")
+
+	idx := dm.plans[ru]
+	if idx == nil {
+		t.Fatal("probe plan must be resolved at NewForRules time")
+	}
+	h, ok := dm.hasher.HashTuple(probe, ru.LHSRef())
+	if !ok {
+		t.Fatal("probe must hash")
+	}
+	// id 1 is the k2 tuple: same bucket now, different projection.
+	idx.buckets[h] = append(idx.buckets[h], 1)
+
+	ids := dm.MatchIDs(ru, probe)
+	if len(ids) != 2 || ids[0] != 0 || ids[1] != 2 {
+		t.Fatalf("MatchIDs after injected collision = %v, want [0 2]", ids)
+	}
+	vals := dm.RHSValues(ru, probe)
+	if len(vals) != 2 || vals[0].Str() != "v1" || vals[1].Str() != "v1b" {
+		t.Fatalf("RHSValues after injected collision = %v", vals)
+	}
+	lids := dm.Lookup([]int{0}, []relation.Value{relation.String("k1")})
+	if len(lids) != 2 || lids[0] != 0 || lids[1] != 2 {
+		t.Fatalf("Lookup after injected collision = %v, want [0 2]", lids)
+	}
+
+	// A collision at the head of the bucket exercises the filtered path
+	// from position 0.
+	idx.buckets[h] = append([]int{1}, idx.buckets[h]...)
+	ids = dm.MatchIDs(ru, probe)
+	if len(ids) != 2 || ids[0] != 0 || ids[1] != 2 {
+		t.Fatalf("MatchIDs with head collision = %v, want [0 2]", ids)
+	}
+}
+
+// TestRefinedRuleFallsBackToRegistry checks that a refined rule ϕ+ (a new
+// *Rule pointer, absent from the probe-plan map) still probes the index via
+// the position-list registry rather than scanning.
+func TestRefinedRuleFallsBackToRegistry(t *testing.T) {
+	_, ru, dm := kvData(t)
+	plus, err := ru.WithPattern(pattern.MustTuple([]int{0}, []pattern.Cell{pattern.Neq(relation.Null)}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := dm.plans[plus]; ok {
+		t.Fatal("refined rule must not be in the plan map")
+	}
+	if dm.findIndex(plus.LHSMRef()) == nil {
+		t.Fatal("registry must resolve the refined rule's Xm")
+	}
+	ids := dm.MatchIDs(plus, relation.StringTuple("k1", ""))
+	if len(ids) != 2 || ids[0] != 0 || ids[1] != 2 {
+		t.Fatalf("refined-rule MatchIDs = %v, want [0 2]", ids)
+	}
+}
+
+// TestProbeZeroAlloc pins the tentpole guarantee: an indexed MatchIDs probe
+// performs zero heap allocations — hit, uninterned miss (symbol-table
+// early exit), and interned-combination miss (full hash + empty bucket).
+func TestProbeZeroAlloc(t *testing.T) {
+	sigma, ru, dm := kvData(t)
+	ru2 := sigma.Rule(1)
+	hit := relation.StringTuple("k1", "dirty", "x")
+	missUninterned := relation.StringTuple("nope", "dirty", "x")
+	// k1 and v2 are both interned, but no master tuple pairs them.
+	missInterned := relation.StringTuple("k1", "v2", "x")
+	if len(dm.MatchIDs(ru2, missInterned)) != 0 {
+		t.Fatal("fixture broken: (k1, v2) must miss")
+	}
+
+	allocs := testing.AllocsPerRun(1000, func() {
+		if ids := dm.MatchIDs(ru, hit); len(ids) != 2 {
+			t.Fatal("hit must match twice")
+		}
+		if ids := dm.MatchIDs(ru, missUninterned); len(ids) != 0 {
+			t.Fatal("uninterned miss must not match")
+		}
+		if ids := dm.MatchIDs(ru2, missInterned); len(ids) != 0 {
+			t.Fatal("interned miss must not match")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("indexed MatchIDs allocates %.1f objects per probe; want 0", allocs)
+	}
+}
+
+// TestRHSValuesSingleMatchFastPath covers the satellite optimization: no
+// dedup machinery for the 0- and 1-match cases.
+func TestRHSValuesSingleMatchFastPath(t *testing.T) {
+	_, ru, dm := kvData(t)
+	if vals := dm.RHSValues(ru, relation.StringTuple("k2", "x")); len(vals) != 1 || vals[0].Str() != "v2" {
+		t.Fatalf("single-match RHSValues = %v", vals)
+	}
+	if vals := dm.RHSValues(ru, relation.StringTuple("absent", "x")); vals != nil {
+		t.Fatalf("no-match RHSValues = %v, want nil", vals)
+	}
+}

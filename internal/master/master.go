@@ -4,33 +4,64 @@
 // master tuple that is applicable to t with an eR, by using a hash table
 // that stores tm[Xm] as a key" — this package provides exactly that.
 //
+// The indexes are keyed on uint64 FNV-1a hashes of interned values
+// (relation.Symbols / relation.Hasher), so the hot probe path — MatchIDs,
+// Lookup, RHSValues on an indexed Xm — performs zero heap allocations: one
+// hash fold, one map lookup, one bucket walk verifying candidates against
+// the stored tuples (hash equality alone does not prove projection
+// equality). Per-rule probe plans are resolved once at NewForRules time, so
+// a probe does not rebuild position lists or registry keys.
+//
 // Master data is assumed consistent and complete (§2, citing [31]); this
 // package treats it as immutable after construction, which also makes all
-// lookups safe for concurrent use.
+// lookups safe for concurrent use. Building indexes (Index, NewForRules)
+// mutates the symbol table and is NOT safe to interleave with lookups.
 package master
 
 import (
 	"fmt"
-	"strconv"
-	"strings"
 
 	"repro/internal/relation"
 	"repro/internal/rule"
 )
 
+// index is one hash index over an Xm position list: bucket ids keyed on the
+// uint64 projection hash. Buckets preserve master-tuple order, so probe
+// results are deterministic.
+type index struct {
+	xm      []int
+	buckets map[uint64][]int
+}
+
 // Data is an immutable master relation plus lookup indexes.
 type Data struct {
-	rel     *relation.Relation
-	indexes map[string]map[string][]int // posKey(Xm) -> valueKey -> tuple ids
+	rel    *relation.Relation
+	syms   *relation.Symbols
+	hasher relation.Hasher
+	// indexes is the dense registry of built indexes, replacing the old
+	// string-keyed posKey map; with a handful of distinct Xm lists per Σ a
+	// linear scan comparing position slices beats string building.
+	indexes []*index
+	// plans maps each rule of the Σ the data was built for to its index —
+	// the per-rule probe plan, resolved once so MatchIDs is a single hash +
+	// bucket walk. Refined rules (ϕ+ of §5.2) are not in the map and fall
+	// back to the registry scan, which is still allocation-free.
+	plans map[*rule.Rule]*index
 }
 
-// New wraps a master relation. Indexes are added with Index or IndexFor.
+// New wraps a master relation. Indexes are added with Index or NewForRules.
 func New(rel *relation.Relation) *Data {
-	return &Data{rel: rel, indexes: map[string]map[string][]int{}}
+	syms := relation.NewSymbols()
+	return &Data{
+		rel:    rel,
+		syms:   syms,
+		hasher: relation.NewHasher(syms),
+		plans:  map[*rule.Rule]*index{},
+	}
 }
 
-// NewForRules wraps a master relation and eagerly builds one index per
-// distinct Xm list in Σ.
+// NewForRules wraps a master relation, eagerly builds one index per
+// distinct Xm list in Σ and resolves each rule's probe plan.
 func NewForRules(rel *relation.Relation, sigma *rule.Set) (*Data, error) {
 	if !sigma.MasterSchema().Equal(rel.Schema()) {
 		return nil, fmt.Errorf("master: relation schema %s does not match Σ's master schema %s",
@@ -38,7 +69,7 @@ func NewForRules(rel *relation.Relation, sigma *rule.Set) (*Data, error) {
 	}
 	d := New(rel)
 	for _, ru := range sigma.Rules() {
-		d.Index(ru.LHSM())
+		d.plans[ru] = d.buildIndex(ru.LHSMRef())
 	}
 	return d, nil
 }
@@ -64,48 +95,142 @@ func (d *Data) Len() int { return d.rel.Len() }
 // Tuple returns master tuple i.
 func (d *Data) Tuple(i int) relation.Tuple { return d.rel.Tuple(i) }
 
+// Hasher returns the shared projection hasher (read-only after indexing).
+func (d *Data) Hasher() relation.Hasher { return d.hasher }
+
 // Index builds (or reuses) a hash index over the Rm positions xm.
 // Not safe to call concurrently with lookups; build indexes up front.
-func (d *Data) Index(xm []int) {
-	pk := posKey(xm)
-	if _, ok := d.indexes[pk]; ok {
-		return
+func (d *Data) Index(xm []int) { d.buildIndex(xm) }
+
+// buildIndex returns the index over xm, building and registering it on
+// first request. The position list is copied, so callers may pass shared
+// slices.
+func (d *Data) buildIndex(xm []int) *index {
+	if idx := d.findIndex(xm); idx != nil {
+		return idx
 	}
-	idx := make(map[string][]int, d.rel.Len())
+	idx := &index{
+		xm:      append([]int(nil), xm...),
+		buckets: make(map[uint64][]int, d.rel.Len()),
+	}
 	for i, tm := range d.rel.Tuples() {
-		k := tm.Key(xm)
-		idx[k] = append(idx[k], i)
+		h := d.hasher.HashInterning(tm, xm)
+		idx.buckets[h] = append(idx.buckets[h], i)
 	}
-	d.indexes[pk] = idx
+	d.indexes = append(d.indexes, idx)
+	return idx
+}
+
+// findIndex locates a registered index by position list; nil when absent.
+// Allocation-free.
+func (d *Data) findIndex(xm []int) *index {
+	for _, idx := range d.indexes {
+		if eqPos(idx.xm, xm) {
+			return idx
+		}
+	}
+	return nil
+}
+
+func eqPos(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// probe walks the bucket for t's projection hash on x, verifying every
+// candidate against the stored tuple (collision check). In the common
+// all-match case the shared bucket slice is returned without copying; a
+// filtered slice is allocated only when a hash collision is actually
+// observed.
+func (d *Data) probe(idx *index, t relation.Tuple, x []int) []int {
+	h, ok := d.hasher.HashTuple(t, x)
+	if !ok {
+		return nil // some probe value never occurs in the indexed columns
+	}
+	bucket := idx.buckets[h]
+	for i, id := range bucket {
+		if !t.ProjectMatches(x, d.rel.Tuple(id), idx.xm) {
+			return filterBucket(bucket, i, func(id int) bool {
+				return t.ProjectMatches(x, d.rel.Tuple(id), idx.xm)
+			})
+		}
+	}
+	return bucket
+}
+
+// filterBucket handles the cold collision path shared by probe and Lookup:
+// bucket[:i] is the already-verified prefix, and match re-verifies the
+// remainder (skipping the known mismatch at i).
+func filterBucket(bucket []int, i int, match func(id int) bool) []int {
+	out := append([]int(nil), bucket[:i]...)
+	for _, id := range bucket[i+1:] {
+		if match(id) {
+			out = append(out, id)
+		}
+	}
+	return out
 }
 
 // Lookup returns the ids of master tuples tm with tm[xm] equal to the
 // projection values[i] (aligned with xm). It uses a prebuilt index when
 // available and falls back to a scan otherwise.
 func (d *Data) Lookup(xm []int, values []relation.Value) []int {
-	key := relation.Tuple(values).Key(seq(len(values)))
-	if idx, ok := d.indexes[posKey(xm)]; ok {
-		return idx[key]
+	if len(values) != len(xm) {
+		return nil // arity mismatch can never match (and must not panic)
+	}
+	if idx := d.findIndex(xm); idx != nil {
+		h, ok := d.hasher.HashValues(values)
+		if !ok {
+			return nil
+		}
+		bucket := idx.buckets[h]
+		for i, id := range bucket {
+			if !valuesMatch(values, d.rel.Tuple(id), idx.xm) {
+				return filterBucket(bucket, i, func(id int) bool {
+					return valuesMatch(values, d.rel.Tuple(id), idx.xm)
+				})
+			}
+		}
+		return bucket
 	}
 	var out []int
 	for i, tm := range d.rel.Tuples() {
-		if tm.Key(xm) == key {
+		if valuesMatch(values, tm, xm) {
 			out = append(out, i)
 		}
 	}
 	return out
 }
 
+func valuesMatch(values []relation.Value, tm relation.Tuple, xm []int) bool {
+	for i, p := range xm {
+		if !values[i].Equal(tm[p]) {
+			return false
+		}
+	}
+	return true
+}
+
 // MatchIDs returns the ids of master tuples tm with t[X] = tm[Xm] for the
 // rule's (X, Xm) correspondence. It does not test the rule's pattern
-// (patterns constrain t, not tm).
+// (patterns constrain t, not tm). Indexed probes are allocation-free; the
+// returned slice may alias internal index state — treat it as read-only.
 func (d *Data) MatchIDs(ru *rule.Rule, t relation.Tuple) []int {
-	xm := ru.LHSM()
-	key := t.Key(ru.LHS())
-	if idx, ok := d.indexes[posKey(xm)]; ok {
-		return idx[key]
+	x := ru.LHSRef()
+	if idx, ok := d.plans[ru]; ok {
+		return d.probe(idx, t, x)
 	}
-	x := ru.LHS()
+	xm := ru.LHSMRef()
+	if idx := d.findIndex(xm); idx != nil {
+		return d.probe(idx, t, x)
+	}
 	var out []int
 	for i, tm := range d.rel.Tuples() {
 		if t.ProjectMatches(x, tm, xm) {
@@ -113,6 +238,27 @@ func (d *Data) MatchIDs(ru *rule.Rule, t relation.Tuple) []int {
 		}
 	}
 	return out
+}
+
+// HasMatch reports whether some master tuple matches t on the rule's
+// (X, Xm) correspondence. Indexed probes reuse the (allocation-free)
+// bucket walk; the unindexed fallback returns at the first matching tuple
+// instead of materializing the full id list.
+func (d *Data) HasMatch(ru *rule.Rule, t relation.Tuple) bool {
+	x := ru.LHSRef()
+	if idx, ok := d.plans[ru]; ok {
+		return len(d.probe(idx, t, x)) > 0
+	}
+	xm := ru.LHSMRef()
+	if idx := d.findIndex(xm); idx != nil {
+		return len(d.probe(idx, t, x)) > 0
+	}
+	for _, tm := range d.rel.Tuples() {
+		if t.ProjectMatches(x, tm, xm) {
+			return true
+		}
+	}
+	return false
 }
 
 // FirstMatch returns the first master tuple applicable with ru to t
@@ -137,38 +283,33 @@ func (d *Data) AppliesSomeTuple(ru *rule.Rule, t relation.Tuple) bool {
 // RHSValues returns the distinct values tm[Bm] over all master tuples
 // applicable with ru to t, in first-seen order. Multiple distinct values
 // indicate a same-rule conflict (two master tuples disagree on the fix).
+// The common no-match and single-match cases skip the dedup machinery
+// entirely; multi-match dedup is a linear scan over the (small) result.
 func (d *Data) RHSValues(ru *rule.Rule, t relation.Tuple) []relation.Value {
 	if !ru.MatchesPattern(t) {
 		return nil
 	}
 	ids := d.MatchIDs(ru, t)
-	var out []relation.Value
-	seen := map[relation.Value]bool{}
+	if len(ids) == 0 {
+		return nil
+	}
+	bm := ru.RHSM()
+	if len(ids) == 1 {
+		return []relation.Value{d.rel.Tuple(ids[0])[bm]}
+	}
+	out := make([]relation.Value, 0, 2)
 	for _, id := range ids {
-		v := d.rel.Tuple(id)[ru.RHSM()]
-		if !seen[v] {
-			seen[v] = true
+		v := d.rel.Tuple(id)[bm]
+		dup := false
+		for _, w := range out {
+			if w.Equal(v) {
+				dup = true
+				break
+			}
+		}
+		if !dup {
 			out = append(out, v)
 		}
-	}
-	return out
-}
-
-func posKey(ps []int) string {
-	var b strings.Builder
-	for i, p := range ps {
-		if i > 0 {
-			b.WriteByte(',')
-		}
-		b.WriteString(strconv.Itoa(p))
-	}
-	return b.String()
-}
-
-func seq(n int) []int {
-	out := make([]int, n)
-	for i := range out {
-		out[i] = i
 	}
 	return out
 }

@@ -1,0 +1,120 @@
+package monitor
+
+import (
+	"sync"
+
+	"repro/internal/parallel"
+	"repro/internal/relation"
+	"repro/internal/suggest"
+)
+
+// BatchOptions tunes the concurrent fixing pipeline.
+type BatchOptions struct {
+	// Workers bounds the worker pool; 0 or negative selects GOMAXPROCS.
+	Workers int
+	// PerWorkerDerivers gives each worker a private suggestion deriver
+	// instead of sharing the monitor's. The shared deriver is read-only
+	// and safe to share; private derivers trade O(|Σ|·|Dm|) setup per
+	// worker for complete isolation (no shared lines touched during
+	// probes), which can help on high-core-count machines.
+	PerWorkerDerivers bool
+}
+
+// sessionPool recycles Session scratch (the working tuple buffer and the
+// attr-set words) across batch items. Per-round snapshots escape into
+// Result and are never pooled.
+var sessionPool = sync.Pool{New: func() any { return &Session{} }}
+
+// fixPooled fixes one tuple on a pool-recycled session. The tuple passed
+// to user.Assert aliases the pooled scratch buffer — see the User
+// lifetime contract — so it must not be retained past the call.
+func (m *Monitor) fixPooled(d *suggest.Deriver, input relation.Tuple, user User) (Result, error) {
+	sess := sessionPool.Get().(*Session)
+	defer sessionPool.Put(sess)
+	if err := m.initSession(sess, d, input); err != nil {
+		return Result{}, err
+	}
+	for !sess.Done() {
+		attrs, values := user.Assert(sess.t, sess.Suggested())
+		if err := sess.Provide(attrs, values); err != nil {
+			return Result{}, err
+		}
+	}
+	return sess.Result(), nil
+}
+
+// FixBatch fixes many input tuples concurrently against the shared
+// immutable (Σ, Dm), driving userFor(i) for tuple i. Results are aligned
+// with inputs; the first error wins and is returned after all workers
+// drain (the internal/parallel contract).
+//
+// Sessions run on sync.Pool-recycled scratch, so the tuple a User's
+// Assert receives is only valid for the duration of that call (see the
+// User documentation); Assert implementations must also be safe for
+// concurrent use across workers when userFor hands out shared state.
+//
+// With the default configuration the output is byte-identical to calling
+// Fix sequentially over the same inputs: tuples are independent and every
+// stage is deterministic. With the BDD cache enabled (CertainFix+) the
+// final tuples are still correct certain fixes, but cached suggestions
+// depend on the order sessions populate the cache, so round counts and
+// per-round snapshots may differ from a sequential run.
+func (m *Monitor) FixBatch(inputs []relation.Tuple, userFor func(i int) User, opt BatchOptions) ([]Result, error) {
+	return parallel.MapWorkers(len(inputs), opt.Workers, func() func(i int) (Result, error) {
+		d := m.workerDeriver(opt)
+		return func(i int) (Result, error) {
+			return m.fixPooled(d, inputs[i], userFor(i))
+		}
+	})
+}
+
+// workerDeriver returns the deriver a batch worker should use.
+func (m *Monitor) workerDeriver(opt BatchOptions) *suggest.Deriver {
+	if opt.PerWorkerDerivers {
+		return suggest.NewDeriver(m.deriver.Sigma(), m.deriver.Master())
+	}
+	return m.deriver
+}
+
+// StreamRequest is one unit of work for FixStream.
+type StreamRequest struct {
+	// ID is a caller-chosen correlation id echoed on the response.
+	ID    int
+	Tuple relation.Tuple
+	User  User
+}
+
+// StreamResult is the outcome of one StreamRequest.
+type StreamResult struct {
+	ID     int
+	Result Result
+	Err    error
+}
+
+// FixStream consumes requests until in is closed and emits one StreamResult
+// per request, in completion order (use ID to correlate). The returned
+// channel is closed after the last result. This is the entry-point-shaped
+// API of the paper's monitoring framework: tuples are fixed as they arrive,
+// concurrently, against the shared immutable master. The User lifetime
+// contract of FixBatch applies to each request's User.
+func (m *Monitor) FixStream(in <-chan StreamRequest, opt BatchOptions) <-chan StreamResult {
+	out := make(chan StreamResult)
+	workers := parallel.Clamp(opt.Workers, -1)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			d := m.workerDeriver(opt)
+			for req := range in {
+				res, err := m.fixPooled(d, req.Tuple, req.User)
+				out <- StreamResult{ID: req.ID, Result: res, Err: err}
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(out)
+	}()
+	return out
+}

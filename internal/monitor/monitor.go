@@ -24,6 +24,11 @@ import (
 // with their correct values (aligned slices). Returning a different set
 // than suggested is allowed (§5: "S may not necessarily be the same as
 // sug"); returning no attributes aborts the fix.
+//
+// Lifetime contract: the tuple passed to Assert is working scratch owned
+// by the session — it is only valid for the duration of the call and is
+// reused afterwards (FixBatch/FixStream recycle it for other tuples).
+// Implementations that need the values later must copy them (Clone).
 type User interface {
 	Assert(t relation.Tuple, suggested []int) (s []int, values []relation.Value)
 }
@@ -168,21 +173,22 @@ func (m *Monitor) Fix(input relation.Tuple, user User) (Result, error) {
 	return sess.Result(), nil
 }
 
-// nextSuggestion runs Suggest, or Suggest+ when the BDD cache is enabled.
-func (m *Monitor) nextSuggestion(t relation.Tuple, zSet relation.AttrSet, cursor *bdd.Cursor) []int {
+// nextSuggestion runs Suggest, or Suggest+ when the BDD cache is enabled,
+// against the session's deriver d (shared or per-worker).
+func (m *Monitor) nextSuggestion(d *suggest.Deriver, t relation.Tuple, zSet relation.AttrSet, cursor *bdd.Cursor) []int {
 	if cursor == nil {
-		return m.deriver.Suggest(t, zSet).S
+		return d.Suggest(t, zSet).S
 	}
 	return cursor.Next(
-		func(s []int) bool { return allOutside(s, zSet) && m.deriver.IsSuggestionFast(zSet, s) },
-		func() []int { return m.deriver.Suggest(t, zSet).S },
+		func(s []int) bool { return allOutside(s, zSet) && d.IsSuggestionFast(zSet, s) },
+		func() []int { return d.Suggest(t, zSet).S },
 	)
 }
 
 // conflictedAttrs finds attributes whose applicable rules currently
 // disagree, so they can be routed to the users.
-func (m *Monitor) conflictedAttrs(t relation.Tuple, zSet relation.AttrSet) []int {
-	assignments := fix.ApplicableAssignments(m.deriver.Sigma(), m.deriver.Master(), t, zSet)
+func conflictedAttrs(d *suggest.Deriver, t relation.Tuple, zSet relation.AttrSet) []int {
+	assignments := fix.ApplicableAssignments(d.Sigma(), d.Master(), t, zSet)
 	var out []int
 	for b, vs := range assignments {
 		if len(vs) > 1 {

@@ -7,6 +7,7 @@ import (
 	"repro/internal/bdd"
 	"repro/internal/fix"
 	"repro/internal/relation"
+	"repro/internal/suggest"
 )
 
 // Session drives the interactive fixing of a single tuple one round at a
@@ -23,6 +24,7 @@ import (
 //	result := sess.Result()
 type Session struct {
 	m          *Monitor
+	d          *suggest.Deriver // usually m's deriver; batch workers may pin their own
 	t          relation.Tuple
 	zSet       relation.AttrSet
 	userSet    relation.AttrSet
@@ -38,24 +40,49 @@ type Session struct {
 
 // NewSession starts a fixing session for one tuple; the input is copied.
 func (m *Monitor) NewSession(input relation.Tuple) (*Session, error) {
+	s := &Session{}
+	if err := m.initSession(s, m.deriver, input); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// initSession (re)initializes s for input using deriver d, reusing s's
+// allocated scratch — the tuple buffer and the attr-set words — when
+// present. This is the sync.Pool path of FixBatch/FixStream; NewSession
+// passes a zero Session. Per-round snapshots are always freshly allocated
+// because they escape into Result.
+func (m *Monitor) initSession(s *Session, d *suggest.Deriver, input relation.Tuple) error {
 	r := m.deriver.Sigma().Schema()
 	if len(input) != r.Arity() {
-		return nil, fmt.Errorf("monitor: tuple arity %d does not match schema %s", len(input), r)
+		return fmt.Errorf("monitor: tuple arity %d does not match schema %s", len(input), r)
 	}
 	maxRounds := m.cfg.MaxRounds
 	if maxRounds <= 0 {
 		maxRounds = r.Arity() + 1
 	}
-	s := &Session{
-		m:         m,
-		t:         input.Clone(),
-		maxRounds: maxRounds,
-		sug:       m.initial[m.cfg.InitialRegion].Z,
+	s.m = m
+	s.d = d
+	if cap(s.t) >= len(input) {
+		s.t = s.t[:len(input)]
+		copy(s.t, input)
+	} else {
+		s.t = input.Clone()
 	}
+	s.zSet.Clear()
+	s.userSet.Clear()
+	s.autoSet.Clear()
+	s.sug = m.initial[m.cfg.InitialRegion].Z
+	s.cursor = nil
 	if m.cache != nil {
 		s.cursor = m.cache.Cursor()
 	}
-	return s, nil
+	s.noProgress = 0
+	s.rounds = 0
+	s.maxRounds = maxRounds
+	s.done = false
+	s.perRound = nil
+	return nil
 }
 
 // Suggested returns the attribute positions the users should assert this
@@ -95,7 +122,7 @@ func (s *Session) Provide(attrs []int, values []relation.Value) error {
 		s.done = true // the users declined: stop without completing
 		return nil
 	}
-	r := s.m.deriver.Sigma().Schema()
+	r := s.d.Sigma().Schema()
 	for i, p := range attrs {
 		if p < 0 || p >= r.Arity() {
 			return fmt.Errorf("monitor: attribute position %d out of range", p)
@@ -109,8 +136,8 @@ func (s *Session) Provide(attrs []int, values []relation.Value) error {
 	// Check t[Z'] leads to a unique fix, then cascade; conflicts are
 	// routed back to the users rather than guessed.
 	var conflicted []int
-	if s.m.deriver.ConsistentRow(s.zSet.Positions(), s.t.Project(s.zSet.Positions())) {
-		fixed, err := fix.TransFix(s.m.graph, s.m.deriver.Master(), s.t, &s.zSet)
+	if s.d.ConsistentRow(s.zSet.Positions(), s.t.Project(s.zSet.Positions())) {
+		fixed, err := fix.TransFix(s.m.graph, s.d.Master(), s.t, &s.zSet)
 		s.autoSet.AddAll(fixed)
 		if len(fixed) == 0 {
 			s.noProgress++
@@ -125,7 +152,7 @@ func (s *Session) Provide(attrs []int, values []relation.Value) error {
 			conflicted = append(conflicted, ce.Attr)
 		}
 	} else {
-		conflicted = s.m.conflictedAttrs(s.t, s.zSet)
+		conflicted = conflictedAttrs(s.d, s.t, s.zSet)
 	}
 
 	s.perRound = append(s.perRound, RoundStat{
@@ -146,9 +173,14 @@ func (s *Session) Provide(attrs []int, values []relation.Value) error {
 	if s.noProgress >= 2 {
 		s.sug = nil
 	} else {
-		sug := s.m.nextSuggestion(s.t, s.zSet, s.cursor)
-		sug = append(sug, conflicted...)
-		s.sug = dedupInts(sug)
+		// Copy before merging: the cached Suggest+ path returns a slice
+		// shared with the BDD cache, which concurrent sessions read —
+		// appending or deduping in place would race on its backing array.
+		sug := s.m.nextSuggestion(s.d, s.t, s.zSet, s.cursor)
+		merged := make([]int, 0, len(sug)+len(conflicted))
+		merged = append(merged, sug...)
+		merged = append(merged, conflicted...)
+		s.sug = dedupInts(merged)
 	}
 	if len(s.sug) == 0 {
 		for p := 0; p < r.Arity(); p++ {

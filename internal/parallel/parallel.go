@@ -1,0 +1,67 @@
+// Package parallel provides the bounded worker-pool idiom shared by the
+// experiment sweeps (internal/experiments), the batch fixing pipeline
+// (internal/monitor) and the public batch repair API (pkg/certainfix):
+// results aligned with input indexes, the first error winning after all
+// workers drain.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Clamp bounds a requested worker count: non-positive selects GOMAXPROCS,
+// and the result never exceeds n jobs (n < 0 means unbounded) nor drops
+// below 1.
+func Clamp(workers, n int) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if n >= 0 && workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// Map computes fn over the indexes [0, n) on a bounded worker pool,
+// preserving result order. The first error wins and is returned after all
+// workers drain.
+func Map[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
+	return MapWorkers(n, workers, func() func(i int) (T, error) { return fn })
+}
+
+// MapWorkers is Map with per-worker state: newWorker runs once on each
+// worker goroutine and returns the job function that worker uses, so
+// workers can pin private scratch (e.g. a per-worker deriver) without
+// synchronization.
+func MapWorkers[T any](n, workers int, newWorker func() func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	errs := make([]error, n)
+	workers = Clamp(workers, n)
+	var wg sync.WaitGroup
+	jobs := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			fn := newWorker()
+			for i := range jobs {
+				out[i], errs[i] = fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

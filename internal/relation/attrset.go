@@ -40,6 +40,14 @@ func (s *AttrSet) AddAll(ps []int) {
 	}
 }
 
+// Clear removes every member, retaining allocated capacity (scratch reuse
+// on hot paths).
+func (s *AttrSet) Clear() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+}
+
 // Remove deletes position p if present.
 func (s *AttrSet) Remove(p int) {
 	w := p >> 6

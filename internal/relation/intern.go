@@ -1,0 +1,124 @@
+package relation
+
+// This file implements the allocation-free probe substrate: a value-interning
+// symbol table assigning every distinct Value a dense uint32 id, and a Hasher
+// that folds a tuple projection into a single uint64 FNV-1a key over the
+// (kind, id) pairs. The master-data indexes key their buckets on these
+// hashes, so the per-probe cost demanded by the paper's TransFix complexity
+// analysis (§5.1, "constant time ... by using a hash table") is one hash
+// computation plus one map lookup — no string building, no heap allocation.
+//
+// The string encoding Tuple.Key remains the canonical, collision-free
+// encoding for debugging, CSV round-trips and state enumeration; the uint64
+// key is a hash, so index buckets must verify candidates against the stored
+// tuples (see internal/master).
+
+// Symbols interns values into dense uint32 ids. Ids are assigned in
+// first-seen order starting at 0. Interning is not safe for concurrent use;
+// populate the table while building indexes, then only read (ID, Hasher
+// probes) from any number of goroutines.
+type Symbols struct {
+	ids map[Value]uint32
+}
+
+// NewSymbols creates an empty symbol table.
+func NewSymbols() *Symbols {
+	return &Symbols{ids: make(map[Value]uint32)}
+}
+
+// Intern returns v's id, assigning the next dense id on first sight.
+func (s *Symbols) Intern(v Value) uint32 {
+	if id, ok := s.ids[v]; ok {
+		return id
+	}
+	id := uint32(len(s.ids))
+	s.ids[v] = id
+	return id
+}
+
+// ID returns v's id; ok is false when v was never interned. Read-only and
+// allocation-free: safe for concurrent use once interning is finished.
+func (s *Symbols) ID(v Value) (uint32, bool) {
+	id, ok := s.ids[v]
+	return id, ok
+}
+
+// Len returns the number of distinct interned values.
+func (s *Symbols) Len() int { return len(s.ids) }
+
+// FNV-1a constants (64-bit).
+const (
+	fnvOffset64 uint64 = 14695981039346656037
+	fnvPrime64  uint64 = 1099511628211
+)
+
+// Hasher computes uint64 projection keys against a symbol table. The zero
+// Hasher is not usable; obtain one with NewHasher. Hasher is a small value
+// type — copy it freely.
+type Hasher struct {
+	syms *Symbols
+}
+
+// NewHasher returns a hasher over the symbol table.
+func NewHasher(syms *Symbols) Hasher { return Hasher{syms: syms} }
+
+// Symbols returns the underlying symbol table.
+func (h Hasher) Symbols() *Symbols { return h.syms }
+
+// hashCell folds one value's (kind, id) pair into the accumulator,
+// byte-by-byte in FNV-1a order.
+func hashCell(acc uint64, kind Kind, id uint32) uint64 {
+	acc ^= uint64(kind)
+	acc *= fnvPrime64
+	acc ^= uint64(id & 0xff)
+	acc *= fnvPrime64
+	acc ^= uint64((id >> 8) & 0xff)
+	acc *= fnvPrime64
+	acc ^= uint64((id >> 16) & 0xff)
+	acc *= fnvPrime64
+	acc ^= uint64(id >> 24)
+	acc *= fnvPrime64
+	return acc
+}
+
+// HashTuple hashes t's projection on positions without interning. ok is
+// false when some projected value was never interned — such a projection
+// cannot equal any indexed projection, so callers treat it as a guaranteed
+// miss. Allocation-free.
+func (h Hasher) HashTuple(t Tuple, positions []int) (uint64, bool) {
+	acc := fnvOffset64
+	for _, p := range positions {
+		v := t[p]
+		id, ok := h.syms.ids[v]
+		if !ok {
+			return 0, false
+		}
+		acc = hashCell(acc, v.kind, id)
+	}
+	return acc, true
+}
+
+// HashValues hashes the value vector in order (the probe-side twin of
+// HashTuple for callers that already projected). Allocation-free.
+func (h Hasher) HashValues(values []Value) (uint64, bool) {
+	acc := fnvOffset64
+	for _, v := range values {
+		id, ok := h.syms.ids[v]
+		if !ok {
+			return 0, false
+		}
+		acc = hashCell(acc, v.kind, id)
+	}
+	return acc, true
+}
+
+// HashInterning hashes t's projection on positions, interning unseen values
+// along the way — the index-build-side variant. Not safe for concurrent use.
+func (h Hasher) HashInterning(t Tuple, positions []int) uint64 {
+	acc := fnvOffset64
+	for _, p := range positions {
+		v := t[p]
+		acc = hashCell(acc, v.kind, h.syms.Intern(v))
+	}
+	return acc
+}

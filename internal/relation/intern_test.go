@@ -1,0 +1,107 @@
+package relation
+
+import (
+	"testing"
+)
+
+func TestSymbolsDenseIDs(t *testing.T) {
+	s := NewSymbols()
+	a := s.Intern(String("a"))
+	b := s.Intern(String("b"))
+	n := s.Intern(Null)
+	i := s.Intern(Int(7))
+	if a != 0 || b != 1 || n != 2 || i != 3 {
+		t.Fatalf("ids not dense first-seen: %d %d %d %d", a, b, n, i)
+	}
+	if got := s.Intern(String("a")); got != a {
+		t.Fatalf("re-intern changed id: %d", got)
+	}
+	if s.Len() != 4 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if id, ok := s.ID(String("b")); !ok || id != b {
+		t.Fatalf("ID(b) = %d, %v", id, ok)
+	}
+	if _, ok := s.ID(String("missing")); ok {
+		t.Fatal("ID must miss for uninterned value")
+	}
+}
+
+func TestSymbolsDistinguishKinds(t *testing.T) {
+	// String("1") and Int(1) are different values and must get distinct ids.
+	s := NewSymbols()
+	a := s.Intern(String("1"))
+	b := s.Intern(Int(1))
+	if a == b {
+		t.Fatal("String(\"1\") and Int(1) interned to the same id")
+	}
+}
+
+func TestHasherAgreesAcrossTupleAndValues(t *testing.T) {
+	s := NewSymbols()
+	h := NewHasher(s)
+	tup := TupleOf(String("x"), Int(3), Null, String("y"))
+	pos := []int{0, 1, 3}
+	built := h.HashInterning(tup, pos)
+
+	probe, ok := h.HashTuple(tup, pos)
+	if !ok || probe != built {
+		t.Fatalf("HashTuple = %x, %v; want %x", probe, ok, built)
+	}
+	vals, ok2 := h.HashValues([]Value{String("x"), Int(3), String("y")})
+	if !ok2 || vals != built {
+		t.Fatalf("HashValues = %x, %v; want %x", vals, ok2, built)
+	}
+}
+
+func TestHasherMissesUninterned(t *testing.T) {
+	s := NewSymbols()
+	h := NewHasher(s)
+	h.HashInterning(TupleOf(String("a")), []int{0})
+	if _, ok := h.HashTuple(TupleOf(String("zz")), []int{0}); ok {
+		t.Fatal("hash of uninterned value must report a miss")
+	}
+	if _, ok := h.HashValues([]Value{Int(42)}); ok {
+		t.Fatal("HashValues of uninterned value must report a miss")
+	}
+}
+
+func TestHasherOrderAndKindSensitivity(t *testing.T) {
+	s := NewSymbols()
+	h := NewHasher(s)
+	ab := TupleOf(String("a"), String("b"))
+	ba := TupleOf(String("b"), String("a"))
+	h.HashInterning(ab, []int{0, 1})
+	h.HashInterning(ba, []int{0, 1})
+	x, _ := h.HashTuple(ab, []int{0, 1})
+	y, _ := h.HashTuple(ba, []int{0, 1})
+	if x == y {
+		t.Fatal("projection hash must be order-sensitive")
+	}
+
+	s1 := TupleOf(String("1"))
+	i1 := TupleOf(Int(1))
+	h.HashInterning(s1, []int{0})
+	h.HashInterning(i1, []int{0})
+	sv, _ := h.HashTuple(s1, []int{0})
+	iv, _ := h.HashTuple(i1, []int{0})
+	if sv == iv {
+		t.Fatal("projection hash must be kind-sensitive")
+	}
+}
+
+func TestHashTupleZeroAlloc(t *testing.T) {
+	s := NewSymbols()
+	h := NewHasher(s)
+	tup := TupleOf(String("edinburgh"), String("EH7 4AH"), Int(44))
+	pos := []int{0, 1, 2}
+	h.HashInterning(tup, pos)
+	allocs := testing.AllocsPerRun(1000, func() {
+		if _, ok := h.HashTuple(tup, pos); !ok {
+			t.Fatal("must hit")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("HashTuple allocates %.1f objects per probe; want 0", allocs)
+	}
+}

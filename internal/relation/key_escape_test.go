@@ -1,0 +1,77 @@
+package relation
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestKeyDelimiterEscaping attacks the string-key encoding with cell values
+// containing the 0x1f unit separator, the escape-adjacent shapes most
+// likely to produce silent collisions between distinct projections. The
+// encoding doubles in-cell separators and prefixes every cell with its kind
+// byte, so after any (odd-terminated) separator run the next byte is a kind
+// byte, never content — these pairs must all stay distinct.
+func TestKeyDelimiterEscaping(t *testing.T) {
+	sep := "\x1f"
+	pairs := [][2]Tuple{
+		// The classic doubling-escape ambiguity: trailing separator in the
+		// first cell vs leading separator in the second.
+		{TupleOf(String("a"+sep), String("b")), TupleOf(String("a"), String(sep+"b"))},
+		// Separator-only cells vs empty-ish neighbours.
+		{TupleOf(String(sep), String("")), TupleOf(String(""), String(sep))},
+		{TupleOf(String(sep + sep)), TupleOf(String(sep), String(""))},
+		// Content mimicking "separator + kind byte" of a following cell.
+		{TupleOf(String("a" + sep + "1b")), TupleOf(String("a"), String("1b"))},
+		{TupleOf(String("a" + sep + "0")), TupleOf(String("a"), Null)},
+		// Doubled content separators vs two separators across a boundary.
+		{TupleOf(String("a" + sep + sep + "b")), TupleOf(String("a"+sep), String(sep+"b"))},
+		// Kind confusion: digits that look like kind prefixes.
+		{TupleOf(String("1")), TupleOf(Int(1))},
+		{TupleOf(String("1"), String("2")), TupleOf(String("1" + sep + "12"))},
+	}
+	all := []int{0, 1}
+	one := []int{0}
+	for i, pr := range pairs {
+		a, b := pr[0], pr[1]
+		pa, pb := all, all
+		if len(a) == 1 {
+			pa = one
+		}
+		if len(b) == 1 {
+			pb = one
+		}
+		ka, kb := a.Key(pa), b.Key(pb)
+		if ka == kb {
+			t.Errorf("pair %d: distinct projections collide: %q vs %q -> key %q", i, a, b, ka)
+		}
+	}
+}
+
+// TestKeyRoundTripSeparatorRuns pins the run-length invariant the decode
+// argument relies on: content separators always appear doubled, so any
+// odd-length 0x1f run contains exactly one cell boundary (at its end).
+func TestKeyRoundTripSeparatorRuns(t *testing.T) {
+	tup := TupleOf(String("x\x1f"), String("\x1f\x1fy"), String("z"))
+	key := tup.Key([]int{0, 1, 2})
+	runs := 0
+	for i := 0; i < len(key); {
+		if key[i] != 0x1f {
+			i++
+			continue
+		}
+		j := i
+		for j < len(key) && key[j] == 0x1f {
+			j++
+		}
+		if (j-i)%2 == 1 {
+			runs++ // odd run = exactly one boundary
+		}
+		i = j
+	}
+	if runs != 2 {
+		t.Fatalf("expected 2 cell boundaries in %q, found %d odd runs", key, runs)
+	}
+	if !strings.HasPrefix(key, "1x") {
+		t.Fatalf("cells must be kind-prefixed: %q", key)
+	}
+}

@@ -104,6 +104,14 @@ func (ru *Rule) LHS() []int { return append([]int(nil), ru.x...) }
 // LHSM returns the positions of Xm in Rm (copy).
 func (ru *Rule) LHSM() []int { return append([]int(nil), ru.xm...) }
 
+// LHSRef returns the internal X position slice without copying. Hot paths
+// only (master probes, suggestion loops); callers must not mutate it.
+func (ru *Rule) LHSRef() []int { return ru.x }
+
+// LHSMRef returns the internal Xm position slice without copying. Hot paths
+// only; callers must not mutate it.
+func (ru *Rule) LHSMRef() []int { return ru.xm }
+
 // RHS returns the position of B in R.
 func (ru *Rule) RHS() int { return ru.b }
 

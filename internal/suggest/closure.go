@@ -40,7 +40,7 @@ func computeSupport(sigma *rule.Set, dm *master.Data) supportMap {
 }
 
 func masterSupports(dm *master.Data, ru *rule.Rule) bool {
-	x, xm := ru.LHS(), ru.LHSM()
+	x, xm := ru.LHSRef(), ru.LHSMRef()
 	tp := ru.Pattern()
 	for _, tm := range dm.Relation().Tuples() {
 		ok := true

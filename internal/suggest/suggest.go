@@ -67,7 +67,7 @@ func patternAccepts(ru *rule.Rule, t relation.Tuple, zSet relation.AttrSet) bool
 // for a tuple agreeing on the validated part and pattern-compatible on
 // the rest.
 func (d *Deriver) masterCompatible(ru *rule.Rule, t relation.Tuple, zSet relation.AttrSet) bool {
-	x, xm := ru.LHS(), ru.LHSM()
+	x, xm := ru.LHSRef(), ru.LHSMRef()
 	if zSet.ContainsSet(ru.LHSSet()) {
 		// Fully validated lhs: one O(1) index probe on tm[Xm] = t[X].
 		for _, id := range d.dm.MatchIDs(ru, t) {
@@ -101,7 +101,7 @@ func (d *Deriver) masterCompatible(ru *rule.Rule, t relation.Tuple, zSet relatio
 
 // patternCompatibleMaster checks tm[λϕ(Xp ∩ X)] ≈ tp[Xp ∩ X].
 func (d *Deriver) patternCompatibleMaster(ru *rule.Rule, tm relation.Tuple) bool {
-	x, xm := ru.LHS(), ru.LHSM()
+	x, xm := ru.LHSRef(), ru.LHSMRef()
 	tp := ru.Pattern()
 	for i := range x {
 		if cell, has := tp.CellFor(x[i]); has && !cell.Matches(tm[xm[i]]) {

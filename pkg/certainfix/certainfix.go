@@ -30,6 +30,7 @@ import (
 	"repro/internal/fix"
 	"repro/internal/master"
 	"repro/internal/monitor"
+	"repro/internal/parallel"
 	"repro/internal/pattern"
 	"repro/internal/relation"
 	"repro/internal/rule"
@@ -165,6 +166,35 @@ func (s *System) Regions() []RegionCandidate { return s.mon.Regions() }
 // CertainFix, Fig. 3 of the paper). The input is not mutated.
 func (s *System) Fix(t Tuple, user User) (Result, error) {
 	return s.mon.Fix(t, user)
+}
+
+// FixBatch fixes many input tuples concurrently on a bounded worker pool,
+// driving userFor(i) for tuple i. Results are aligned with inputs and,
+// without the suggestion cache, byte-identical to a sequential Fix loop.
+// workers ≤ 0 selects GOMAXPROCS.
+func (s *System) FixBatch(inputs []Tuple, userFor func(i int) User, workers int) ([]Result, error) {
+	return s.mon.FixBatch(inputs, userFor, monitor.BatchOptions{Workers: workers})
+}
+
+// Repair is one RepairBatch outcome; fields mirror RepairOnce's returns.
+type Repair struct {
+	Tuple     Tuple
+	Validated AttrSet
+	Fixed     []int
+	Err       error
+}
+
+// RepairBatch runs RepairOnce over every input tuple concurrently against
+// the shared immutable (Σ, Dm). The result slice is aligned with inputs;
+// per-tuple errors are reported in place so one inconsistent tuple does not
+// abort the batch (matching the per-tuple error handling of cmd/certainfix).
+// workers ≤ 0 selects GOMAXPROCS.
+func (s *System) RepairBatch(inputs []Tuple, validated []int, workers int) []Repair {
+	out, _ := parallel.Map(len(inputs), workers, func(i int) (Repair, error) {
+		t, z, fixed, err := s.RepairOnce(inputs[i], validated)
+		return Repair{Tuple: t, Validated: z, Fixed: fixed, Err: err}, nil
+	})
+	return out
 }
 
 // RepairOnce applies every certain fix that follows from the attributes
