@@ -277,6 +277,94 @@ func ruleNamed(b *testing.B, ds *datagen.Dataset, name string) *rule.Rule {
 	return nil
 }
 
+// BenchmarkClosure measures the compiled counter-based closure engine
+// (rule.Compiled, one LINCLOSURE pass with reusable scratch) against the
+// naive O(|Σ|²) fixpoint it replaced, on the 21-rule hosp set from the
+// cascade-rich base {id, mCode}.
+func BenchmarkClosure(b *testing.B) {
+	ds := mustHosp(b, 1)
+	sup := make([]bool, ds.Sigma.Len())
+	for i, ru := range ds.Sigma.Rules() {
+		sup[i] = ds.Master.PatternSupported(ru)
+	}
+	base := relation.NewAttrSet(ds.Sigma.Schema().MustPosList("id", "mCode")...)
+	arity := ds.Sigma.Schema().Arity()
+
+	b.Run("compiled", func(b *testing.B) {
+		b.ReportAllocs()
+		prog := ds.Sigma.Compile(sup)
+		sc := rule.NewClosureScratch()
+		for i := 0; i < b.N; i++ {
+			if prog.Closure(base, sc) != arity {
+				b.Fatal("closure must cover R")
+			}
+		}
+	})
+	b.Run("naive", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if suggest.StructuralClosure(ds.Sigma, sup, base).Len() != arity {
+				b.Fatal("closure must cover R")
+			}
+		}
+	})
+}
+
+// BenchmarkApplicableRules measures Σ_t[Z] derivation with a partially
+// validated lhs — the postings-based condition (c) against the per-rule
+// Dm scan that made per-round latency linear in |Dm| (Fig. 12a/b).
+func BenchmarkApplicableRules(b *testing.B) {
+	ds := mustHosp(b, benchTuples)
+	d := suggest.NewDeriver(ds.Sigma, ds.Master)
+	t := ds.Inputs[0]
+	// id validates half the (id, mCode) premises: the partial-lhs branch.
+	zSet := relation.NewAttrSet(ds.Sigma.Schema().MustPosList("id")...)
+
+	b.Run("postings", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if d.ApplicableRules(t, zSet).Len() == 0 {
+				b.Fatal("refined set must not be empty")
+			}
+		}
+	})
+	b.Run("scan", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if d.ApplicableRulesNaive(t, zSet).Len() == 0 {
+				b.Fatal("refined set must not be empty")
+			}
+		}
+	})
+}
+
+// BenchmarkSuggest measures procedure Suggest end to end — both engines
+// together (compiled closure + postings) against the naive pair — on a
+// realistic hosp tuple with a partially validated Z.
+func BenchmarkSuggest(b *testing.B) {
+	ds := mustHosp(b, benchTuples)
+	d := suggest.NewDeriver(ds.Sigma, ds.Master)
+	t := ds.Inputs[0]
+	zSet := relation.NewAttrSet(ds.Sigma.Schema().MustPosList("id")...)
+
+	b.Run("compiled", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if s := d.Suggest(t, zSet); len(s.S) == 0 {
+				b.Fatal("empty suggestion")
+			}
+		}
+	})
+	b.Run("naive", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if s := d.SuggestNaive(t, zSet); len(s.S) == 0 {
+				b.Fatal("empty suggestion")
+			}
+		}
+	})
+}
+
 // BenchmarkFixBatch sweeps the worker count of the concurrent batch
 // pipeline over one stream of dirty tuples — the throughput layer on top
 // of the zero-allocation probes. b.N counts individual tuple fixes.

@@ -3,6 +3,7 @@ package analysis
 import (
 	"repro/internal/fix"
 	"repro/internal/relation"
+	"repro/internal/rule"
 )
 
 // ConcreteVerdict runs the Theorem-4 check directly on one concrete value
@@ -84,8 +85,18 @@ func (c *Checker) checkConcrete(zPos []int, vals []relation.Value, coverage bool
 
 	// Step (g): a disagreeing pair is a genuine conflict iff its premise
 	// can be validated without first validating the disputed attribute.
+	// The reachable set depends only on the disputed attribute, so rules
+	// disputing the same attribute share one computation.
+	var reachCache map[int]relation.AttrSet
 	for _, lc := range lates {
-		reachable := validatableWithout(base, validators, lc.attr)
+		reachable, ok := reachCache[lc.attr]
+		if !ok {
+			reachable = validatableWithout(base, validators, lc.attr)
+			if reachCache == nil {
+				reachCache = make(map[int]relation.AttrSet, 1)
+			}
+			reachCache[lc.attr] = reachable
+		}
 		if premiseWithin(lc.premise, base, reachable) {
 			return failf("attribute %s has order-dependent values %v and %v",
 				r.Attr(lc.attr).Name, t[lc.attr], lc.value)
@@ -104,28 +115,44 @@ func (c *Checker) checkConcrete(zPos []int, vals []relation.Value, coverage bool
 	return okVerdict
 }
 
-// validatableWithout computes, as a least fixpoint, the set of attributes
-// that can be validated by some derivation whose every step avoids
-// validating `avoid`: an attribute joins the set when one of its validator
-// premises lies entirely within base ∪ (already-derivable attributes).
+// validatableWithout computes the set of attributes that can be validated
+// by some derivation whose every step avoids validating `avoid`: an
+// attribute joins the set when one of its validator premises lies entirely
+// within base ∪ (already-derivable attributes). Each (premise → attribute)
+// validator is a pseudo-rule, so the least fixpoint is one counter-based
+// closure pass (rule.CompileClosure) instead of the quadratic re-scan;
+// validators touching `avoid` are dropped at compile time.
 func validatableWithout(base relation.AttrSet, validators map[int][]relation.AttrSet, avoid int) relation.AttrSet {
-	var ok relation.AttrSet
-	for changed := true; changed; {
-		changed = false
-		for a, prems := range validators {
-			if a == avoid || ok.Has(a) {
+	maxPos := avoid
+	bump := func(p int) {
+		if p > maxPos {
+			maxPos = p
+		}
+	}
+	base.Range(func(p int) bool { bump(p); return true })
+	var prems []relation.AttrSet
+	var rhs []int
+	for a, list := range validators {
+		if a == avoid {
+			continue
+		}
+		for _, prem := range list {
+			if prem.Has(avoid) {
 				continue
 			}
-			for _, prem := range prems {
-				if prem.Has(avoid) {
-					continue
-				}
-				if premiseWithin(prem, base, ok) {
-					ok.Add(a)
-					changed = true
-					break
-				}
-			}
+			bump(a)
+			prem.Range(func(p int) bool { bump(p); return true })
+			prems = append(prems, prem)
+			rhs = append(rhs, a)
+		}
+	}
+	prog := rule.CompileClosure(maxPos+1, prems, rhs)
+	sc := rule.NewClosureScratch()
+	prog.Closure(base, sc)
+	var ok relation.AttrSet
+	for a := range validators {
+		if a != avoid && sc.Has(a) && !base.Has(a) {
+			ok.Add(a)
 		}
 	}
 	return ok

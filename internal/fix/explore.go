@@ -42,16 +42,18 @@ func Explore(sigma *rule.Set, dm *master.Data, t relation.Tuple, zSet relation.A
 	}
 	e := &explorer{
 		sigma: sigma, dm: dm, cap: cap,
-		seen:     map[string]bool{},
-		outcomes: map[string]Outcome{},
+		seen: map[uint64][]stateEntry{},
 	}
 	e.dfs(t.Clone(), zSet.Clone())
-	res := ExploreResult{States: e.states, Truncated: e.truncated}
-	res.Outcomes = make([]Outcome, 0, len(e.outcomes))
-	for _, k := range e.order {
-		res.Outcomes = append(res.Outcomes, e.outcomes[k])
-	}
-	return res
+	return ExploreResult{Outcomes: e.outcomes, States: e.states, Truncated: e.truncated}
+}
+
+// stateEntry is one memoized state. A fixing state is fully identified by
+// (Z, t[Z]): attributes outside Z always hold their original values, since
+// rules only write attributes they validate.
+type stateEntry struct {
+	t relation.Tuple
+	z relation.AttrSet
 }
 
 type explorer struct {
@@ -60,20 +62,57 @@ type explorer struct {
 	cap       int
 	states    int
 	truncated bool
-	seen      map[string]bool
-	outcomes  map[string]Outcome
-	order     []string
+	// seen memoizes visited states keyed by a uint64 FNV-1a hash of
+	// (Z, t[Z]) — no string building per state. A hash is not an
+	// encoding, so bucket entries are verified against the stored state,
+	// mirroring the master-index collision scheme.
+	seen     map[uint64][]stateEntry
+	outcomes []Outcome
+}
+
+// visited reports whether (t, zSet) was already explored, recording it
+// when new. The stored entries alias the caller's tuple and set, which
+// dfs frames never mutate after the call.
+func (e *explorer) visited(t relation.Tuple, zSet relation.AttrSet) bool {
+	h := hashState(t, zSet)
+	for _, s := range e.seen[h] {
+		if sameState(s, t, zSet) {
+			return true
+		}
+	}
+	e.seen[h] = append(e.seen[h], stateEntry{t: t, z: zSet})
+	return false
+}
+
+func hashState(t relation.Tuple, zSet relation.AttrSet) uint64 {
+	acc := relation.HashSeed()
+	zSet.Range(func(p int) bool {
+		acc = relation.HashInt(acc, p)
+		acc = relation.HashValue(acc, t[p])
+		return true
+	})
+	return acc
+}
+
+func sameState(s stateEntry, t relation.Tuple, zSet relation.AttrSet) bool {
+	if !s.z.Equal(zSet) {
+		return false
+	}
+	same := true
+	zSet.Range(func(p int) bool {
+		same = s.t[p].Equal(t[p])
+		return same
+	})
+	return same
 }
 
 func (e *explorer) dfs(t relation.Tuple, zSet relation.AttrSet) {
 	if e.truncated {
 		return
 	}
-	key := stateKey(t, zSet)
-	if e.seen[key] {
+	if e.visited(t, zSet) {
 		return
 	}
-	e.seen[key] = true
 	e.states++
 	if e.states > e.cap {
 		e.truncated = true
@@ -82,11 +121,8 @@ func (e *explorer) dfs(t relation.Tuple, zSet relation.AttrSet) {
 
 	pairs := ApplicablePairs(e.sigma, e.dm, t, zSet)
 	if len(pairs) == 0 {
-		ok := key // terminal states are fully identified by their state key
-		if _, dup := e.outcomes[ok]; !dup {
-			e.outcomes[ok] = Outcome{Tuple: t.Clone(), Covered: zSet.Clone()}
-			e.order = append(e.order, ok)
-		}
+		// Terminal; states are memoized above, so each is reached once.
+		e.outcomes = append(e.outcomes, Outcome{Tuple: t.Clone(), Covered: zSet.Clone()})
 		return
 	}
 
@@ -111,11 +147,6 @@ func (e *explorer) dfs(t relation.Tuple, zSet relation.AttrSet) {
 		nz.Add(b)
 		e.dfs(nt, nz)
 	}
-}
-
-func stateKey(t relation.Tuple, zSet relation.AttrSet) string {
-	ps := zSet.Positions()
-	return zSet.Key() + "|" + t.Key(ps)
 }
 
 // UniqueFix computes the fix of t by (Σ, Dm) w.r.t. region (Z, Tc) via

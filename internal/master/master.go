@@ -12,6 +12,12 @@
 // equality). Per-rule probe plans are resolved once at NewForRules time, so
 // a probe does not rebuild position lists or registry keys.
 //
+// Beyond the full-key indexes, NewForRules builds the inverted-postings
+// layer of postings.go: per-column posting lists and per-rule
+// pattern-support bitmaps serving the partially-validated-lhs
+// compatibility test and the rule-support precomputation of §5 without
+// scanning Dm.
+//
 // Master data is assumed consistent and complete (§2, citing [31]); this
 // package treats it as immutable after construction, which also makes all
 // lookups safe for concurrent use. Building indexes (Index, NewForRules)
@@ -47,6 +53,11 @@ type Data struct {
 	// bucket walk. Refined rules (ϕ+ of §5.2) are not in the map and fall
 	// back to the registry scan, which is still allocation-free.
 	plans map[*rule.Rule]*index
+	// postings and compat are the inverted-postings layer (see postings.go):
+	// per-column value → tuple-id lists and per-rule compatibility plans
+	// serving the partial-lhs and pattern-support paths of §5.
+	postings []*postings
+	compat   map[*rule.Rule]*compatPlan
 }
 
 // New wraps a master relation. Indexes are added with Index or NewForRules.
@@ -57,11 +68,13 @@ func New(rel *relation.Relation) *Data {
 		syms:   syms,
 		hasher: relation.NewHasher(syms),
 		plans:  map[*rule.Rule]*index{},
+		compat: map[*rule.Rule]*compatPlan{},
 	}
 }
 
 // NewForRules wraps a master relation, eagerly builds one index per
-// distinct Xm list in Σ and resolves each rule's probe plan.
+// distinct Xm list in Σ, one posting list per distinct Xm column, and
+// resolves each rule's probe and compatibility plans.
 func NewForRules(rel *relation.Relation, sigma *rule.Set) (*Data, error) {
 	if !sigma.MasterSchema().Equal(rel.Schema()) {
 		return nil, fmt.Errorf("master: relation schema %s does not match Σ's master schema %s",
@@ -70,6 +83,7 @@ func NewForRules(rel *relation.Relation, sigma *rule.Set) (*Data, error) {
 	d := New(rel)
 	for _, ru := range sigma.Rules() {
 		d.plans[ru] = d.buildIndex(ru.LHSMRef())
+		d.compat[ru] = d.buildCompatPlan(ru)
 	}
 	return d, nil
 }

@@ -1,0 +1,212 @@
+package master
+
+import (
+	"repro/internal/relation"
+	"repro/internal/rule"
+)
+
+// This file implements the inverted-postings layer: per indexed master
+// column, a (interned value id → ascending []tupleID) posting list, plus a
+// per-rule pattern-support bitmap of the master tuples satisfying the
+// rule's pattern cells on the λϕ-mapped lhs attributes. Both are built
+// once at NewForRules.
+//
+// They serve the two §5 paths the full-key hash indexes cannot: the
+// per-rule "does any master tuple support this rule's pattern" test
+// (supportMap of region derivation — now a popcount done at build time)
+// and condition (c) of the Σ_t[Z] derivation with a *partially* validated
+// lhs, which previously scanned all of Dm per rule per round — the term
+// that made per-round latency grow linearly in |Dm| (Fig. 12a/b). With
+// postings, the partial-lhs test walks the smallest posting list of the
+// validated attributes, filtered by the pattern bitmap, and falls back to
+// the scan only when the best list is so unselective (≥ half of Dm) that
+// scanning is no worse.
+
+// postings is the inverted index over one master column.
+type postings struct {
+	col   int                // Rm position
+	lists map[uint32][]int32 // interned value id → ascending tuple ids
+}
+
+// compatPlan is a rule's compiled compatibility plan.
+type compatPlan struct {
+	patBits  []uint64    // bitmap over tuple ids: pattern cells on λϕ(Xp ∩ X) hold
+	patCount int         // popcount of patBits
+	posts    []*postings // aligned with the rule's X/Xm lists
+}
+
+// buildPostings returns the posting list for column col, building and
+// registering it on first request (and interning every value of the
+// column, which is what makes ID-based probes against it sound).
+func (d *Data) buildPostings(col int) *postings {
+	for _, ps := range d.postings {
+		if ps.col == col {
+			return ps
+		}
+	}
+	ps := &postings{col: col, lists: make(map[uint32][]int32)}
+	for i, tm := range d.rel.Tuples() {
+		id := d.syms.Intern(tm[col])
+		ps.lists[id] = append(ps.lists[id], int32(i))
+	}
+	d.postings = append(d.postings, ps)
+	return ps
+}
+
+// buildCompatPlan compiles ru's compatibility plan: postings for each Xm
+// column and the pattern-support bitmap.
+func (d *Data) buildCompatPlan(ru *rule.Rule) *compatPlan {
+	x, xm := ru.LHSRef(), ru.LHSMRef()
+	plan := &compatPlan{
+		patBits: make([]uint64, (d.rel.Len()+63)/64),
+		posts:   make([]*postings, len(x)),
+	}
+	for i := range x {
+		plan.posts[i] = d.buildPostings(xm[i])
+	}
+	for id, tm := range d.rel.Tuples() {
+		if patternCompatible(ru, tm) {
+			plan.patBits[id>>6] |= 1 << (uint(id) & 63)
+			plan.patCount++
+		}
+	}
+	return plan
+}
+
+// patternCompatible reports tm[λϕ(Xp ∩ X)] ≈ tp[Xp ∩ X]: the master-side
+// pattern test of §5.2 (patterns constrain t; on master tuples only the
+// cells over lhs attributes carry over through λϕ).
+func patternCompatible(ru *rule.Rule, tm relation.Tuple) bool {
+	x, xm := ru.LHSRef(), ru.LHSMRef()
+	tp := ru.Pattern()
+	for i := range x {
+		if cell, has := tp.CellFor(x[i]); has && !cell.Matches(tm[xm[i]]) {
+			return false
+		}
+	}
+	return true
+}
+
+// PatternSupported reports whether some master tuple satisfies ru's
+// pattern cells on the λϕ-mapped lhs attributes — the per-rule
+// master-support bit behind region derivation, precomputed at NewForRules
+// (a popcount) with a scan fallback for rules outside the plan map.
+func (d *Data) PatternSupported(ru *rule.Rule) bool {
+	if plan, ok := d.compat[ru]; ok {
+		return plan.patCount > 0
+	}
+	for _, tm := range d.rel.Tuples() {
+		if patternCompatible(ru, tm) {
+			return true
+		}
+	}
+	return false
+}
+
+// CompatibleExists decides condition (c) of the Σ_t[Z] derivation (§5.2):
+// is there a master tuple that agrees with t on the validated lhs
+// attributes (t[x] = tm[λϕ(x)] for x ∈ X ∩ Z) and satisfies the rule's
+// pattern cells on the λϕ-mapped lhs attributes? A fully validated lhs
+// probes the hash index (O(1)); a partially validated one intersects
+// posting lists smallest-first under the pattern bitmap, falling back to
+// the Dm scan when the postings are degenerate.
+func (d *Data) CompatibleExists(ru *rule.Rule, t relation.Tuple, zSet relation.AttrSet) bool {
+	found, _ := d.compatible(ru, t, zSet)
+	return found
+}
+
+// compatible is CompatibleExists plus whether the Dm-scan fallback ran —
+// separated so tests can pin the adaptive fallback policy.
+func (d *Data) compatible(ru *rule.Rule, t relation.Tuple, zSet relation.AttrSet) (found, scanned bool) {
+	x := ru.LHSRef()
+	plan := d.compat[ru]
+	if zSet.HasAll(x) {
+		// Fully validated lhs: one O(1) index probe on tm[Xm] = t[X], each
+		// candidate checked against the pattern bitmap.
+		for _, id := range d.MatchIDs(ru, t) {
+			if plan != nil {
+				if plan.patBits[id>>6]&(1<<(uint(id)&63)) != 0 {
+					return true, false
+				}
+			} else if patternCompatible(ru, d.rel.Tuple(id)) {
+				return true, false
+			}
+		}
+		return false, false
+	}
+	if plan == nil {
+		return d.compatibleScan(ru, t, zSet), true
+	}
+	// Partially validated lhs: pick the smallest posting list among the
+	// validated attributes.
+	var best []int32
+	bestLen, constrained := -1, false
+	for i, p := range x {
+		if !zSet.Has(p) {
+			continue
+		}
+		constrained = true
+		id, ok := d.syms.ID(t[p])
+		if !ok {
+			return false, false // value absent from the master column
+		}
+		lst := plan.posts[i].lists[id]
+		if len(lst) == 0 {
+			return false, false
+		}
+		if bestLen < 0 || len(lst) < bestLen {
+			best, bestLen = lst, len(lst)
+		}
+	}
+	if !constrained {
+		// X ∩ Z = ∅: only the pattern constrains the master side.
+		return plan.patCount > 0, false
+	}
+	if 2*bestLen >= d.rel.Len() {
+		// Degenerate postings (the best list covers at least half of Dm):
+		// a scan costs the same and avoids the per-id indirection.
+		return d.compatibleScan(ru, t, zSet), true
+	}
+	xm := ru.LHSMRef()
+	for _, id := range best {
+		if plan.patBits[id>>6]&(1<<(uint(id)&63)) == 0 {
+			continue
+		}
+		tm := d.rel.Tuple(int(id))
+		ok := true
+		for i, p := range x {
+			if zSet.Has(p) && !t[p].Equal(tm[xm[i]]) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true, false
+		}
+	}
+	return false, false
+}
+
+// compatibleScan is the naive O(|Dm|) fallback (and the reference the
+// postings path is property-tested against in internal/suggest).
+func (d *Data) compatibleScan(ru *rule.Rule, t relation.Tuple, zSet relation.AttrSet) bool {
+	x, xm := ru.LHSRef(), ru.LHSMRef()
+	tp := ru.Pattern()
+	for _, tm := range d.rel.Tuples() {
+		ok := true
+		for i := range x {
+			if zSet.Has(x[i]) && !t[x[i]].Equal(tm[xm[i]]) {
+				ok = false
+				break
+			}
+			if cell, has := tp.CellFor(x[i]); has && !cell.Matches(tm[xm[i]]) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}

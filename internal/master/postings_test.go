@@ -1,0 +1,183 @@
+package master
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/pattern"
+	"repro/internal/relation"
+	"repro/internal/rule"
+)
+
+func randomCompatInstance(rng *rand.Rand) (*Data, *rule.Set, relation.Tuple, relation.AttrSet) {
+	nR := 3 + rng.Intn(4)
+	nM := 3 + rng.Intn(4)
+	rNames := make([]string, nR)
+	for i := range rNames {
+		rNames[i] = fmt.Sprintf("A%d", i)
+	}
+	mNames := make([]string, nM)
+	for i := range mNames {
+		mNames[i] = fmt.Sprintf("M%d", i)
+	}
+	r := relation.StringSchema("R", rNames...)
+	rm := relation.StringSchema("Rm", mNames...)
+
+	vals := []string{"a", "b", "c"}
+	rel := relation.NewRelation(rm)
+	for i, n := 0, 1+rng.Intn(8); i < n; i++ {
+		tup := make(relation.Tuple, nM)
+		for j := range tup {
+			tup[j] = relation.String(vals[rng.Intn(len(vals))])
+		}
+		rel.MustAppend(tup)
+	}
+
+	sigma := rule.MustNewSet(r, rm)
+	for i, n := 0, 1+rng.Intn(5); i < n; i++ {
+		xLen := 1 + rng.Intn(2)
+		perm := rng.Perm(nR)
+		x := perm[:xLen]
+		b := perm[xLen]
+		xm := make([]int, xLen)
+		for j := range xm {
+			xm[j] = rng.Intn(nM)
+		}
+		var pPos []int
+		var pCells []pattern.Cell
+		for _, p := range rng.Perm(nR)[:rng.Intn(3)] {
+			pPos = append(pPos, p)
+			cell := pattern.Eq(relation.String(vals[rng.Intn(len(vals))]))
+			if rng.Intn(3) == 0 {
+				cell = pattern.Neq(cell.Val)
+			}
+			pCells = append(pCells, cell)
+		}
+		ru, err := rule.New(fmt.Sprintf("r%d", i), r, rm, x, xm, b, rng.Intn(nM), pattern.MustTuple(pPos, pCells))
+		if err != nil {
+			continue
+		}
+		sigma.Add(ru)
+	}
+
+	t := make(relation.Tuple, nR)
+	for i := range t {
+		if rng.Intn(6) == 0 {
+			t[i] = relation.String("zz") // never in the master: exercises the uninterned miss
+		} else {
+			t[i] = relation.String(vals[rng.Intn(len(vals))])
+		}
+	}
+	zSet := relation.NewAttrSet(rng.Perm(nR)[:rng.Intn(nR+1)]...)
+	return MustNewForRules(rel, sigma), sigma, t, zSet
+}
+
+// TestCompatibleExistsProperty: on randomized (Σ, Dm, t, Z) the
+// postings-based compatibility test agrees with the naive Dm scan for
+// every rule, across full, partial and empty validated lhs shapes.
+func TestCompatibleExistsProperty(t *testing.T) {
+	for seed := 0; seed < 600; seed++ {
+		rng := rand.New(rand.NewSource(int64(7_000_000 + seed)))
+		d, sigma, tup, zSet := randomCompatInstance(rng)
+		for _, ru := range sigma.Rules() {
+			got := d.CompatibleExists(ru, tup, zSet)
+			want := d.compatibleScan(ru, tup, zSet)
+			if got != want {
+				t.Fatalf("seed %d rule %s: CompatibleExists=%v, scan=%v (z=%v)",
+					seed, ru.Name(), got, want, zSet.Positions())
+			}
+		}
+	}
+}
+
+// TestPatternSupportedProperty: the precomputed pattern-support bit agrees
+// with the naive per-rule Dm scan.
+func TestPatternSupportedProperty(t *testing.T) {
+	for seed := 0; seed < 300; seed++ {
+		rng := rand.New(rand.NewSource(int64(8_000_000 + seed)))
+		d, sigma, _, _ := randomCompatInstance(rng)
+		for _, ru := range sigma.Rules() {
+			got := d.PatternSupported(ru)
+			want := false
+			for _, tm := range d.Relation().Tuples() {
+				if patternCompatible(ru, tm) {
+					want = true
+					break
+				}
+			}
+			if got != want {
+				t.Fatalf("seed %d rule %s: PatternSupported=%v, scan=%v", seed, ru.Name(), got, want)
+			}
+		}
+	}
+}
+
+// TestCompatibleDegeneratePostings forces the degenerate-postings shape —
+// every master tuple shares one value in the probed column, so the best
+// posting list covers all of Dm — and checks the adaptive policy falls
+// back to the scan and still answers correctly.
+func TestCompatibleDegeneratePostings(t *testing.T) {
+	r := relation.StringSchema("R", "A", "B", "C")
+	rm := relation.StringSchema("Rm", "MA", "MB", "MC")
+	rel := relation.NewRelation(rm)
+	for i := 0; i < 16; i++ {
+		rel.MustAppend(relation.Tuple{
+			relation.String("same"), // degenerate column: one distinct value
+			relation.String(fmt.Sprintf("b%d", i)),
+			relation.String(fmt.Sprintf("c%d", i)),
+		})
+	}
+	// lhs (A, B) so Z = {A} partially validates; A's posting list is all of Dm.
+	ru := rule.MustNew("deg", r, rm, []int{0, 1}, []int{0, 1}, 2, 2, pattern.Empty())
+	sigma := rule.MustNewSet(r, rm, ru)
+	d := MustNewForRules(rel, sigma)
+
+	tup := relation.Tuple{relation.String("same"), relation.String("b3"), relation.String("x")}
+	zSet := relation.NewAttrSet(0)
+
+	found, scanned := d.compatible(ru, tup, zSet)
+	if !scanned {
+		t.Fatal("degenerate postings must fall back to the scan")
+	}
+	if !found || found != d.compatibleScan(ru, tup, zSet) {
+		t.Fatalf("fallback answer %v disagrees with the scan", found)
+	}
+
+	// A selective probe on B (posting list of length 1) must NOT scan.
+	zSet = relation.NewAttrSet(1)
+	found, scanned = d.compatible(ru, tup, zSet)
+	if scanned {
+		t.Fatal("selective postings must not fall back to the scan")
+	}
+	if !found {
+		t.Fatal("selective probe must find the matching master tuple")
+	}
+
+	// A miss on a never-interned value short-circuits without scanning.
+	tup[1] = relation.String("nope")
+	found, scanned = d.compatible(ru, tup, zSet)
+	if found || scanned {
+		t.Fatalf("uninterned probe: found=%v scanned=%v, want false/false", found, scanned)
+	}
+}
+
+// TestCompatibleExistsUnplannedRule: a rule the master was not built for
+// (the refined ϕ+ shape) takes the scan fallback and stays correct.
+func TestCompatibleExistsUnplannedRule(t *testing.T) {
+	for seed := 0; seed < 100; seed++ {
+		rng := rand.New(rand.NewSource(int64(9_000_000 + seed)))
+		d, sigma, tup, zSet := randomCompatInstance(rng)
+		for _, ru := range sigma.Rules() {
+			plus, err := ru.WithPattern(ru.Pattern().WithCell(0, pattern.Eq(tup[0])))
+			if err != nil {
+				continue
+			}
+			got := d.CompatibleExists(plus, tup, zSet)
+			want := d.compatibleScan(plus, tup, zSet)
+			if got != want {
+				t.Fatalf("seed %d rule %s+: got %v, want %v", seed, ru.Name(), got, want)
+			}
+		}
+	}
+}

@@ -14,9 +14,12 @@ type BatchOptions struct {
 	Workers int
 	// PerWorkerDerivers gives each worker a private suggestion deriver
 	// instead of sharing the monitor's. The shared deriver is read-only
-	// and safe to share; private derivers trade O(|Σ|·|Dm|) setup per
-	// worker for complete isolation (no shared lines touched during
-	// probes), which can help on high-core-count machines.
+	// and safe to share (its closure programs are immutable and per-call
+	// state is pooled); private derivers trade O(|Σ|) setup per worker —
+	// the support map reads the master's precomputed pattern bitmaps, and
+	// compiling the closure program is linear in Σ — for complete
+	// isolation (no shared lines touched during probes), which can help
+	// on high-core-count machines.
 	PerWorkerDerivers bool
 }
 

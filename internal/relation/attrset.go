@@ -143,6 +143,19 @@ func (s AttrSet) ContainsSet(o AttrSet) bool {
 	return true
 }
 
+// Range calls f on every member in ascending order, stopping early when f
+// returns false. Allocation-free — the hot-path alternative to Positions.
+func (s AttrSet) Range(f func(p int) bool) {
+	for wi, w := range s.words {
+		base := wi << 6
+		for ; w != 0; w &= w - 1 {
+			if !f(base + trailingZeros(w)) {
+				return
+			}
+		}
+	}
+}
+
 // Positions returns the members in ascending order.
 func (s AttrSet) Positions() []int {
 	out := make([]int, 0, s.Len())

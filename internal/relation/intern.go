@@ -122,3 +122,39 @@ func (h Hasher) HashInterning(t Tuple, positions []int) uint64 {
 	}
 	return acc
 }
+
+// HashSeed returns the FNV-1a starting accumulator for the standalone
+// folding helpers below. They serve hash-keyed memo tables that — like the
+// master indexes — verify candidates against stored state, since a uint64
+// key is a hash, not an injective encoding.
+func HashSeed() uint64 { return fnvOffset64 }
+
+// HashInt folds an integer into the accumulator byte by byte.
+func HashInt(acc uint64, n int) uint64 {
+	u := uint64(n)
+	for i := 0; i < 8; i++ {
+		acc ^= u & 0xff
+		acc *= fnvPrime64
+		u >>= 8
+	}
+	return acc
+}
+
+// HashValue folds a value into the accumulator: its kind, then its payload
+// (numeric bytes for ints, the raw bytes for strings). Unlike the
+// interning Hasher it needs no symbol table, so it works on arbitrary
+// values — e.g. the Explore oracle's visited-state memo.
+func HashValue(acc uint64, v Value) uint64 {
+	acc ^= uint64(v.kind)
+	acc *= fnvPrime64
+	switch v.kind {
+	case KindInt:
+		return HashInt(acc, int(v.num))
+	case KindString:
+		for i := 0; i < len(v.str); i++ {
+			acc ^= uint64(v.str[i])
+			acc *= fnvPrime64
+		}
+	}
+	return acc
+}

@@ -160,9 +160,22 @@ func (ru *Rule) Normalize() *Rule {
 }
 
 // WithPattern returns a copy of the rule carrying pattern tp instead; used
-// for the refined rules ϕ+ of §5.2.
+// for the refined rules ϕ+ of §5.2. The base rule is already validated and
+// its position slices immutable, so only the new pattern is checked and
+// the (X, Xm) state is shared — this runs once per kept rule per
+// ApplicableRules call, so it must not re-run New's full validation.
 func (ru *Rule) WithPattern(tp pattern.Tuple) (*Rule, error) {
-	return New(ru.name+"+", ru.r, ru.rm, ru.x, ru.xm, ru.b, ru.bm, tp)
+	for i := 0; i < tp.Len(); i++ {
+		if pos, _ := tp.CellAt(i); pos >= ru.r.Arity() {
+			return nil, fmt.Errorf("rule %s+: pattern position %d out of range for %s", ru.name, pos, ru.r.Name())
+		}
+	}
+	out := *ru
+	out.name = ru.name + "+"
+	out.tp = tp
+	out.xpSet = tp.AttrSet()
+	out.xxpSet = ru.xSet.Union(out.xpSet)
+	return &out, nil
 }
 
 // MatchesPattern reports t ≈ tp for this rule's pattern.

@@ -35,6 +35,17 @@ func MustNewSet(r, rm *relation.Schema, rules ...*Rule) *Set {
 	return s
 }
 
+// Grow reserves capacity for n further rules — callers building refined
+// sets per round (ApplicableRules) size once instead of growing the slice
+// append by append.
+func (s *Set) Grow(n int) {
+	if free := cap(s.rules) - len(s.rules); free < n {
+		rules := make([]*Rule, len(s.rules), len(s.rules)+n)
+		copy(rules, s.rules)
+		s.rules = rules
+	}
+}
+
 // Add appends a rule after checking schema compatibility.
 func (s *Set) Add(ru *Rule) error {
 	if !ru.Schema().Equal(s.r) || !ru.MasterSchema().Equal(s.rm) {

@@ -17,6 +17,13 @@
 // The Z-minimum and S-minimum problems behind these heuristics are
 // NP-complete and inapproximable within c·log n (Thms 12, 17, 19), which
 // is why the paper itself prescribes heuristics here.
+//
+// The hot paths run on two compiled engines: the counter-based closure
+// programs of internal/rule (rule.Compiled, replacing the naive O(|Σ|²)
+// fixpoint) and the inverted master postings of internal/master
+// (replacing the per-rule Dm scans). The naive implementations below and
+// in naive.go are retained as reference oracles; the property tests
+// assert output equivalence on randomized instances.
 package suggest
 
 import (
@@ -27,18 +34,21 @@ import (
 
 // supportMap caches, per rule, whether some master tuple satisfies the
 // rule's pattern cells on the λϕ-mapped attributes (the structural
-// "is there any master evidence this rule can ever fire" test). Computed
-// once per (Σ, Dm): O(|Σ|·|Dm|).
+// "is there any master evidence this rule can ever fire" test). Reads the
+// pattern-support bitmaps precomputed at master build time: O(|Σ|), with
+// a Dm-scan fallback per rule the master was not built for.
 type supportMap []bool
 
 func computeSupport(sigma *rule.Set, dm *master.Data) supportMap {
 	sup := make(supportMap, sigma.Len())
 	for i, ru := range sigma.Rules() {
-		sup[i] = masterSupports(dm, ru)
+		sup[i] = dm.PatternSupported(ru)
 	}
 	return sup
 }
 
+// masterSupports is the naive O(|Dm|) support test, retained as the oracle
+// for Data.PatternSupported.
 func masterSupports(dm *master.Data, ru *rule.Rule) bool {
 	x, xm := ru.LHSRef(), ru.LHSMRef()
 	tp := ru.Pattern()
@@ -64,6 +74,9 @@ func masterSupports(dm *master.Data, ru *rule.Rule) bool {
 // over-approximates per-tuple coverage (specific values may find no master
 // match) and is the engine of region derivation; candidate regions are
 // then verified value-by-value with the Theorem-4 checker.
+//
+// This is the naive O(|Σ|²) fixpoint, retained as the oracle for the
+// compiled engine (rule.Compiled) that the production paths run on.
 func structuralClosure(sigma *rule.Set, sup supportMap, zSet relation.AttrSet) relation.AttrSet {
 	out := zSet.Clone()
 	for changed := true; changed; {
@@ -79,6 +92,13 @@ func structuralClosure(sigma *rule.Set, sup supportMap, zSet relation.AttrSet) r
 		}
 	}
 	return out
+}
+
+// StructuralClosure exposes the naive fixpoint for the compiled-vs-naive
+// benchmark and external equivalence tests; supported is aligned with
+// sigma.Rules().
+func StructuralClosure(sigma *rule.Set, supported []bool, zSet relation.AttrSet) relation.AttrSet {
+	return structuralClosure(sigma, supportMap(supported), zSet)
 }
 
 // directCover counts the attributes fixable in exactly one step from zSet

@@ -1,0 +1,132 @@
+package suggest
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/master"
+	"repro/internal/pattern"
+	"repro/internal/relation"
+	"repro/internal/rule"
+)
+
+// White-box equivalence tests for the pieces the external property tests
+// cannot reach: the naive structuralClosure fixpoint vs the compiled
+// engine over real rule sets, and the masterSupports scan vs the
+// precomputed pattern-support bitmaps.
+
+func randomInternalInstance(rng *rand.Rand) (*rule.Set, *master.Data) {
+	nR := 4 + rng.Intn(4)
+	nM := 4 + rng.Intn(3)
+	rNames := make([]string, nR)
+	for i := range rNames {
+		rNames[i] = fmt.Sprintf("A%d", i)
+	}
+	mNames := make([]string, nM)
+	for i := range mNames {
+		mNames[i] = fmt.Sprintf("M%d", i)
+	}
+	r := relation.StringSchema("R", rNames...)
+	rm := relation.StringSchema("Rm", mNames...)
+
+	vals := []string{"a", "b"}
+	rel := relation.NewRelation(rm)
+	for i, n := 0, 1+rng.Intn(5); i < n; i++ {
+		tup := make(relation.Tuple, nM)
+		for j := range tup {
+			tup[j] = relation.String(vals[rng.Intn(len(vals))])
+		}
+		rel.MustAppend(tup)
+	}
+
+	sigma := rule.MustNewSet(r, rm)
+	for i, n := 0, 2+rng.Intn(6); i < n; i++ {
+		xLen := 1 + rng.Intn(2)
+		perm := rng.Perm(nR)
+		x := perm[:xLen]
+		b := perm[xLen]
+		xm := make([]int, xLen)
+		for j := range xm {
+			xm[j] = rng.Intn(nM)
+		}
+		var pPos []int
+		var pCells []pattern.Cell
+		for _, p := range rng.Perm(nR)[:rng.Intn(2)] {
+			pPos = append(pPos, p)
+			pCells = append(pCells, pattern.Eq(relation.String(vals[rng.Intn(len(vals))])))
+		}
+		ru, err := rule.New(fmt.Sprintf("r%d", i), r, rm, x, xm, b, rng.Intn(nM), pattern.MustTuple(pPos, pCells))
+		if err != nil {
+			continue
+		}
+		sigma.Add(ru)
+	}
+	return sigma, master.MustNewForRules(rel, sigma)
+}
+
+// TestStructuralClosureVsCompiledProperty: the compiled Σ program (gated
+// by the support map, exactly as the deriver builds it) agrees with the
+// naive fixpoint on size and membership for random bases.
+func TestStructuralClosureVsCompiledProperty(t *testing.T) {
+	sc := rule.NewClosureScratch()
+	for seed := 0; seed < 400; seed++ {
+		rng := rand.New(rand.NewSource(int64(14_000_000 + seed)))
+		sigma, dm := randomInternalInstance(rng)
+		sup := computeSupport(sigma, dm)
+		prog := sigma.Compile(sup)
+		arity := sigma.Schema().Arity()
+		for trial := 0; trial < 4; trial++ {
+			zSet := relation.NewAttrSet(rng.Perm(arity)[:rng.Intn(arity+1)]...)
+			want := structuralClosure(sigma, sup, zSet)
+			if got := prog.Closure(zSet, sc); got != want.Len() {
+				t.Fatalf("seed %d: compiled closure %d, naive %d (z=%v)", seed, got, want.Len(), zSet.Positions())
+			}
+			for a := 0; a < arity; a++ {
+				if sc.Has(a) != want.Has(a) {
+					t.Fatalf("seed %d: membership of %d diverges", seed, a)
+				}
+			}
+		}
+	}
+}
+
+// TestComputeSupportVsScanProperty: the support map read from the
+// pattern-support bitmaps equals the naive masterSupports scan.
+func TestComputeSupportVsScanProperty(t *testing.T) {
+	for seed := 0; seed < 300; seed++ {
+		rng := rand.New(rand.NewSource(int64(15_000_000 + seed)))
+		sigma, dm := randomInternalInstance(rng)
+		sup := computeSupport(sigma, dm)
+		for i, ru := range sigma.Rules() {
+			if want := masterSupports(dm, ru); sup[i] != want {
+				t.Fatalf("seed %d rule %s: support %v, scan %v", seed, ru.Name(), sup[i], want)
+			}
+		}
+	}
+}
+
+// TestMasterCompatibleVsScanProperty: the production condition-(c) path
+// (postings) equals the suggest-side naive scan oracle for every rule on
+// randomized instances — the suggest-layer twin of the master package's
+// TestCompatibleExistsProperty.
+func TestMasterCompatibleVsScanProperty(t *testing.T) {
+	for seed := 0; seed < 300; seed++ {
+		rng := rand.New(rand.NewSource(int64(16_000_000 + seed)))
+		sigma, dm := randomInternalInstance(rng)
+		d := NewDeriver(sigma, dm)
+		arity := sigma.Schema().Arity()
+		tup := make(relation.Tuple, arity)
+		for i := range tup {
+			tup[i] = relation.String([]string{"a", "b", "zz"}[rng.Intn(3)])
+		}
+		zSet := relation.NewAttrSet(rng.Perm(arity)[:rng.Intn(arity+1)]...)
+		for _, ru := range sigma.Rules() {
+			got := dm.CompatibleExists(ru, tup, zSet)
+			want := d.masterCompatibleScan(ru, tup, zSet)
+			if got != want {
+				t.Fatalf("seed %d rule %s: postings %v, scan %v", seed, ru.Name(), got, want)
+			}
+		}
+	}
+}

@@ -2,6 +2,7 @@ package suggest
 
 import (
 	"sort"
+	"sync"
 
 	"repro/internal/analysis"
 	"repro/internal/master"
@@ -23,20 +24,36 @@ type Candidate struct {
 }
 
 // Deriver derives certain regions and suggestions for a fixed (Σ, Dm).
-// Safe for concurrent use after construction.
+// Safe for concurrent use after construction: the compiled closure
+// program and support map are immutable, and all per-call mutable state
+// lives in pooled scratch.
 type Deriver struct {
 	sigma   *rule.Set
 	dm      *master.Data
 	checker *analysis.Checker
 	sup     supportMap
-	actDom  map[int][]relation.Value
+	// prog is Σ compiled (gated by sup) into the counter-based closure
+	// engine; the per-call refined sets Σ_t[Z] are compiled on the fly.
+	prog   *rule.Compiled
+	actDom map[int][]relation.Value
 	// sampleCap bounds how many master tuples seed verification rows.
 	sampleCap int
+	pool      sync.Pool // *derScratch
 }
 
-// NewDeriver precomputes the support map and checker for (Σ, Dm).
+// derScratch bundles the per-call mutable state: the closure engine's
+// counters, a reusable compile target for the per-call refined programs,
+// and the value-dedup buffers of sampleRows.
+type derScratch struct {
+	clo    *rule.ClosureScratch
+	prog   *rule.Compiled
+	choice choiceScratch
+}
+
+// NewDeriver precomputes the support map, compiled closure program and
+// checker for (Σ, Dm).
 func NewDeriver(sigma *rule.Set, dm *master.Data) *Deriver {
-	return &Deriver{
+	d := &Deriver{
 		sigma:     sigma,
 		dm:        dm,
 		checker:   analysis.NewChecker(sigma, dm, analysis.Options{}),
@@ -44,7 +61,13 @@ func NewDeriver(sigma *rule.Set, dm *master.Data) *Deriver {
 		actDom:    sigma.ActiveDomain(),
 		sampleCap: 64,
 	}
+	d.prog = sigma.Compile(d.sup)
+	d.pool.New = func() any { return &derScratch{clo: rule.NewClosureScratch()} }
+	return d
 }
+
+func (d *Deriver) getScratch() *derScratch   { return d.pool.Get().(*derScratch) }
+func (d *Deriver) putScratch(sc *derScratch) { d.pool.Put(sc) }
 
 // Sigma returns Σ.
 func (d *Deriver) Sigma() *rule.Set { return d.sigma }
@@ -106,47 +129,45 @@ func (d *Deriver) CompCRegions() []Candidate {
 // growAndMinimize grows zSet greedily until the structural closure covers
 // R (preferring the attribute whose addition enlarges the closure most),
 // then reverse-deletes redundant attributes. Returns nil when full
-// coverage is unreachable.
+// coverage is unreachable. Runs on the precompiled Σ program: each greedy
+// round is one GainAll pass instead of one closure per candidate.
 func (d *Deriver) growAndMinimize(zSet relation.AttrSet) []int {
-	r := d.sigma.Schema()
-	arity := r.Arity()
+	arity := d.sigma.Schema().Arity()
 	cur := zSet.Clone()
 	free := d.sigma.FreeAttrs()
+	sc := d.getScratch()
+	defer d.putScratch(sc)
 
-	for structuralClosure(d.sigma, d.sup, cur).Len() < arity {
+	for {
+		baseLen, gains := d.prog.GainAll(cur, sc.clo)
+		if baseLen >= arity {
+			break
+		}
 		bestAttr, bestGain := -1, -1
 		for a := 0; a < arity; a++ {
 			if cur.Has(a) {
 				continue
 			}
-			trial := cur.Clone()
-			trial.Add(a)
-			gain := structuralClosure(d.sigma, d.sup, trial).Len()
-			if gain > bestGain {
-				bestGain, bestAttr = gain, a
+			if gains[a] > bestGain {
+				bestGain, bestAttr = gains[a], a
 			}
 		}
-		if bestAttr < 0 {
-			return nil
-		}
-		before := structuralClosure(d.sigma, d.sup, cur).Len()
-		cur.Add(bestAttr)
-		if bestGain <= before {
+		if bestAttr < 0 || bestGain <= baseLen {
 			// No attribute makes progress: coverage unreachable.
 			return nil
 		}
+		cur.Add(bestAttr)
 	}
 
 	// Reverse-delete: drop attributes (never free ones) whose removal
-	// keeps the closure complete.
+	// keeps the closure complete; each trial is a remove/re-add on cur.
 	for _, a := range cur.Positions() {
 		if free.Has(a) {
 			continue
 		}
-		trial := cur.Clone()
-		trial.Remove(a)
-		if structuralClosure(d.sigma, d.sup, trial).Len() == arity {
-			cur = trial
+		cur.Remove(a)
+		if d.prog.Closure(cur, sc.clo) != arity {
+			cur.Add(a)
 		}
 	}
 	return cur.Positions()
@@ -186,27 +207,66 @@ func (d *Deriver) sampleRows(z []int) [][]relation.Value {
 	if n > d.sampleCap {
 		step = n / d.sampleCap
 	}
+	sc := d.getScratch()
+	defer d.putScratch(sc)
+	choices := make([][]relation.Value, len(z))
 	var rows [][]relation.Value
 	for id := 0; id < n; id += step {
 		tm := d.dm.Tuple(id)
-		choices := make([][]relation.Value, len(z))
 		for i, a := range z {
-			choices[i] = d.attrChoices(a, tm)
+			choices[i] = d.attrChoicesInto(&sc.choice, i, a, tm)
 		}
 		rows = appendProduct(rows, choices, 8)
 	}
 	return rows
 }
 
-// attrChoices lists the plausible validated values of attribute a given
-// master tuple tm.
-func (d *Deriver) attrChoices(a int, tm relation.Tuple) []relation.Value {
-	var out []relation.Value
+// choiceScratch is the reusable state of attrChoicesInto: one epoch-stamped
+// dense array over interned master-value ids (O(1) dedup), a short linear
+// overflow for constants absent from the master symbol table, and per-slot
+// output buffers that survive across master tuples within one sampleRows.
+type choiceScratch struct {
+	epoch  uint32
+	stamp  []uint32
+	extras []relation.Value
+	bufs   [][]relation.Value
+}
+
+// attrChoicesInto lists the plausible validated values of attribute a
+// given master tuple tm into the slot-th scratch buffer. The returned
+// slice aliases the scratch and is valid until slot is reused.
+func (d *Deriver) attrChoicesInto(sc *choiceScratch, slot, a int, tm relation.Tuple) []relation.Value {
+	for len(sc.bufs) <= slot {
+		sc.bufs = append(sc.bufs, nil)
+	}
+	out := sc.bufs[slot][:0]
+	sc.epoch++
+	if sc.epoch == 0 { // wrapped: stale stamps could collide
+		for i := range sc.stamp {
+			sc.stamp[i] = 0
+		}
+		sc.epoch = 1
+	}
+	sc.extras = sc.extras[:0]
+	syms := d.dm.Hasher().Symbols()
 	add := func(v relation.Value) {
-		for _, w := range out {
-			if w.Equal(v) {
+		if id, ok := syms.ID(v); ok {
+			for int(id) >= len(sc.stamp) {
+				sc.stamp = append(sc.stamp, 0)
+			}
+			if sc.stamp[id] == sc.epoch {
 				return
 			}
+			sc.stamp[id] = sc.epoch
+		} else {
+			// Pattern constants never seen in an indexed master column:
+			// rare, so a short linear scan suffices.
+			for _, w := range sc.extras {
+				if w.Equal(v) {
+					return
+				}
+			}
+			sc.extras = append(sc.extras, v)
 		}
 		out = append(out, v)
 	}
@@ -225,6 +285,7 @@ func (d *Deriver) attrChoices(a int, tm relation.Tuple) []relation.Value {
 		// rule firing; any placeholder works.
 		add(relation.String("*"))
 	}
+	sc.bufs[slot] = out
 	return out
 }
 

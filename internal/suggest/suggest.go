@@ -17,8 +17,12 @@ import (
 //
 // ϕ+ extends the pattern with X ∩ Z pinned to t's constants (Prop. 20
 // shows suggestions may be computed against Σ_t[Z] instead of Σ).
+// Condition (c) runs on the master's inverted postings (smallest-first
+// posting intersection under the pattern-support bitmap) instead of the
+// O(|Dm|) scan per rule; see master.CompatibleExists.
 func (d *Deriver) ApplicableRules(t relation.Tuple, zSet relation.AttrSet) *rule.Set {
 	out := rule.MustNewSet(d.sigma.Schema(), d.dm.Schema())
+	out.Grow(d.sigma.Len())
 	for _, ru := range d.sigma.Rules() {
 		if zSet.Has(ru.RHS()) {
 			continue // (a)
@@ -26,12 +30,12 @@ func (d *Deriver) ApplicableRules(t relation.Tuple, zSet relation.AttrSet) *rule
 		if !patternAccepts(ru, t, zSet) {
 			continue // (b)
 		}
-		if !d.masterCompatible(ru, t, zSet) {
+		if !d.dm.CompatibleExists(ru, t, zSet) {
 			continue // (c)
 		}
 		refined := ru.Pattern()
 		touched := false
-		for _, p := range ru.LHS() {
+		for _, p := range ru.LHSRef() {
 			if zSet.Has(p) {
 				refined = refined.WithCell(p, pattern.Eq(t[p]))
 				touched = true
@@ -62,66 +66,6 @@ func patternAccepts(ru *rule.Rule, t relation.Tuple, zSet relation.AttrSet) bool
 	return true
 }
 
-// masterCompatible checks condition (c). When X ⊆ Z it probes the master
-// index on the full Xm key (O(1)); for partially validated lhs it scans
-// for a tuple agreeing on the validated part and pattern-compatible on
-// the rest.
-func (d *Deriver) masterCompatible(ru *rule.Rule, t relation.Tuple, zSet relation.AttrSet) bool {
-	x, xm := ru.LHSRef(), ru.LHSMRef()
-	if zSet.ContainsSet(ru.LHSSet()) {
-		// Fully validated lhs: one O(1) index probe on tm[Xm] = t[X].
-		for _, id := range d.dm.MatchIDs(ru, t) {
-			if d.patternCompatibleMaster(ru, d.dm.Tuple(id)) {
-				return true
-			}
-		}
-		return false
-	}
-	tp := ru.Pattern()
-	for _, tm := range d.dm.Relation().Tuples() {
-		ok := true
-		for i := range x {
-			if zSet.Has(x[i]) {
-				if !t[x[i]].Equal(tm[xm[i]]) {
-					ok = false
-					break
-				}
-			}
-			if cell, has := tp.CellFor(x[i]); has && !cell.Matches(tm[xm[i]]) {
-				ok = false
-				break
-			}
-		}
-		if ok {
-			return true
-		}
-	}
-	return false
-}
-
-// patternCompatibleMaster checks tm[λϕ(Xp ∩ X)] ≈ tp[Xp ∩ X].
-func (d *Deriver) patternCompatibleMaster(ru *rule.Rule, tm relation.Tuple) bool {
-	x, xm := ru.LHSRef(), ru.LHSMRef()
-	tp := ru.Pattern()
-	for i := range x {
-		if cell, has := tp.CellFor(x[i]); has && !cell.Matches(tm[xm[i]]) {
-			return false
-		}
-	}
-	return true
-}
-
-// allSupported marks every rule of a refined set as master-supported:
-// ApplicableRules admits a rule only after finding a compatible master
-// tuple (condition (c)), so recomputing support would be redundant work.
-func allSupported(s *rule.Set) supportMap {
-	sup := make(supportMap, s.Len())
-	for i := range sup {
-		sup[i] = true
-	}
-	return sup
-}
-
 // Suggestion is the result of procedure Suggest: the attribute set S to
 // recommend, with the refined rule set used to justify it.
 type Suggestion struct {
@@ -136,25 +80,34 @@ type Suggestion struct {
 // rule can reach end up in S themselves — the users must assert them
 // directly, exactly as the paper's framework expects (Example 8: item has
 // to be assured by the users).
+//
+// The refined set is compiled once into a counter-based closure program;
+// each greedy round evaluates every candidate's closure gain in one
+// GainAll pass (the base closure plus undone marginal trials) instead of
+// one full O(|Σ|²) fixpoint per candidate.
 func (d *Deriver) Suggest(t relation.Tuple, zSet relation.AttrSet) Suggestion {
 	refined := d.ApplicableRules(t, zSet)
-	sup := allSupported(refined)
 	arity := d.sigma.Schema().Arity()
+	sc := d.getScratch()
+	defer d.putScratch(sc)
+	// Every refined rule passed condition (c), so all are enabled.
+	prog := refined.CompileInto(nil, sc.prog)
+	sc.prog = prog
 
 	cur := zSet.Clone()
 	var s relation.AttrSet
-	for structuralClosure(refined, sup, cur).Len() < arity {
+	for {
+		baseLen, gains := prog.GainAll(cur, sc.clo)
+		if baseLen >= arity {
+			break
+		}
 		bestAttr, bestGain := -1, -1
-		closNow := structuralClosure(refined, sup, cur).Len()
 		for a := 0; a < arity; a++ {
 			if cur.Has(a) {
 				continue
 			}
-			trial := cur.Clone()
-			trial.Add(a)
-			gain := structuralClosure(refined, sup, trial).Len()
-			if gain > bestGain {
-				bestGain, bestAttr = gain, a
+			if gains[a] > bestGain {
+				bestGain, bestAttr = gains[a], a
 			}
 		}
 		if bestAttr < 0 {
@@ -162,21 +115,20 @@ func (d *Deriver) Suggest(t relation.Tuple, zSet relation.AttrSet) Suggestion {
 		}
 		cur.Add(bestAttr)
 		s.Add(bestAttr)
-		if bestGain <= closNow+1 {
-			// The attribute only covered itself; keep going — remaining
-			// unreachable attributes all end up in S this way.
-			continue
-		}
+		// A bestGain of baseLen+1 means the attribute only covered itself;
+		// keep going — remaining unreachable attributes all end up in S.
 	}
 
 	// Reverse-delete to keep S minimal (S-minimum is NP-hard, Thm 12 via
 	// the Z = ∅ special case; greedy + reverse-delete is the heuristic).
+	// cur is Z ∪ S throughout (S is disjoint from Z by construction), so
+	// each trial is a remove/re-add instead of a fresh union.
 	for _, a := range s.Positions() {
-		trialS := s.Clone()
-		trialS.Remove(a)
-		trial := zSet.Union(trialS)
-		if structuralClosure(refined, sup, trial).Len() == arity {
-			s = trialS
+		cur.Remove(a)
+		if prog.Closure(cur, sc.clo) == arity {
+			s.Remove(a)
+		} else {
+			cur.Add(a)
 		}
 	}
 	return Suggestion{S: s.Positions(), Refined: refined}
@@ -186,10 +138,13 @@ func (d *Deriver) Suggest(t relation.Tuple, zSet relation.AttrSet) Suggestion {
 // structural coverage under the refined rules Σ_t[Z].
 func (d *Deriver) IsSuggestion(t relation.Tuple, zSet relation.AttrSet, s []int) bool {
 	refined := d.ApplicableRules(t, zSet)
-	sup := allSupported(refined)
+	sc := d.getScratch()
+	defer d.putScratch(sc)
+	prog := refined.CompileInto(nil, sc.prog)
+	sc.prog = prog
 	cur := zSet.Clone()
 	cur.AddAll(s)
-	return structuralClosure(refined, sup, cur).Len() == d.sigma.Schema().Arity()
+	return prog.Closure(cur, sc.clo) == d.sigma.Schema().Arity()
 }
 
 // IsSuggestionFast is the reuse test of Suggest+ (§5.2): it decides
@@ -198,9 +153,12 @@ func (d *Deriver) IsSuggestion(t relation.Tuple, zSet relation.AttrSet, s []int)
 // suggestion this way is far cheaper than computing a fresh one (which
 // must derive Σ_t[Z] against the master data); optimism about the
 // specific tuple's values is safe because the framework re-validates
-// through TransFix after the users answer.
+// through TransFix after the users answer. Runs on the deriver's
+// precompiled Σ program: one counter pass per check.
 func (d *Deriver) IsSuggestionFast(zSet relation.AttrSet, s []int) bool {
+	sc := d.getScratch()
+	defer d.putScratch(sc)
 	cur := zSet.Clone()
 	cur.AddAll(s)
-	return structuralClosure(d.sigma, d.sup, cur).Len() == d.sigma.Schema().Arity()
+	return d.prog.Closure(cur, sc.clo) == d.sigma.Schema().Arity()
 }
