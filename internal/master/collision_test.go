@@ -52,7 +52,7 @@ func TestBucketVerificationFiltersCollisions(t *testing.T) {
 		t.Fatal("probe must hash")
 	}
 	// id 1 is the k2 tuple: same bucket now, different projection.
-	idx.buckets[h] = append(idx.buckets[h], 1)
+	idx.base[h] = append(idx.base[h], 1)
 
 	ids := dm.MatchIDs(ru, probe)
 	if len(ids) != 2 || ids[0] != 0 || ids[1] != 2 {
@@ -69,7 +69,7 @@ func TestBucketVerificationFiltersCollisions(t *testing.T) {
 
 	// A collision at the head of the bucket exercises the filtered path
 	// from position 0.
-	idx.buckets[h] = append([]int{1}, idx.buckets[h]...)
+	idx.base[h] = append([]int{1}, idx.base[h]...)
 	ids = dm.MatchIDs(ru, probe)
 	if len(ids) != 2 || ids[0] != 0 || ids[1] != 2 {
 		t.Fatalf("MatchIDs with head collision = %v, want [0 2]", ids)

@@ -1,0 +1,251 @@
+package master
+
+// This file implements the versioned-master update path: ApplyDelta
+// derives the next immutable snapshot from a batch of additions and
+// deletions by incrementally maintaining the hash indexes, posting lists
+// and pattern-support bitmaps (copy-on-write overlays over the shared
+// base layers), and Versioned publishes the current snapshot through an
+// atomic pointer so probes never block behind an update.
+//
+// Delta semantics, mirrored exactly by the rebuild oracle the property
+// tests compare against:
+//
+//  1. deletes name tuple ids in the snapshot the delta is applied to.
+//     They are processed in descending id order, each as a swap-remove:
+//     the last tuple moves into the deleted slot. Swap-remove keeps
+//     maintenance proportional to the delta (only the moved tuple's
+//     entries change id) instead of cascading an id shift through every
+//     structure.
+//  2. adds are then appended in order; added tuples are deep-copied, so
+//     callers may reuse their slices.
+//
+// Cost per delta: O(|Dm|) to copy the tuple-header slice and the per-rule
+// bitmaps (a few machine words per tuple, no hashing), plus O(|delta|)
+// map and bucket work — against the full rebuild's per-tuple hashing,
+// interning and pattern evaluation. The ApplyDelta benchmarks record the
+// gap (hundreds of times faster at |Dm| = 60k).
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/relation"
+	"repro/internal/rule"
+)
+
+// fork derives the next snapshot's view of a compatibility plan: the
+// pattern bitmap is copied at the given word count (deltas change |Dm|,
+// so the new snapshot may need more words than the old), and the posting
+// pointers are remapped to the forked postings.
+func (cp *compatPlan) fork(remap map[*postings]*postings, words int) *compatPlan {
+	bits := make([]uint64, words)
+	copy(bits, cp.patBits)
+	posts := make([]*postings, len(cp.posts))
+	for i, ps := range cp.posts {
+		posts[i] = remap[ps]
+	}
+	return &compatPlan{patBits: bits, patCount: cp.patCount, posts: posts}
+}
+
+// ApplyDelta derives a new snapshot with the deletes applied (swap-remove,
+// descending id order) followed by the adds (appended in order). The
+// receiver is not modified and stays fully usable; probes running against
+// it — or any other snapshot — are never blocked or invalidated.
+// Concurrent ApplyDelta calls on the same snapshot must be serialized by
+// the caller (use Versioned.Apply).
+func (d *Data) ApplyDelta(adds []relation.Tuple, deletes []int) (*Data, error) {
+	arity := d.rel.Schema().Arity()
+	for _, t := range adds {
+		if len(t) != arity {
+			return nil, fmt.Errorf("master: delta add of arity %d against schema %s of arity %d",
+				len(t), d.rel.Schema().Name(), arity)
+		}
+	}
+	n := d.rel.Len()
+	del := append([]int(nil), deletes...)
+	sort.Sort(sort.Reverse(sort.IntSlice(del)))
+	for i, id := range del {
+		if id < 0 || id >= n {
+			return nil, fmt.Errorf("master: delta delete id %d out of range [0, %d)", id, n)
+		}
+		if i > 0 && del[i-1] == id {
+			return nil, fmt.Errorf("master: duplicate delta delete id %d", id)
+		}
+	}
+
+	// maxLen bounds the largest live tuple id during application: deletes
+	// run first (ids < n), adds then grow the relation toward final.
+	final := n - len(del) + len(adds)
+	maxLen := n
+	if final > maxLen {
+		maxLen = final
+	}
+	words := (maxLen + 63) / 64
+
+	nd := &Data{
+		epoch: d.epoch + 1,
+		syms:  d.syms.Fork(),
+	}
+	nd.hasher = relation.NewHasher(nd.syms)
+	remapIdx := make(map[*index]*index, len(d.indexes))
+	nd.indexes = make([]*index, len(d.indexes))
+	for i, idx := range d.indexes {
+		ni := idx.fork()
+		nd.indexes[i] = ni
+		remapIdx[idx] = ni
+	}
+	nd.plans = make(map[*rule.Rule]*index, len(d.plans))
+	for ru, idx := range d.plans {
+		nd.plans[ru] = remapIdx[idx]
+	}
+	remapPost := make(map[*postings]*postings, len(d.postings))
+	nd.postings = make([]*postings, len(d.postings))
+	for i, ps := range d.postings {
+		np := ps.fork()
+		nd.postings[i] = np
+		remapPost[ps] = np
+	}
+	nd.compat = make(map[*rule.Rule]*compatPlan, len(d.compat))
+	for ru, cp := range d.compat {
+		nd.compat[ru] = cp.fork(remapPost, words)
+	}
+
+	tuples := make([]relation.Tuple, n, maxLen)
+	copy(tuples, d.rel.Tuples())
+
+	for _, id := range del {
+		last := len(tuples) - 1
+		nd.unindexTuple(tuples[id], id)
+		if last != id {
+			nd.renameTuple(tuples[last], last, id)
+			tuples[id] = tuples[last]
+		}
+		tuples[last] = nil
+		tuples = tuples[:last]
+	}
+	for _, t := range adds {
+		tc := t.Clone()
+		id := len(tuples)
+		tuples = append(tuples, tc)
+		nd.indexTuple(tc, id)
+	}
+
+	// Trim the pattern bitmaps to the final length (net-shrinking deltas
+	// leave spare words; all trimmed bits are already zero).
+	fwords := (len(tuples) + 63) / 64
+	for _, cp := range nd.compat {
+		cp.patBits = cp.patBits[:fwords]
+	}
+	rel, err := relation.FromTuples(d.rel.Schema(), tuples)
+	if err != nil {
+		return nil, err // unreachable: adds were arity-checked above
+	}
+	nd.rel = rel
+	return nd, nil
+}
+
+// unindexTuple removes tuple id's entries from every index, posting list
+// and pattern bitmap. t is the stored tuple at id.
+func (nd *Data) unindexTuple(t relation.Tuple, id int) {
+	for _, idx := range nd.indexes {
+		if h, ok := nd.hasher.HashTuple(t, idx.xm); ok {
+			idx.set(h, removeID(idx.get(h), id))
+		}
+	}
+	for _, ps := range nd.postings {
+		if vid, ok := nd.syms.ID(t[ps.col]); ok {
+			ps.set(vid, removeID(ps.get(vid), int32(id)))
+		}
+	}
+	for _, cp := range nd.compat {
+		w, m := id>>6, uint64(1)<<(uint(id)&63)
+		if cp.patBits[w]&m != 0 {
+			cp.patBits[w] &^= m
+			cp.patCount--
+		}
+	}
+}
+
+// renameTuple rewrites tuple `from`'s entries to id `to` (the swap-remove
+// move of the last tuple into a freed slot; to < from, and to's own
+// entries were removed by unindexTuple first). Bucket and posting order
+// stays ascending.
+func (nd *Data) renameTuple(t relation.Tuple, from, to int) {
+	for _, idx := range nd.indexes {
+		if h, ok := nd.hasher.HashTuple(t, idx.xm); ok {
+			idx.set(h, renameID(idx.get(h), from, to))
+		}
+	}
+	for _, ps := range nd.postings {
+		if vid, ok := nd.syms.ID(t[ps.col]); ok {
+			ps.set(vid, renameID(ps.get(vid), int32(from), int32(to)))
+		}
+	}
+	for _, cp := range nd.compat {
+		wf, mf := from>>6, uint64(1)<<(uint(from)&63)
+		if cp.patBits[wf]&mf != 0 {
+			cp.patBits[wf] &^= mf
+			cp.patBits[to>>6] |= 1 << (uint(to) & 63)
+		}
+	}
+}
+
+// indexTuple adds a freshly appended tuple (id is the current maximum, so
+// appending keeps buckets and posting lists ascending), interning any new
+// values into the snapshot's owned symbol layer.
+func (nd *Data) indexTuple(t relation.Tuple, id int) {
+	for _, idx := range nd.indexes {
+		h := nd.hasher.HashInterning(t, idx.xm)
+		idx.set(h, appendID(idx.get(h), id))
+	}
+	for _, ps := range nd.postings {
+		vid := nd.syms.Intern(t[ps.col])
+		ps.set(vid, appendID(ps.get(vid), int32(id)))
+	}
+	for ru, cp := range nd.compat {
+		if patternCompatible(ru, t) {
+			cp.patBits[id>>6] |= 1 << (uint(id) & 63)
+			cp.patCount++
+		}
+	}
+}
+
+// Versioned is the mutable handle over a chain of master snapshots: it
+// serializes writers and publishes each new snapshot with an atomic
+// pointer swap. Readers call Current and probe the returned snapshot for
+// as long as they need a stable view (a Deriver pins one per Suggest
+// call, a monitor Session pins one for its whole interactive lifetime);
+// they never block behind a writer and never observe a half-applied
+// delta.
+type Versioned struct {
+	mu  sync.Mutex
+	cur atomic.Pointer[Data]
+}
+
+// NewVersioned starts a version chain at snapshot d (epoch as built).
+func NewVersioned(d *Data) *Versioned {
+	v := &Versioned{}
+	v.cur.Store(d)
+	return v
+}
+
+// Current returns the latest published snapshot.
+func (v *Versioned) Current() *Data { return v.cur.Load() }
+
+// Epoch returns the latest published snapshot's epoch.
+func (v *Versioned) Epoch() uint64 { return v.cur.Load().epoch }
+
+// Apply derives a snapshot from the current head via ApplyDelta and
+// publishes it. On error nothing is published and the head is unchanged.
+func (v *Versioned) Apply(adds []relation.Tuple, deletes []int) (*Data, error) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	next, err := v.cur.Load().ApplyDelta(adds, deletes)
+	if err != nil {
+		return nil, err
+	}
+	v.cur.Store(next)
+	return next, nil
+}

@@ -1,0 +1,279 @@
+package master
+
+// The delta-equivalence property: EVERY intermediate snapshot of a
+// randomized delta sequence — adds, deletes, mixed batches, including
+// sequences that push posting lists across the |Dm|/2 adaptive-scan
+// threshold in both directions — is deep-equal to a from-scratch
+// NewForRules on the equivalent materialized relation (checkEquiv), and
+// its probes agree with the naive Dm scan. Run the package under -race to
+// additionally validate the snapshot-isolation contract via the
+// concurrent-probe tests below.
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/pattern"
+	"repro/internal/relation"
+	"repro/internal/rule"
+)
+
+// randomDeltaInstance builds a randomized (Σ, Dm) like the postings
+// property tests, but returns the pieces needed to keep generating
+// tuples: the schemas and the value pool.
+func randomDeltaInstance(rng *rand.Rand) (*Data, *rule.Set, *relation.Schema, []string) {
+	nR := 3 + rng.Intn(3)
+	nM := 3 + rng.Intn(3)
+	rNames := make([]string, nR)
+	for i := range rNames {
+		rNames[i] = fmt.Sprintf("A%d", i)
+	}
+	mNames := make([]string, nM)
+	for i := range mNames {
+		mNames[i] = fmt.Sprintf("M%d", i)
+	}
+	r := relation.StringSchema("R", rNames...)
+	rm := relation.StringSchema("Rm", mNames...)
+
+	// A skewed pool: "a" dominates, so posting lists routinely cover more
+	// than half of Dm and deltas move them across the adaptive threshold.
+	vals := []string{"a", "a", "a", "b", "c", "d"}
+	rel := relation.NewRelation(rm)
+	for i, n := 0, 2+rng.Intn(10); i < n; i++ {
+		rel.MustAppend(randomMasterTuple(rng, nM, vals))
+	}
+
+	sigma := rule.MustNewSet(r, rm)
+	for i, n := 0, 1+rng.Intn(5); i < n; i++ {
+		xLen := 1 + rng.Intn(2)
+		perm := rng.Perm(nR)
+		x := perm[:xLen]
+		b := perm[xLen]
+		xm := make([]int, xLen)
+		for j := range xm {
+			xm[j] = rng.Intn(nM)
+		}
+		var pPos []int
+		var pCells []pattern.Cell
+		for _, p := range rng.Perm(nR)[:rng.Intn(3)] {
+			pPos = append(pPos, p)
+			cell := pattern.Eq(relation.String(vals[rng.Intn(len(vals))]))
+			if rng.Intn(3) == 0 {
+				cell = pattern.Neq(cell.Val)
+			}
+			pCells = append(pCells, cell)
+		}
+		ru, err := rule.New(fmt.Sprintf("r%d", i), r, rm, x, xm, b, rng.Intn(nM), pattern.MustTuple(pPos, pCells))
+		if err != nil {
+			continue
+		}
+		sigma.Add(ru)
+	}
+	return MustNewForRules(rel, sigma), sigma, rm, vals
+}
+
+func randomMasterTuple(rng *rand.Rand, arity int, vals []string) relation.Tuple {
+	tup := make(relation.Tuple, arity)
+	for j := range tup {
+		tup[j] = relation.String(vals[rng.Intn(len(vals))])
+	}
+	return tup
+}
+
+// randomDelta draws a batch of adds and unique deletes against size n.
+func randomDelta(rng *rand.Rand, n, arity int, vals []string) (adds []relation.Tuple, deletes []int) {
+	nAdd := rng.Intn(4)
+	nDel := rng.Intn(4)
+	if nAdd == 0 && nDel == 0 {
+		nAdd = 1
+	}
+	if nDel > n {
+		nDel = n
+	}
+	for i := 0; i < nAdd; i++ {
+		adds = append(adds, randomMasterTuple(rng, arity, vals))
+	}
+	deletes = append(deletes, rng.Perm(n)[:nDel]...)
+	return adds, deletes
+}
+
+// TestDeltaEquivalenceProperty applies 1000 randomized deltas across many
+// randomized (Σ, Dm) instances and checks every intermediate snapshot
+// against the rebuild oracle plus the naive-scan probe oracle.
+func TestDeltaEquivalenceProperty(t *testing.T) {
+	const totalIterations = 1000
+	const deltasPerInstance = 10
+	iter := 0
+	for seed := 0; iter < totalIterations; seed++ {
+		rng := rand.New(rand.NewSource(int64(21_000_000 + seed)))
+		cur, sigma, rm, vals := randomDeltaInstance(rng)
+		shadow := append([]relation.Tuple(nil), cur.Relation().Tuples()...)
+		probe := make(relation.Tuple, sigma.Schema().Arity())
+		for step := 0; step < deltasPerInstance && iter < totalIterations; step++ {
+			adds, deletes := randomDelta(rng, cur.Len(), rm.Arity(), vals)
+			next, err := cur.ApplyDelta(adds, deletes)
+			if err != nil {
+				t.Fatalf("seed %d step %d: ApplyDelta: %v", seed, step, err)
+			}
+			iter++
+			ctx := fmt.Sprintf("seed %d step %d", seed, step)
+
+			// The materialized relation follows the contract semantics.
+			shadow = shadowApply(shadow, adds, deletes)
+			if next.Len() != len(shadow) {
+				t.Fatalf("%s: snapshot length %d, shadow %d", ctx, next.Len(), len(shadow))
+			}
+			for i, tm := range shadow {
+				if !next.Tuple(i).Equal(tm) {
+					t.Fatalf("%s: tuple %d = %v, shadow %v", ctx, i, next.Tuple(i), tm)
+				}
+			}
+
+			// Structural deep-equality against the from-scratch rebuild.
+			checkEquiv(t, ctx, next, sigma)
+
+			// Probe-level agreement with the naive scan on random tuples,
+			// exercising both postings-intersection and adaptive-scan
+			// paths as lists drift across the |Dm|/2 threshold.
+			for trial := 0; trial < 3; trial++ {
+				for i := range probe {
+					probe[i] = relation.String(vals[rng.Intn(len(vals))])
+				}
+				zSet := relation.NewAttrSet(rng.Perm(len(probe))[:rng.Intn(len(probe)+1)]...)
+				for _, ru := range sigma.Rules() {
+					if got, want := next.CompatibleExists(ru, probe, zSet), next.compatibleScan(ru, probe, zSet); got != want {
+						t.Fatalf("%s: rule %s CompatibleExists=%v scan=%v (z=%v)", ctx, ru.Name(), got, want, zSet.Positions())
+					}
+				}
+			}
+			cur = next
+		}
+	}
+}
+
+// TestDeltaThresholdCrossing drives one posting list across the |Dm|/2
+// adaptive-scan threshold in both directions through deltas alone and
+// pins the fallback policy on every side.
+func TestDeltaThresholdCrossing(t *testing.T) {
+	r := relation.StringSchema("R", "A", "B", "C")
+	rm := relation.StringSchema("Rm", "MA", "MB", "MC")
+	// lhs (A, B): Z = {A} partially validates, probing A's posting list.
+	ru := rule.MustNew("deg", r, rm, []int{0, 1}, []int{0, 1}, 2, 2, pattern.Empty())
+	sigma := rule.MustNewSet(r, rm, ru)
+	rel := relation.NewRelation(rm)
+	for i := 0; i < 4; i++ {
+		rel.MustAppend(relation.StringTuple("same", fmt.Sprintf("b%d", i), fmt.Sprintf("c%d", i)))
+	}
+	for i := 0; i < 12; i++ {
+		rel.MustAppend(relation.StringTuple(fmt.Sprintf("u%d", i), fmt.Sprintf("ub%d", i), fmt.Sprintf("uc%d", i)))
+	}
+	cur := MustNewForRules(rel, sigma)
+
+	tup := relation.StringTuple("same", "b1", "x")
+	zSet := relation.NewAttrSet(0)
+	if _, scanned := cur.compatible(ru, tup, zSet); scanned {
+		t.Fatal("4/16 list must use the postings path")
+	}
+
+	// Grow "same" to 12/16: now ≥ |Dm|/2, the adaptive policy must scan.
+	var adds []relation.Tuple
+	for i := 4; i < 12; i++ {
+		adds = append(adds, relation.StringTuple("same", fmt.Sprintf("b%d", i), fmt.Sprintf("c%d", i)))
+	}
+	grown, err := cur.ApplyDelta(adds, []int{4, 5, 6, 7, 8, 9, 10, 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkEquiv(t, "grown", grown, sigma)
+	found, scanned := grown.compatible(ru, tup, zSet)
+	if !scanned || !found {
+		t.Fatalf("12/16 list: found=%v scanned=%v, want true/true", found, scanned)
+	}
+
+	// Shrink back below the threshold through deletes alone: grown holds
+	// "same" at ids {0..3, 8..15} (the swap-removes moved u8..u11 into
+	// slots 4..7); dropping ten of them leaves 2/6 — selective again.
+	shrunk, err := grown.ApplyDelta(nil, []int{0, 1, 2, 3, 8, 9, 10, 11, 12, 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkEquiv(t, "shrunk", shrunk, sigma)
+	found, scanned = shrunk.compatible(ru, tup, zSet)
+	if scanned {
+		t.Fatal("shrunken list must return to the postings path")
+	}
+	if found != shrunk.compatibleScan(ru, tup, zSet) {
+		t.Fatal("postings answer disagrees with the scan after shrink")
+	}
+}
+
+// TestSnapshotIsolationUnderConcurrentProbes hammers pinned snapshots
+// from probe goroutines while the main goroutine publishes deltas through
+// a Versioned handle. Under -race this validates the isolation contract:
+// probes never synchronize with ApplyDelta and never observe torn state;
+// the test itself validates pinned answers stay byte-stable across
+// publishes.
+func TestSnapshotIsolationUnderConcurrentProbes(t *testing.T) {
+	rng := rand.New(rand.NewSource(31_000_000))
+	cur, sigma, rm, vals := randomDeltaInstance(rng)
+	// Ensure a healthy starting size.
+	var seedAdds []relation.Tuple
+	for i := 0; i < 24; i++ {
+		seedAdds = append(seedAdds, randomMasterTuple(rng, rm.Arity(), vals))
+	}
+	start, err := cur.ApplyDelta(seedAdds, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := NewVersioned(start)
+
+	const probers = 4
+	const rounds = 200
+	var wg sync.WaitGroup
+	errc := make(chan error, probers)
+	for w := 0; w < probers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			prng := rand.New(rand.NewSource(int64(41_000_000 + w)))
+			probe := make(relation.Tuple, sigma.Schema().Arity())
+			for r := 0; r < rounds; r++ {
+				snap := v.Current() // pin
+				for i := range probe {
+					probe[i] = relation.String(vals[prng.Intn(len(vals))])
+				}
+				zSet := relation.NewAttrSet(prng.Perm(len(probe))[:prng.Intn(len(probe)+1)]...)
+				for _, ru := range sigma.Rules() {
+					// Two reads of everything against the same pinned
+					// snapshot must agree even while deltas publish.
+					ids1 := append([]int(nil), snap.MatchIDs(ru, probe)...)
+					ce1 := snap.CompatibleExists(ru, probe, zSet)
+					rv1 := snap.RHSValues(ru, probe)
+					ids2 := snap.MatchIDs(ru, probe)
+					ce2 := snap.CompatibleExists(ru, probe, zSet)
+					rv2 := snap.RHSValues(ru, probe)
+					if !eqInts(ids1, ids2) || ce1 != ce2 || len(rv1) != len(rv2) {
+						errc <- fmt.Errorf("worker %d round %d rule %s: pinned snapshot answers drifted", w, r, ru.Name())
+						return
+					}
+				}
+			}
+		}(w)
+	}
+
+	for i := 0; i < 60; i++ {
+		adds, deletes := randomDelta(rng, v.Current().Len(), rm.Arity(), vals)
+		if _, err := v.Apply(adds, deletes); err != nil {
+			t.Fatalf("publish %d: %v", i, err)
+		}
+	}
+	wg.Wait()
+	select {
+	case err := <-errc:
+		t.Fatal(err)
+	default:
+	}
+	checkEquiv(t, "final head", v.Current(), sigma)
+}

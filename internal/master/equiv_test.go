@@ -1,0 +1,183 @@
+package master
+
+// Test-side equivalence oracle for the versioned master: checkEquiv
+// asserts a snapshot reached through a chain of ApplyDelta calls is
+// deep-equal — indexes, posting lists, pattern-support bitmaps, probe
+// plans — to MustNewForRules run from scratch on the snapshot's
+// materialized relation. Interned value ids (and therefore raw uint64
+// bucket keys) are the one representation detail allowed to differ: a
+// delta chain interns values in historical order, a rebuild in current
+// first-seen order, so the comparison resolves buckets and posting lists
+// through each side's own hasher/symbol table and compares the id
+// contents, which is exactly what every probe observes.
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/relation"
+	"repro/internal/rule"
+)
+
+// shadowApply is the delta semantics contract in its simplest possible
+// form, maintained independently from ApplyDelta: deletes descending with
+// swap-remove, then adds appended.
+func shadowApply(tuples []relation.Tuple, adds []relation.Tuple, deletes []int) []relation.Tuple {
+	del := append([]int(nil), deletes...)
+	sort.Sort(sort.Reverse(sort.IntSlice(del)))
+	out := append([]relation.Tuple(nil), tuples...)
+	for _, id := range del {
+		last := len(out) - 1
+		out[id] = out[last]
+		out = out[:last]
+	}
+	for _, t := range adds {
+		out = append(out, t.Clone())
+	}
+	return out
+}
+
+// rebuildOracle materializes got's relation and rebuilds from scratch.
+func rebuildOracle(t testing.TB, got *Data, sigma *rule.Set) *Data {
+	t.Helper()
+	rel := relation.NewRelation(got.Relation().Schema())
+	for _, tm := range got.Relation().Tuples() {
+		rel.MustAppend(tm.Clone())
+	}
+	want, err := NewForRules(rel, sigma)
+	if err != nil {
+		t.Fatalf("oracle rebuild: %v", err)
+	}
+	return want
+}
+
+func eqInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func eqInt32s(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// checkEquiv asserts got is deep-equal to a from-scratch rebuild on its
+// materialized relation. ctx labels failures (seed / step).
+func checkEquiv(t testing.TB, ctx string, got *Data, sigma *rule.Set) {
+	t.Helper()
+	want := rebuildOracle(t, got, sigma)
+	n := got.Len()
+	if want.Len() != n {
+		t.Fatalf("%s: materialized length %d vs snapshot %d", ctx, want.Len(), n)
+	}
+
+	// Index registry: same Xm lists, same total size, identical bucket
+	// contents for every stored tuple's projection.
+	if len(got.indexes) != len(want.indexes) {
+		t.Fatalf("%s: %d indexes, rebuild has %d", ctx, len(got.indexes), len(want.indexes))
+	}
+	for _, widx := range want.indexes {
+		gidx := got.findIndex(widx.xm)
+		if gidx == nil {
+			t.Fatalf("%s: no index over %v after deltas", ctx, widx.xm)
+		}
+		if gs, ws := gidx.size(), widx.size(); gs != ws {
+			t.Fatalf("%s: index %v holds %d ids, rebuild %d", ctx, widx.xm, gs, ws)
+		}
+		for id := 0; id < n; id++ {
+			tm := got.Tuple(id)
+			gh, ok := got.hasher.HashTuple(tm, gidx.xm)
+			if !ok {
+				t.Fatalf("%s: stored tuple %d not hashable in snapshot index %v", ctx, id, gidx.xm)
+			}
+			wh, ok := want.hasher.HashTuple(tm, widx.xm)
+			if !ok {
+				t.Fatalf("%s: stored tuple %d not hashable in rebuilt index %v", ctx, id, widx.xm)
+			}
+			if gb, wb := gidx.get(gh), widx.get(wh); !eqInts(gb, wb) {
+				t.Fatalf("%s: index %v bucket for tuple %d = %v, rebuild %v", ctx, widx.xm, id, gb, wb)
+			}
+		}
+	}
+
+	// Posting lists: same columns, same total size, identical id lists
+	// per stored value (resolved through each side's own symbol table).
+	if len(got.postings) != len(want.postings) {
+		t.Fatalf("%s: %d posting columns, rebuild has %d", ctx, len(got.postings), len(want.postings))
+	}
+	for _, wps := range want.postings {
+		var gps *postings
+		for _, p := range got.postings {
+			if p.col == wps.col {
+				gps = p
+				break
+			}
+		}
+		if gps == nil {
+			t.Fatalf("%s: no postings over column %d after deltas", ctx, wps.col)
+		}
+		if gs, ws := gps.size(), wps.size(); gs != ws {
+			t.Fatalf("%s: postings col %d hold %d ids, rebuild %d", ctx, wps.col, gs, ws)
+		}
+		for id := 0; id < n; id++ {
+			v := got.Tuple(id)[wps.col]
+			gid, ok := got.syms.ID(v)
+			if !ok {
+				t.Fatalf("%s: stored value %v of column %d not interned in snapshot", ctx, v, wps.col)
+			}
+			wid, ok := want.syms.ID(v)
+			if !ok {
+				t.Fatalf("%s: stored value %v of column %d not interned in rebuild", ctx, v, wps.col)
+			}
+			if gl, wl := gps.get(gid), wps.get(wid); !eqInt32s(gl, wl) {
+				t.Fatalf("%s: postings col %d list for %v = %v, rebuild %v", ctx, wps.col, v, gl, wl)
+			}
+		}
+	}
+
+	// Probe and compatibility plans: same rules resolved, identical
+	// pattern-support bitmaps and counts.
+	for _, ru := range sigma.Rules() {
+		if (got.plans[ru] == nil) != (want.plans[ru] == nil) {
+			t.Fatalf("%s: rule %s probe plan presence differs", ctx, ru.Name())
+		}
+		gcp, wcp := got.compat[ru], want.compat[ru]
+		if (gcp == nil) != (wcp == nil) {
+			t.Fatalf("%s: rule %s compat plan presence differs", ctx, ru.Name())
+		}
+		if gcp == nil {
+			continue
+		}
+		if gcp.patCount != wcp.patCount {
+			t.Fatalf("%s: rule %s patCount %d, rebuild %d", ctx, ru.Name(), gcp.patCount, wcp.patCount)
+		}
+		if len(gcp.patBits) != len(wcp.patBits) {
+			t.Fatalf("%s: rule %s bitmap %d words, rebuild %d", ctx, ru.Name(), len(gcp.patBits), len(wcp.patBits))
+		}
+		for w := range gcp.patBits {
+			if gcp.patBits[w] != wcp.patBits[w] {
+				t.Fatalf("%s: rule %s bitmap word %d = %#x, rebuild %#x", ctx, ru.Name(), w, gcp.patBits[w], wcp.patBits[w])
+			}
+		}
+		if len(gcp.posts) != len(wcp.posts) {
+			t.Fatalf("%s: rule %s has %d compat postings, rebuild %d", ctx, ru.Name(), len(gcp.posts), len(wcp.posts))
+		}
+		if got.PatternSupported(ru) != want.PatternSupported(ru) {
+			t.Fatalf("%s: rule %s PatternSupported differs", ctx, ru.Name())
+		}
+	}
+}

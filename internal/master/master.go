@@ -18,10 +18,35 @@
 // compatibility test and the rule-support precomputation of §5 without
 // scanning Dm.
 //
-// Master data is assumed consistent and complete (§2, citing [31]); this
-// package treats it as immutable after construction, which also makes all
-// lookups safe for concurrent use. Building indexes (Index, NewForRules)
-// mutates the symbol table and is NOT safe to interleave with lookups.
+// The paper assumes master data is consistent, complete and static (§2,
+// citing [31]). A production service cannot stop the world to re-run
+// NewForRules whenever the master relation gains a correction, so this
+// package versions Dm instead of freezing it: a *Data is an immutable,
+// epoch-stamped SNAPSHOT, and ApplyDelta derives the next snapshot by
+// copy-on-write — indexes, posting lists and pattern-support bitmaps are
+// maintained incrementally (shared base layers plus small per-snapshot
+// overlays) rather than rebuilt. The Versioned handle publishes the
+// current snapshot through an atomic pointer.
+//
+// Concurrency contract:
+//
+//   - A snapshot never changes once built. All lookups (MatchIDs, Lookup,
+//     RHSValues, CompatibleExists, PatternSupported, ...) on a snapshot
+//     are safe from any number of goroutines, concurrently with ApplyDelta
+//     deriving new snapshots — readers pin a snapshot and can never
+//     observe torn or partially-applied state.
+//   - ApplyDelta calls on the same snapshot must be serialized by the
+//     caller; Versioned.Apply does this and is the recommended mutation
+//     path.
+//   - Index (building an extra index in place) is the one construction-
+//     time mutation: it must not race lookups and must not be called on a
+//     snapshot that already has ApplyDelta-derived children.
+//
+// Deletion uses swap-remove semantics: deleting tuple i moves the last
+// tuple into slot i. This keeps incremental maintenance O(delta) instead
+// of O(|Dm|) (no id renumbering cascades); the property tests pin that
+// every snapshot is equivalent to NewForRules on the materialized
+// relation under exactly these semantics.
 package master
 
 import (
@@ -31,16 +56,25 @@ import (
 	"repro/internal/rule"
 )
 
-// index is one hash index over an Xm position list: bucket ids keyed on the
-// uint64 projection hash. Buckets preserve master-tuple order, so probe
-// results are deterministic.
+// index is one hash index over an Xm position list: bucket ids keyed on
+// the uint64 projection hash through the copy-on-write layered map (see
+// overlay.go). Buckets hold ascending tuple ids, so probe results are
+// deterministic.
 type index struct {
-	xm      []int
-	buckets map[uint64][]int
+	xm []int
+	layered[uint64, int]
 }
 
-// Data is an immutable master relation plus lookup indexes.
+// fork derives the next snapshot's view of the index.
+func (idx *index) fork() *index {
+	return &index{xm: idx.xm, layered: idx.layered.fork()}
+}
+
+// Data is one immutable snapshot of the master relation plus its lookup
+// indexes, stamped with the epoch it was published at (NewForRules/New
+// build epoch 0; each ApplyDelta increments).
 type Data struct {
+	epoch  uint64
 	rel    *relation.Relation
 	syms   *relation.Symbols
 	hasher relation.Hasher
@@ -106,6 +140,10 @@ func (d *Data) Schema() *relation.Schema { return d.rel.Schema() }
 // Len returns |Dm|.
 func (d *Data) Len() int { return d.rel.Len() }
 
+// Epoch returns the snapshot's version stamp: 0 for a freshly built Data,
+// parent+1 for each ApplyDelta derivation.
+func (d *Data) Epoch() uint64 { return d.epoch }
+
 // Tuple returns master tuple i.
 func (d *Data) Tuple(i int) relation.Tuple { return d.rel.Tuple(i) }
 
@@ -125,11 +163,11 @@ func (d *Data) buildIndex(xm []int) *index {
 	}
 	idx := &index{
 		xm:      append([]int(nil), xm...),
-		buckets: make(map[uint64][]int, d.rel.Len()),
+		layered: layered[uint64, int]{base: make(map[uint64][]int, d.rel.Len())},
 	}
 	for i, tm := range d.rel.Tuples() {
 		h := d.hasher.HashInterning(tm, xm)
-		idx.buckets[h] = append(idx.buckets[h], i)
+		idx.base[h] = append(idx.base[h], i)
 	}
 	d.indexes = append(d.indexes, idx)
 	return idx
@@ -168,7 +206,7 @@ func (d *Data) probe(idx *index, t relation.Tuple, x []int) []int {
 	if !ok {
 		return nil // some probe value never occurs in the indexed columns
 	}
-	bucket := idx.buckets[h]
+	bucket := idx.get(h)
 	for i, id := range bucket {
 		if !t.ProjectMatches(x, d.rel.Tuple(id), idx.xm) {
 			return filterBucket(bucket, i, func(id int) bool {
@@ -204,7 +242,7 @@ func (d *Data) Lookup(xm []int, values []relation.Value) []int {
 		if !ok {
 			return nil
 		}
-		bucket := idx.buckets[h]
+		bucket := idx.get(h)
 		for i, id := range bucket {
 			if !valuesMatch(values, d.rel.Tuple(id), idx.xm) {
 				return filterBucket(bucket, i, func(id int) bool {

@@ -1,0 +1,119 @@
+package master
+
+// layered is the two-layer copy-on-write map shared by the hash indexes
+// (uint64 projection hash → tuple ids) and the posting lists (interned
+// value id → tuple ids): base is the immutable layer shared between
+// snapshots, over is this snapshot's delta overlay — a key present in
+// over shadows base, including with an empty slice.
+type layered[K comparable, ID int | int32] struct {
+	base map[K][]ID
+	over map[K][]ID
+}
+
+// get resolves k's id slice through the overlay.
+func (l *layered[K, ID]) get(k K) []ID {
+	if l.over != nil {
+		if v, ok := l.over[k]; ok {
+			return v
+		}
+	}
+	return l.base[k]
+}
+
+// set shadows k's slice in this snapshot's overlay. The slice must be
+// freshly allocated (slices are shared across snapshots).
+func (l *layered[K, ID]) set(k K, v []ID) {
+	if l.over == nil {
+		l.over = make(map[K][]ID)
+	}
+	l.over[k] = v
+}
+
+// fork derives the next snapshot's view: base shared, overlay copied, or
+// the two layers flattened once the overlay has grown past a quarter of
+// the base (amortizing compaction cost over the deltas that built it).
+func (l *layered[K, ID]) fork() layered[K, ID] {
+	if len(l.over) == 0 {
+		return layered[K, ID]{base: l.base}
+	}
+	if len(l.over)*4 <= len(l.base)+16 {
+		over := make(map[K][]ID, len(l.over)+4)
+		for k, v := range l.over {
+			over[k] = v
+		}
+		return layered[K, ID]{base: l.base, over: over}
+	}
+	merged := make(map[K][]ID, len(l.base)+len(l.over))
+	for k, v := range l.base {
+		merged[k] = v
+	}
+	for k, v := range l.over {
+		if len(v) == 0 {
+			delete(merged, k)
+			continue
+		}
+		merged[k] = v
+	}
+	return layered[K, ID]{base: merged}
+}
+
+// size returns the total number of ids across all keys (tests, stats).
+func (l *layered[K, ID]) size() int {
+	n := 0
+	for k, v := range l.base {
+		if l.over != nil {
+			if _, shadowed := l.over[k]; shadowed {
+				continue
+			}
+		}
+		n += len(v)
+	}
+	for _, v := range l.over {
+		n += len(v)
+	}
+	return n
+}
+
+// The slice helpers always allocate: the slices are shared across
+// snapshots, so in-place mutation would corrupt siblings.
+
+// removeID returns s without id.
+func removeID[ID int | int32](s []ID, id ID) []ID {
+	out := make([]ID, 0, len(s)-1)
+	for _, x := range s {
+		if x != id {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// renameID returns s with `from` re-inserted as `to` at its ascending
+// position (the swap-remove move; `to` must not already be present).
+func renameID[ID int | int32](s []ID, from, to ID) []ID {
+	out := make([]ID, 0, len(s))
+	inserted := false
+	for _, x := range s {
+		if x == from {
+			continue
+		}
+		if !inserted && x > to {
+			out = append(out, to)
+			inserted = true
+		}
+		out = append(out, x)
+	}
+	if !inserted {
+		out = append(out, to)
+	}
+	return out
+}
+
+// appendID returns s with id appended (id must exceed every element, so
+// ascending order is preserved).
+func appendID[ID int | int32](s []ID, id ID) []ID {
+	out := make([]ID, len(s)+1)
+	copy(out, s)
+	out[len(s)] = id
+	return out
+}

@@ -22,10 +22,17 @@ import (
 // the scan only when the best list is so unselective (≥ half of Dm) that
 // scanning is no worse.
 
-// postings is the inverted index over one master column.
+// postings is the inverted index over one master column: interned value
+// id → ascending tuple ids through the copy-on-write layered map (see
+// overlay.go).
 type postings struct {
-	col   int                // Rm position
-	lists map[uint32][]int32 // interned value id → ascending tuple ids
+	col int // Rm position
+	layered[uint32, int32]
+}
+
+// fork derives the next snapshot's view of the posting lists.
+func (ps *postings) fork() *postings {
+	return &postings{col: ps.col, layered: ps.layered.fork()}
 }
 
 // compatPlan is a rule's compiled compatibility plan.
@@ -44,10 +51,10 @@ func (d *Data) buildPostings(col int) *postings {
 			return ps
 		}
 	}
-	ps := &postings{col: col, lists: make(map[uint32][]int32)}
+	ps := &postings{col: col, layered: layered[uint32, int32]{base: make(map[uint32][]int32)}}
 	for i, tm := range d.rel.Tuples() {
 		id := d.syms.Intern(tm[col])
-		ps.lists[id] = append(ps.lists[id], int32(i))
+		ps.base[id] = append(ps.base[id], int32(i))
 	}
 	d.postings = append(d.postings, ps)
 	return ps
@@ -150,7 +157,7 @@ func (d *Data) compatible(ru *rule.Rule, t relation.Tuple, zSet relation.AttrSet
 		if !ok {
 			return false, false // value absent from the master column
 		}
-		lst := plan.posts[i].lists[id]
+		lst := plan.posts[i].get(id)
 		if len(lst) == 0 {
 			return false, false
 		}

@@ -71,10 +71,12 @@ func (m *Monitor) FixBatch(inputs []relation.Tuple, userFor func(i int) User, op
 	})
 }
 
-// workerDeriver returns the deriver a batch worker should use.
+// workerDeriver returns the deriver a batch worker should use. Forked
+// derivers keep the monitor's master source: over versioned master data a
+// per-worker deriver still pins a fresh snapshot for each tuple's session.
 func (m *Monitor) workerDeriver(opt BatchOptions) *suggest.Deriver {
 	if opt.PerWorkerDerivers {
-		return suggest.NewDeriver(m.deriver.Sigma(), m.deriver.Master())
+		return m.deriver.Fork()
 	}
 	return m.deriver
 }

@@ -91,11 +91,29 @@ type Monitor struct {
 	cfg     Config
 }
 
-// New builds a monitor: it precomputes the dependency graph, the certain
-// regions (CompCRegion) and, for CertainFix+, the BDD cache. These are
-// computed once and reused for every input tuple, as the paper prescribes.
+// New builds a monitor over a static master snapshot: it precomputes the
+// dependency graph, the certain regions (CompCRegion) and, for
+// CertainFix+, the BDD cache. These are computed once and reused for
+// every input tuple, as the paper prescribes.
 func New(sigma *rule.Set, dm *master.Data, cfg Config) (*Monitor, error) {
-	d := suggest.NewDeriver(sigma, dm)
+	return build(suggest.NewDeriver(sigma, dm), sigma, cfg)
+}
+
+// NewVersioned builds a monitor over versioned master data: each new
+// session (one per tuple, including FixBatch/FixStream items) pins the
+// master snapshot current at its start, so in-flight sessions keep a
+// consistent view while later tuples pick up published updates. The
+// certain regions seeding the first suggestion are derived once, from
+// the construction-time snapshot: region skeletons depend on Σ's
+// structure plus per-rule pattern support, which master corrections
+// rarely flip — and every suggestion is re-derived against the session's
+// pinned snapshot anyway, so stale seeds cost extra rounds, never
+// correctness.
+func NewVersioned(sigma *rule.Set, ver *master.Versioned, cfg Config) (*Monitor, error) {
+	return build(suggest.NewDeriverVersioned(sigma, ver), sigma, cfg)
+}
+
+func build(d *suggest.Deriver, sigma *rule.Set, cfg Config) (*Monitor, error) {
 	cands := d.CompCRegions()
 	if len(cands) == 0 {
 		return nil, fmt.Errorf("monitor: no certain region derivable from (Σ, Dm); every input would need full manual validation")

@@ -23,8 +23,13 @@ import (
 //	}
 //	result := sess.Result()
 type Session struct {
-	m          *Monitor
-	d          *suggest.Deriver // usually m's deriver; batch workers may pin their own
+	m *Monitor
+	// d is the deriver view pinned at session start: one master snapshot
+	// (epoch) serves the whole interactive lifetime of the tuple, so a
+	// concurrent master update can never make rounds of one session
+	// disagree about Dm. New sessions — including the per-tuple sessions
+	// of FixBatch/FixStream — pin the then-current epoch.
+	d          *suggest.Deriver
 	t          relation.Tuple
 	zSet       relation.AttrSet
 	userSet    relation.AttrSet
@@ -62,7 +67,7 @@ func (m *Monitor) initSession(s *Session, d *suggest.Deriver, input relation.Tup
 		maxRounds = r.Arity() + 1
 	}
 	s.m = m
-	s.d = d
+	s.d = d.Pin()
 	if cap(s.t) >= len(input) {
 		s.t = s.t[:len(input)]
 		copy(s.t, input)

@@ -6,9 +6,26 @@
 package parallel
 
 import (
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 )
+
+// WorkerPanic wraps a panic recovered on a pool worker so it can be
+// re-raised on the calling goroutine instead of crashing the process from
+// a goroutine the caller never sees. Index is the job that panicked (-1
+// when a newWorker constructor panicked), Value the original panic value,
+// Stack the worker-side stack at recovery time.
+type WorkerPanic struct {
+	Index int
+	Value any
+	Stack []byte
+}
+
+func (p *WorkerPanic) Error() string {
+	return fmt.Sprintf("parallel: job %d panicked: %v\n%s", p.Index, p.Value, p.Stack)
+}
 
 // Clamp bounds a requested worker count: non-positive selects GOMAXPROCS,
 // and the result never exceeds n jobs (n < 0 means unbounded) nor drops
@@ -37,9 +54,19 @@ func Map[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
 // worker goroutine and returns the job function that worker uses, so
 // workers can pin private scratch (e.g. a per-worker deriver) without
 // synchronization.
+//
+// A panic in a job (or in newWorker) is recovered on the worker, the
+// remaining jobs still run on the surviving workers, and after the pool
+// drains the panic is re-raised on the calling goroutine as a
+// *WorkerPanic — deterministically the lowest-index one when several jobs
+// panicked. Without the recovery a worker-goroutine panic would kill the
+// whole process with a stack the caller cannot defend against.
 func MapWorkers[T any](n, workers int, newWorker func() func(i int) (T, error)) ([]T, error) {
 	out := make([]T, n)
 	errs := make([]error, n)
+	pans := make([]*WorkerPanic, n)
+	var initPanic *WorkerPanic
+	var initOnce sync.Once
 	workers = Clamp(workers, n)
 	var wg sync.WaitGroup
 	jobs := make(chan int)
@@ -47,9 +74,19 @@ func MapWorkers[T any](n, workers int, newWorker func() func(i int) (T, error)) 
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			fn := newWorker()
+			fn, ok := safeNewWorker(newWorker, &initOnce, &initPanic)
 			for i := range jobs {
-				out[i], errs[i] = fn(i)
+				if !ok {
+					continue // constructor panicked: drain so the feeder never blocks
+				}
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							pans[i] = &WorkerPanic{Index: i, Value: r, Stack: debug.Stack()}
+						}
+					}()
+					out[i], errs[i] = fn(i)
+				}()
 			}
 		}()
 	}
@@ -58,10 +95,29 @@ func MapWorkers[T any](n, workers int, newWorker func() func(i int) (T, error)) 
 	}
 	close(jobs)
 	wg.Wait()
+	if initPanic != nil {
+		panic(initPanic)
+	}
+	for _, p := range pans {
+		if p != nil {
+			panic(p)
+		}
+	}
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
 	}
 	return out, nil
+}
+
+// safeNewWorker runs a worker constructor under recovery; ok is false when
+// it panicked (the first such panic is recorded).
+func safeNewWorker[T any](newWorker func() func(i int) (T, error), once *sync.Once, slot **WorkerPanic) (fn func(i int) (T, error), ok bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			once.Do(func() { *slot = &WorkerPanic{Index: -1, Value: r, Stack: debug.Stack()} })
+		}
+	}()
+	return newWorker(), true
 }

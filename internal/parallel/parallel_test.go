@@ -1,0 +1,169 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestClamp(t *testing.T) {
+	cases := []struct {
+		workers, n, want int
+	}{
+		{0, 10, runtime.GOMAXPROCS(0)}, // non-positive selects GOMAXPROCS
+		{-3, 10, runtime.GOMAXPROCS(0)},
+		{4, 10, 4}, // requested count honored
+		{8, 3, 3},  // never more workers than jobs
+		{8, -1, 8}, // n < 0 means unbounded
+		{5, 0, 1},  // never below one
+		{0, 0, 1},
+	}
+	for _, c := range cases {
+		if got := Clamp(c.workers, c.n); got != c.want {
+			t.Errorf("Clamp(%d, %d) = %d, want %d", c.workers, c.n, got, c.want)
+		}
+	}
+}
+
+// TestMapDeterministicOrdering: results land at their input index whatever
+// the worker count and scheduling, so a parallel map is byte-identical to
+// the sequential loop.
+func TestMapDeterministicOrdering(t *testing.T) {
+	const n = 200
+	for _, workers := range []int{1, 2, 7, 16} {
+		out, err := Map(n, workers, func(i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapFirstErrorWins(t *testing.T) {
+	boom := errors.New("boom")
+	out, err := Map(50, 4, func(i int) (int, error) {
+		if i%10 == 3 {
+			return 0, fmt.Errorf("job %d: %w", i, boom)
+		}
+		return i, nil
+	})
+	if out != nil || !errors.Is(err, boom) {
+		t.Fatalf("Map = (%v, %v), want (nil, boom)", out, err)
+	}
+}
+
+// TestMapWorkersPerWorkerState: newWorker runs once per worker goroutine,
+// each worker gets private state, and every job runs exactly once across
+// the pool (which worker takes which job is scheduling-dependent).
+func TestMapWorkersPerWorkerState(t *testing.T) {
+	const workers = 4
+	const jobs = 64
+	var mu sync.Mutex
+	var states []*int
+	_, err := MapWorkers(jobs, workers, func() func(i int) (int, error) {
+		private := new(int)
+		mu.Lock()
+		states = append(states, private)
+		mu.Unlock()
+		return func(i int) (int, error) {
+			*private++ // unsynchronized on purpose: private to this worker
+			return i, nil
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(states) != workers {
+		t.Fatalf("newWorker ran %d times, want %d", len(states), workers)
+	}
+	total := 0
+	for _, s := range states {
+		total += *s
+	}
+	if total != jobs {
+		t.Fatalf("workers processed %d jobs total, want %d", total, jobs)
+	}
+}
+
+// TestMapPanicPropagation: a panicking job must not kill the process from
+// a worker goroutine; it resurfaces on the caller as a *WorkerPanic
+// carrying the job index and original value, after the remaining jobs ran.
+func TestMapPanicPropagation(t *testing.T) {
+	var completed atomic.Int32
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("panic did not propagate to the caller")
+		}
+		wp, ok := r.(*WorkerPanic)
+		if !ok {
+			t.Fatalf("recovered %T (%v), want *WorkerPanic", r, r)
+		}
+		if wp.Index != 7 || wp.Value != "kaboom" {
+			t.Fatalf("WorkerPanic{Index: %d, Value: %v}, want {7, kaboom}", wp.Index, wp.Value)
+		}
+		if len(wp.Stack) == 0 {
+			t.Fatal("worker stack not captured")
+		}
+		// Other jobs were not abandoned when the panicking one died.
+		if got := completed.Load(); got != 49 {
+			t.Fatalf("%d non-panicking jobs completed, want 49", got)
+		}
+	}()
+	Map(50, 4, func(i int) (int, error) {
+		if i == 7 {
+			panic("kaboom")
+		}
+		completed.Add(1)
+		return i, nil
+	})
+	t.Fatal("unreachable: Map must re-panic")
+}
+
+// TestMapPanicLowestIndexWins: with several panicking jobs the re-raised
+// one is deterministic (lowest index), so flaky scheduling cannot flip
+// which failure a test or log pins.
+func TestMapPanicLowestIndexWins(t *testing.T) {
+	defer func() {
+		wp, ok := recover().(*WorkerPanic)
+		if !ok || wp.Index != 3 {
+			t.Fatalf("recovered %+v, want Index 3", wp)
+		}
+	}()
+	Map(40, 8, func(i int) (int, error) {
+		if i%9 == 3 { // panics at 3, 12, 21, 30, 39
+			panic(i)
+		}
+		return i, nil
+	})
+	t.Fatal("unreachable: Map must re-panic")
+}
+
+// TestMapWorkersConstructorPanic: a panicking newWorker is reported as
+// Index -1 and the pool still drains (no deadlocked feeder).
+func TestMapWorkersConstructorPanic(t *testing.T) {
+	defer func() {
+		wp, ok := recover().(*WorkerPanic)
+		if !ok || wp.Index != -1 || wp.Value != "ctor" {
+			t.Fatalf("recovered %+v, want {Index: -1, Value: ctor}", wp)
+		}
+	}()
+	MapWorkers(20, 1, func() func(i int) (int, error) {
+		panic("ctor")
+	})
+	t.Fatal("unreachable: MapWorkers must re-panic")
+}
+
+func TestMapZeroJobs(t *testing.T) {
+	out, err := Map(0, 4, func(i int) (int, error) { return i, nil })
+	if err != nil || len(out) != 0 {
+		t.Fatalf("Map(0) = (%v, %v)", out, err)
+	}
+}

@@ -1,0 +1,93 @@
+package relation
+
+import (
+	"testing"
+)
+
+// FuzzTupleKey attacks the projection-key encoding with arbitrary cell
+// content: Key must be injective — two projections share a key iff they
+// are cell-wise equal — including across different projection widths and
+// across the string/int kind boundary. The seed corpus covers the
+// escape-adjacent shapes of TestKeyDelimiterEscaping (0x1f runs, kind-byte
+// mimicry); the fuzzer mutates from there.
+func FuzzTupleKey(f *testing.F) {
+	sep := "\x1f"
+	f.Add("a", "b", "a", "b")
+	f.Add("a"+sep, "b", "a", sep+"b")
+	f.Add(sep, "", "", sep)
+	f.Add(sep+sep, "x", sep, sep+"x")
+	f.Add("a"+sep+"1b", "c", "a", "1b")
+	f.Add("1", "2", "1"+sep+"12", "")
+	f.Add("0", "", "1", "")
+	f.Fuzz(func(t *testing.T, a, b, c, d string) {
+		t1 := TupleOf(String(a), String(b))
+		t2 := TupleOf(String(c), String(d))
+		all := []int{0, 1}
+		k1, k2 := t1.Key(all), t2.Key(all)
+		if (k1 == k2) != (a == c && b == d) {
+			t.Fatalf("2-cell injectivity broken: (%q,%q) vs (%q,%q): %q vs %q", a, b, c, d, k1, k2)
+		}
+
+		// A single cell containing a separator must never collide with the
+		// two-cell projection it mimics.
+		joined := TupleOf(String(a + sep + b)).Key([]int{0})
+		if joined == k1 && b != "" {
+			// (a+sep+b) as ONE cell vs (a, b) as two: distinct projections.
+			t.Fatalf("cell/boundary confusion: %q encodes like (%q,%q)", a+sep+b, a, b)
+		}
+
+		// Kind prefixes keep string digits and ints apart.
+		if n := int64(len(a)); TupleOf(Int(n)).Key([]int{0}) == TupleOf(String(a)).Key([]int{0}) {
+			t.Fatalf("kind confusion between Int(%d) and String(%q)", n, a)
+		}
+
+		// Projection order is significant.
+		k21 := t1.Key([]int{1, 0})
+		if a != b && k21 == k1 {
+			t.Fatalf("order insensitivity: %q for both (0,1) and (1,0) of (%q,%q)", k1, a, b)
+		}
+	})
+}
+
+// FuzzValueEncode pins the CSV/value round-trip the relation loader
+// depends on: Encode must decode back to the identical value for both
+// attribute types, whatever the payload — with the one documented
+// exception that the empty cell is Null's encoding, so String("")
+// collapses to Null.
+func FuzzValueEncode(f *testing.F) {
+	f.Add("plain", int64(0))
+	f.Add("", int64(-1))
+	f.Add("42", int64(42))        // string payload mimicking an int encoding
+	f.Add("\x1f", int64(1<<62))   // escape byte as content
+	f.Add("⊥", int64(-(1 << 62))) // null's display form as content
+	f.Fuzz(func(t *testing.T, s string, n int64) {
+		sv := String(s)
+		want := sv
+		if s == "" {
+			want = Null
+		}
+		back, err := DecodeValue(sv.Encode(), TypeString)
+		if err != nil {
+			t.Fatalf("DecodeValue(Encode(%q)) = %v", s, err)
+		}
+		if !back.Equal(want) {
+			t.Fatalf("string round-trip %q -> %v, want %v", s, back, want)
+		}
+
+		iv := Int(n)
+		back, err = DecodeValue(iv.Encode(), TypeInt)
+		if err != nil {
+			t.Fatalf("DecodeValue(Encode(%d)) = %v", n, err)
+		}
+		if !back.Equal(iv) {
+			t.Fatalf("int round-trip %d -> %v", n, back)
+		}
+
+		for _, ty := range []Type{TypeString, TypeInt} {
+			back, err = DecodeValue(Null.Encode(), ty)
+			if err != nil || !back.IsNull() {
+				t.Fatalf("null round-trip via %v -> %v, %v", ty, back, err)
+			}
+		}
+	})
+}

@@ -17,7 +17,20 @@ package relation
 // first-seen order starting at 0. Interning is not safe for concurrent use;
 // populate the table while building indexes, then only read (ID, Hasher
 // probes) from any number of goroutines.
+//
+// A table is layered to support copy-on-write snapshots (the versioned
+// master data of internal/master): Fork derives a writable child whose
+// base layer is the parent's (now frozen) content, so the child can
+// intern new values while readers of the parent — and of the child's own
+// frozen layer — race nothing. Ids stay dense across both layers and a
+// value's id never changes between a parent and its descendants, which is
+// what keeps hash keys computed against an old snapshot valid in every
+// later one.
 type Symbols struct {
+	// base is the immutable shared layer (nil for a root table). It is
+	// never written after the Fork that created it.
+	base map[Value]uint32
+	// ids is the owned writable layer.
 	ids map[Value]uint32
 }
 
@@ -26,12 +39,58 @@ func NewSymbols() *Symbols {
 	return &Symbols{ids: make(map[Value]uint32)}
 }
 
+// symbolsFlattenDiv controls overlay compaction in Fork: once the owned
+// layer exceeds 1/symbolsFlattenDiv of the base, forking merges the two
+// into a fresh base so lookup stays at most two map probes and per-fork
+// copying stays bounded.
+const symbolsFlattenDiv = 4
+
+// Fork returns a writable child table sharing this table's content as an
+// immutable base layer. After forking, the parent must not Intern again
+// (its map may now be read concurrently through children); reads remain
+// safe on both. Fork cost is O(owned layer), amortized O(1) per interned
+// value across a chain of forks.
+func (s *Symbols) Fork() *Symbols {
+	if s.base == nil {
+		// Root table: freeze its map as the shared base.
+		return &Symbols{base: s.ids, ids: make(map[Value]uint32)}
+	}
+	if len(s.ids)*symbolsFlattenDiv <= len(s.base) {
+		child := make(map[Value]uint32, len(s.ids)+4)
+		for v, id := range s.ids {
+			child[v] = id
+		}
+		return &Symbols{base: s.base, ids: child}
+	}
+	merged := make(map[Value]uint32, len(s.base)+len(s.ids))
+	for v, id := range s.base {
+		merged[v] = id
+	}
+	for v, id := range s.ids {
+		merged[v] = id
+	}
+	return &Symbols{base: merged, ids: make(map[Value]uint32)}
+}
+
+// lookup resolves v across both layers (the layers are disjoint).
+func (s *Symbols) lookup(v Value) (uint32, bool) {
+	if id, ok := s.ids[v]; ok {
+		return id, true
+	}
+	if s.base != nil {
+		if id, ok := s.base[v]; ok {
+			return id, true
+		}
+	}
+	return 0, false
+}
+
 // Intern returns v's id, assigning the next dense id on first sight.
 func (s *Symbols) Intern(v Value) uint32 {
-	if id, ok := s.ids[v]; ok {
+	if id, ok := s.lookup(v); ok {
 		return id
 	}
-	id := uint32(len(s.ids))
+	id := uint32(len(s.base) + len(s.ids))
 	s.ids[v] = id
 	return id
 }
@@ -39,12 +98,11 @@ func (s *Symbols) Intern(v Value) uint32 {
 // ID returns v's id; ok is false when v was never interned. Read-only and
 // allocation-free: safe for concurrent use once interning is finished.
 func (s *Symbols) ID(v Value) (uint32, bool) {
-	id, ok := s.ids[v]
-	return id, ok
+	return s.lookup(v)
 }
 
 // Len returns the number of distinct interned values.
-func (s *Symbols) Len() int { return len(s.ids) }
+func (s *Symbols) Len() int { return len(s.base) + len(s.ids) }
 
 // FNV-1a constants (64-bit).
 const (
@@ -89,7 +147,7 @@ func (h Hasher) HashTuple(t Tuple, positions []int) (uint64, bool) {
 	acc := fnvOffset64
 	for _, p := range positions {
 		v := t[p]
-		id, ok := h.syms.ids[v]
+		id, ok := h.syms.lookup(v)
 		if !ok {
 			return 0, false
 		}
@@ -103,7 +161,7 @@ func (h Hasher) HashTuple(t Tuple, positions []int) (uint64, bool) {
 func (h Hasher) HashValues(values []Value) (uint64, bool) {
 	acc := fnvOffset64
 	for _, v := range values {
-		id, ok := h.syms.ids[v]
+		id, ok := h.syms.lookup(v)
 		if !ok {
 			return 0, false
 		}

@@ -17,6 +17,21 @@ func NewRelation(schema *Schema) *Relation {
 	return &Relation{schema: schema}
 }
 
+// FromTuples wraps an already-built tuple slice into a relation after
+// checking arity. The relation takes ownership of the slice; its capacity
+// is clipped to its length so a later Append can never write into backing
+// storage shared with the caller (or with a sibling snapshot — see the
+// copy-on-write master data in internal/master, the primary consumer).
+func FromTuples(schema *Schema, tuples []Tuple) (*Relation, error) {
+	for _, t := range tuples {
+		if len(t) != schema.Arity() {
+			return nil, fmt.Errorf("relation: %s expects arity %d, got tuple of arity %d",
+				schema.Name(), schema.Arity(), len(t))
+		}
+	}
+	return &Relation{schema: schema, tuples: tuples[:len(tuples):len(tuples)]}, nil
+}
+
 // Schema returns the relation's schema.
 func (r *Relation) Schema() *Schema { return r.schema }
 

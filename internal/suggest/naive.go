@@ -29,6 +29,7 @@ func allSupported(s *rule.Set) supportMap {
 // ApplicableRulesNaive is ApplicableRules with condition (c) decided by
 // the O(|Dm|) scan instead of the posting intersection.
 func (d *Deriver) ApplicableRulesNaive(t relation.Tuple, zSet relation.AttrSet) *rule.Set {
+	d = d.Pin()
 	out := rule.MustNewSet(d.sigma.Schema(), d.dm.Schema())
 	for _, ru := range d.sigma.Rules() {
 		if zSet.Has(ru.RHS()) {
@@ -112,6 +113,7 @@ func patternCompatibleMaster(ru *rule.Rule, tm relation.Tuple) bool {
 // SuggestNaive is Suggest running on the naive fixpoint closure: one full
 // O(|Σ|²) closure per candidate attribute per greedy round.
 func (d *Deriver) SuggestNaive(t relation.Tuple, zSet relation.AttrSet) Suggestion {
+	d = d.Pin()
 	refined := d.ApplicableRulesNaive(t, zSet)
 	sup := allSupported(refined)
 	arity := d.sigma.Schema().Arity()
@@ -152,6 +154,7 @@ func (d *Deriver) SuggestNaive(t relation.Tuple, zSet relation.AttrSet) Suggesti
 // CompCRegionsNaive is CompCRegions with region growth running on the
 // naive fixpoint closure.
 func (d *Deriver) CompCRegionsNaive() []Candidate {
+	d = d.Pin()
 	free := d.sigma.FreeAttrs()
 	seedExtras := d.sigma.LHS().Union(d.sigma.PatternAttrs()).Positions()
 	seen := map[string]bool{}

@@ -3,6 +3,7 @@ package suggest
 import (
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/analysis"
 	"repro/internal/master"
@@ -23,22 +24,39 @@ type Candidate struct {
 	Support int
 }
 
-// Deriver derives certain regions and suggestions for a fixed (Σ, Dm).
-// Safe for concurrent use after construction: the compiled closure
-// program and support map are immutable, and all per-call mutable state
-// lives in pooled scratch.
+// Deriver derives certain regions and suggestions for (Σ, Dm). Safe for
+// concurrent use after construction: the compiled closure program and
+// support map are immutable, and all per-call mutable state lives in
+// pooled scratch.
+//
+// A deriver is either STATIC (NewDeriver: bound to one master snapshot
+// forever) or VERSIONED (NewDeriverVersioned: bound to a master.Versioned
+// handle). A versioned deriver pins the current snapshot at the start of
+// every public call — Pin returns the snapshot-bound view explicitly, for
+// callers like monitor.Session that need one consistent snapshot across
+// several calls. The per-epoch engines (support map, compiled closure
+// program, checker) are O(|Σ|) to rebuild and cached per epoch, so
+// pinning after an unchanged epoch is a pointer comparison.
 type Deriver struct {
-	sigma   *rule.Set
-	dm      *master.Data
-	checker *analysis.Checker
-	sup     supportMap
-	// prog is Σ compiled (gated by sup) into the counter-based closure
-	// engine; the per-call refined sets Σ_t[Z] are compiled on the fly.
-	prog   *rule.Compiled
+	sigma  *rule.Set
 	actDom map[int][]relation.Value
 	// sampleCap bounds how many master tuples seed verification rows.
 	sampleCap int
-	pool      sync.Pool // *derScratch
+	pool      *sync.Pool // *derScratch; shared between a handle and its views
+
+	// Snapshot-bound state: the master snapshot, the support map read
+	// from its pattern bitmaps, Σ compiled (gated by sup) into the
+	// counter-based closure engine, and the §4 checker. Set on static
+	// derivers and pinned views; nil on a versioned handle, which pins
+	// per call.
+	dm      *master.Data
+	checker *analysis.Checker
+	sup     supportMap
+	prog    *rule.Compiled
+
+	// Versioned-handle state.
+	ver  *master.Versioned
+	view atomic.Pointer[Deriver] // cached pinned view for the current epoch
 }
 
 // derScratch bundles the per-call mutable state: the closure engine's
@@ -51,19 +69,70 @@ type derScratch struct {
 }
 
 // NewDeriver precomputes the support map, compiled closure program and
-// checker for (Σ, Dm).
+// checker for a static (Σ, Dm): the deriver is bound to this snapshot
+// forever (Pin returns the deriver itself).
 func NewDeriver(sigma *rule.Set, dm *master.Data) *Deriver {
-	d := &Deriver{
+	d := newHandle(sigma)
+	d.pinTo(dm)
+	return d
+}
+
+// NewDeriverVersioned builds a deriver over a versioned master: every
+// public call pins the currently published snapshot, so suggestions and
+// region checks always run against one consistent epoch and pick up
+// master updates between calls.
+func NewDeriverVersioned(sigma *rule.Set, ver *master.Versioned) *Deriver {
+	d := newHandle(sigma)
+	d.ver = ver
+	return d
+}
+
+func newHandle(sigma *rule.Set) *Deriver {
+	return &Deriver{
 		sigma:     sigma,
-		dm:        dm,
-		checker:   analysis.NewChecker(sigma, dm, analysis.Options{}),
-		sup:       computeSupport(sigma, dm),
 		actDom:    sigma.ActiveDomain(),
 		sampleCap: 64,
+		pool:      &sync.Pool{New: func() any { return &derScratch{clo: rule.NewClosureScratch()} }},
 	}
-	d.prog = sigma.Compile(d.sup)
-	d.pool.New = func() any { return &derScratch{clo: rule.NewClosureScratch()} }
-	return d
+}
+
+// pinTo binds d to one master snapshot, building the per-epoch engines:
+// the support map (read from the snapshot's pattern bitmaps, O(|Σ|)), the
+// compiled Σ closure program and the §4 checker.
+func (d *Deriver) pinTo(dm *master.Data) {
+	d.dm = dm
+	d.checker = analysis.NewChecker(d.sigma, dm, analysis.Options{})
+	d.sup = computeSupport(d.sigma, dm)
+	d.prog = d.sigma.Compile(d.sup)
+}
+
+// Pin returns a view of the deriver bound to one master snapshot. On a
+// static deriver this is the deriver itself; on a versioned deriver it is
+// a cached per-epoch view of the currently published snapshot. All public
+// methods pin implicitly, so Pin is only needed when several calls must
+// observe the same snapshot (a monitor Session pins once at NewSession).
+func (d *Deriver) Pin() *Deriver {
+	if d.ver == nil {
+		return d // static deriver, or already a pinned view
+	}
+	snap := d.ver.Current()
+	if v := d.view.Load(); v != nil && v.dm == snap {
+		return v
+	}
+	v := &Deriver{sigma: d.sigma, actDom: d.actDom, sampleCap: d.sampleCap, pool: d.pool}
+	v.pinTo(snap)
+	d.view.Store(v)
+	return v
+}
+
+// Fork returns an independent deriver over the same master source — the
+// per-worker isolation path of monitor's batch pipeline. A versioned
+// deriver forks versioned (workers pick up new epochs between tuples).
+func (d *Deriver) Fork() *Deriver {
+	if d.ver != nil {
+		return NewDeriverVersioned(d.sigma, d.ver)
+	}
+	return NewDeriver(d.sigma, d.dm)
 }
 
 func (d *Deriver) getScratch() *derScratch   { return d.pool.Get().(*derScratch) }
@@ -72,21 +141,25 @@ func (d *Deriver) putScratch(sc *derScratch) { d.pool.Put(sc) }
 // Sigma returns Σ.
 func (d *Deriver) Sigma() *rule.Set { return d.sigma }
 
-// Master returns Dm.
-func (d *Deriver) Master() *master.Data { return d.dm }
+// Master returns Dm: the bound snapshot (static deriver or pinned view),
+// or the currently published snapshot (versioned deriver).
+func (d *Deriver) Master() *master.Data { return d.Pin().dm }
 
-// Checker returns the shared §4 checker.
-func (d *Deriver) Checker() *analysis.Checker { return d.checker }
+// Epoch returns the epoch of the snapshot Master would return.
+func (d *Deriver) Epoch() uint64 { return d.Pin().dm.Epoch() }
+
+// Checker returns the §4 checker for the current snapshot.
+func (d *Deriver) Checker() *analysis.Checker { return d.Pin().checker }
 
 // CertainRow reports whether the concrete values vals over z form a
 // certain-region pattern row: consistent and covering (Theorem 4).
 func (d *Deriver) CertainRow(z []int, vals []relation.Value) bool {
-	return d.checker.ConcreteVerdict(z, vals, true).OK
+	return d.Pin().checker.ConcreteVerdict(z, vals, true).OK
 }
 
 // ConsistentRow reports whether vals over z lead to a unique fix.
 func (d *Deriver) ConsistentRow(z []int, vals []relation.Value) bool {
-	return d.checker.ConcreteVerdict(z, vals, false).OK
+	return d.Pin().checker.ConcreteVerdict(z, vals, false).OK
 }
 
 // CompCRegions derives candidate certain regions ranked by quality
@@ -94,6 +167,7 @@ func (d *Deriver) ConsistentRow(z []int, vals []relation.Value) bool {
 // duplicates (same Z) are merged. The first element is the CRHQ region of
 // §6 Exp-1(2); the middle element is CRMQ.
 func (d *Deriver) CompCRegions() []Candidate {
+	d = d.Pin()
 	free := d.sigma.FreeAttrs()
 
 	// Seeds: the bare free set, plus free ∪ {A} for every attribute read
@@ -328,6 +402,7 @@ func appendProduct(rows [][]relation.Value, choices [][]relation.Value, bound in
 // free, ending with a larger Z than CompCRegion (the paper's table:
 // 4 vs 2 on HOSP, 9 vs 5 on DBLP).
 func (d *Deriver) GRegion() Candidate {
+	d = d.Pin()
 	arity := d.sigma.Schema().Arity()
 	var cur relation.AttrSet
 

@@ -21,6 +21,7 @@ import (
 // posting intersection under the pattern-support bitmap) instead of the
 // O(|Dm|) scan per rule; see master.CompatibleExists.
 func (d *Deriver) ApplicableRules(t relation.Tuple, zSet relation.AttrSet) *rule.Set {
+	d = d.Pin()
 	out := rule.MustNewSet(d.sigma.Schema(), d.dm.Schema())
 	out.Grow(d.sigma.Len())
 	for _, ru := range d.sigma.Rules() {
@@ -86,6 +87,7 @@ type Suggestion struct {
 // GainAll pass (the base closure plus undone marginal trials) instead of
 // one full O(|Σ|²) fixpoint per candidate.
 func (d *Deriver) Suggest(t relation.Tuple, zSet relation.AttrSet) Suggestion {
+	d = d.Pin()
 	refined := d.ApplicableRules(t, zSet)
 	arity := d.sigma.Schema().Arity()
 	sc := d.getScratch()
@@ -137,6 +139,7 @@ func (d *Deriver) Suggest(t relation.Tuple, zSet relation.AttrSet) Suggestion {
 // IsSuggestion reports whether validating t[S] on top of t[Z] reaches full
 // structural coverage under the refined rules Σ_t[Z].
 func (d *Deriver) IsSuggestion(t relation.Tuple, zSet relation.AttrSet, s []int) bool {
+	d = d.Pin()
 	refined := d.ApplicableRules(t, zSet)
 	sc := d.getScratch()
 	defer d.putScratch(sc)
@@ -156,6 +159,7 @@ func (d *Deriver) IsSuggestion(t relation.Tuple, zSet relation.AttrSet, s []int)
 // through TransFix after the users answer. Runs on the deriver's
 // precompiled Σ program: one counter pass per check.
 func (d *Deriver) IsSuggestionFast(zSet relation.AttrSet, s []int) bool {
+	d = d.Pin()
 	sc := d.getScratch()
 	defer d.putScratch(sc)
 	cur := zSet.Clone()

@@ -118,25 +118,27 @@ type Options struct {
 	MaxRounds int
 }
 
-// System binds a rule set Σ and master data Dm, precomputing indexes,
-// the rule dependency graph and the certain regions. Safe for concurrent
-// use.
+// System binds a rule set Σ and versioned master data Dm, precomputing
+// indexes, the rule dependency graph and the certain regions. Safe for
+// concurrent use; UpdateMaster publishes master-data corrections without
+// blocking in-flight fixes (each session keeps the snapshot it started
+// with, later fixes pick up the new epoch).
 type System struct {
-	sigma   *rule.Set
-	dm      *master.Data
-	mon     *monitor.Monitor
-	checker *analysis.Checker
+	sigma *rule.Set
+	ver   *master.Versioned
+	mon   *monitor.Monitor
 }
 
 // New builds a System. The master relation must be an instance of Σ's
 // master schema; it is assumed consistent and complete (the master-data
-// contract of the paper, §2).
+// contract of the paper, §2) but no longer static — see UpdateMaster.
 func New(rules *Rules, masterRel *Relation, opts Options) (*System, error) {
 	dm, err := master.NewForRules(masterRel, rules)
 	if err != nil {
 		return nil, err
 	}
-	mon, err := monitor.New(rules, dm, monitor.Config{
+	ver := master.NewVersioned(dm)
+	mon, err := monitor.NewVersioned(rules, ver, monitor.Config{
 		UseBDD:        opts.UseSuggestionCache,
 		InitialRegion: opts.InitialRegion,
 		MaxRounds:     opts.MaxRounds,
@@ -145,12 +147,35 @@ func New(rules *Rules, masterRel *Relation, opts Options) (*System, error) {
 		return nil, err
 	}
 	return &System{
-		sigma:   rules,
-		dm:      dm,
-		mon:     mon,
-		checker: analysis.NewChecker(rules, dm, analysis.Options{}),
+		sigma: rules,
+		ver:   ver,
+		mon:   mon,
 	}, nil
 }
+
+// UpdateMaster applies a master-data delta — corrections and additions to
+// Dm — and publishes the result as a new immutable snapshot, returning
+// its epoch. Deletes name tuple ids in the current snapshot and are
+// applied with swap-remove semantics (the last tuple moves into the
+// deleted slot) before adds are appended. Indexes, posting lists and
+// pattern-support bitmaps are maintained incrementally; concurrent Fix,
+// Suggest and Repair calls never block and never observe a half-applied
+// delta. In-flight sessions finish on the snapshot they pinned at start;
+// fixes beginning after UpdateMaster returns see the new epoch.
+func (s *System) UpdateMaster(adds []Tuple, deletes []int) (uint64, error) {
+	snap, err := s.ver.Apply(adds, deletes)
+	if err != nil {
+		return 0, err
+	}
+	return snap.Epoch(), nil
+}
+
+// MasterEpoch returns the currently published master epoch (0 until the
+// first UpdateMaster).
+func (s *System) MasterEpoch() uint64 { return s.ver.Epoch() }
+
+// MasterLen returns |Dm| of the currently published snapshot.
+func (s *System) MasterLen() int { return s.ver.Current().Len() }
 
 // Rules returns Σ.
 func (s *System) Rules() *Rules { return s.sigma }
@@ -207,7 +232,7 @@ func (s *System) RepairOnce(t Tuple, validated []int) (Tuple, AttrSet, []int, er
 	if zSet.Len() != len(validated) {
 		return nil, AttrSet{}, nil, fmt.Errorf("certainfix: duplicate validated attributes")
 	}
-	fixed, err := fix.TransFix(s.mon.DepGraph(), s.dm, out, &zSet)
+	fixed, err := fix.TransFix(s.mon.DepGraph(), s.ver.Current(), out, &zSet)
 	if err != nil {
 		return nil, AttrSet{}, nil, err
 	}
@@ -215,15 +240,17 @@ func (s *System) RepairOnce(t Tuple, validated []int) (Tuple, AttrSet, []int, er
 }
 
 // Consistent decides whether (Σ, Dm) is consistent relative to the
-// region: every tuple it marks has a unique fix (§4, Thm 1/4).
+// region: every tuple it marks has a unique fix (§4, Thm 1/4). The check
+// runs against the currently published master snapshot.
 func (s *System) Consistent(reg *Region) (Verdict, error) {
-	return s.checker.Consistent(reg)
+	return s.mon.Deriver().Checker().Consistent(reg)
 }
 
 // CertainRegion decides whether the region guarantees certain fixes for
-// every tuple it marks (§4, Thm 2/4).
+// every tuple it marks (§4, Thm 2/4), against the currently published
+// master snapshot.
 func (s *System) CertainRegion(reg *Region) (Verdict, error) {
-	return s.checker.CertainRegion(reg)
+	return s.mon.Deriver().Checker().CertainRegion(reg)
 }
 
 // Suggest computes the attribute set the users should validate next for
