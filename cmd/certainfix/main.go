@@ -22,6 +22,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"encoding/csv"
 	"flag"
 	"fmt"
@@ -62,7 +63,7 @@ func main() {
 	if err != nil {
 		fatalf("%v", err)
 	}
-	sys, err := certainfix.New(rules, masterRel, certainfix.Options{})
+	sys, err := certainfix.New(rules, masterRel)
 	if err != nil {
 		fatalf("%v", err)
 	}
@@ -218,53 +219,18 @@ func replayMasterDeltas(sys *certainfix.System, rm *certainfix.Schema, path stri
 	return publish()
 }
 
-// loadRules parses the schema headers and the rule DSL.
+// loadRules parses the schema headers and the rule DSL (the shared
+// format of certainfix.ParseRulesWithSchemas).
 func loadRules(path string) (*certainfix.Schema, *certainfix.Schema, *certainfix.Rules, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, nil, nil, err
 	}
-	var r, rm *certainfix.Schema
-	var ruleLines []string
-	for ln, line := range strings.Split(string(data), "\n") {
-		trimmed := strings.TrimSpace(line)
-		switch {
-		case strings.HasPrefix(trimmed, "schema "):
-			r, err = parseSchemaHeader(trimmed, "schema ")
-		case strings.HasPrefix(trimmed, "master "):
-			rm, err = parseSchemaHeader(trimmed, "master ")
-		default:
-			ruleLines = append(ruleLines, line)
-		}
-		if err != nil {
-			return nil, nil, nil, fmt.Errorf("%s:%d: %w", path, ln+1, err)
-		}
-	}
-	if r == nil || rm == nil {
-		return nil, nil, nil, fmt.Errorf("%s: missing 'schema R: ...' or 'master Rm: ...' header", path)
-	}
-	rules, err := certainfix.ParseRules(r, rm, strings.Join(ruleLines, "\n"))
+	r, rm, rules, err := certainfix.ParseRulesWithSchemas(string(data))
 	if err != nil {
 		return nil, nil, nil, fmt.Errorf("%s: %w", path, err)
 	}
 	return r, rm, rules, nil
-}
-
-func parseSchemaHeader(line, prefix string) (*certainfix.Schema, error) {
-	rest := strings.TrimPrefix(line, prefix)
-	name, attrs, ok := strings.Cut(rest, ":")
-	if !ok {
-		return nil, fmt.Errorf("schema header needs 'name: attr, attr, ...'")
-	}
-	var names []string
-	for _, a := range strings.Split(attrs, ",") {
-		a = strings.TrimSpace(a)
-		if a == "" {
-			return nil, fmt.Errorf("empty attribute in schema header")
-		}
-		names = append(names, a)
-	}
-	return certainfix.StringSchema(strings.TrimSpace(name), names...), nil
 }
 
 func loadCSV(schema *certainfix.Schema, path string) (*certainfix.Relation, error) {
@@ -286,7 +252,7 @@ func runInteractive(sys *certainfix.System, inputs *certainfix.Relation, outPath
 
 	for i := 0; i < inputs.Len(); i++ {
 		fmt.Printf("\n--- tuple %d/%d: %v\n", i+1, inputs.Len(), inputs.Tuple(i))
-		sess, err := sys.NewSession(inputs.Tuple(i))
+		sess, err := sys.Begin(context.Background(), inputs.Tuple(i))
 		if err != nil {
 			return err
 		}

@@ -1,0 +1,134 @@
+// Command certainfixd serves the certain-fix framework over HTTP — the
+// data-monitoring service of §5 turned into a stateless JSON API. Fix
+// sessions are resumable and serialized into client-held tokens, so the
+// server keeps no per-session state: every round of every fix can land
+// on any replica built over the same rules and master data.
+//
+// Endpoints (all JSON):
+//
+//	POST /v1/begin          {"tuple": [...]}               start a session
+//	POST /v1/suggest        {"token": {...}}               peek at the pending suggestion
+//	POST /v1/answer         {"token": {...}, "attrs": [..], "values": [..]}
+//	                        run one round; empty attrs aborts the session
+//	POST /v1/result         {"token": {...}}               final (or interim) result
+//	POST /v1/update-master  {"adds": [[...]], "deletes": [..]}
+//	                        publish a master-data delta (new epoch)
+//	GET  /healthz
+//
+// begin/suggest/answer reply with {"token", "suggested",
+// "suggestedAttrs", "tuple", "rounds", "done", "completed", "epoch"};
+// the client must send the fresh token on its next call. A token pins
+// the master epoch its session started on; after enough /v1/update-master
+// publishes that epoch is evicted from the snapshot ring (-history) and
+// /v1/answer replies 409 {"code": "epoch_evicted"} until the client
+// retries with "rebase": true.
+//
+// Tokens are not authenticated — front this server with something that
+// signs or MACs them before exposing it to untrusted clients.
+//
+// Usage:
+//
+//	certainfixd -rules hosp.rules -master hosp_master.csv -addr :8080
+//
+// The rules file uses the schema-header format of cmd/certainfix
+// (schema R: ... / master Rm: ... / rule ... lines).
+package main
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/pkg/certainfix"
+)
+
+func main() {
+	var (
+		rulesPath  = flag.String("rules", "", "rules file (schema headers + rule DSL)")
+		masterPath = flag.String("master", "", "master relation CSV")
+		addr       = flag.String("addr", ":8080", "listen address")
+		useCache   = flag.Bool("suggestion-cache", false, "enable the CertainFix+ suggestion cache")
+		maxRounds  = flag.Int("max-rounds", 0, "cap interaction rounds per session (0 = arity + 1)")
+		history    = flag.Int("history", 0, "master snapshot ring size for session resume (0 = default)")
+	)
+	flag.Parse()
+	if *rulesPath == "" || *masterPath == "" {
+		fatalf("-rules and -master are required")
+	}
+
+	sys, err := buildSystem(*rulesPath, *masterPath, *useCache, *maxRounds, *history)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           newHandler(sys),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "certainfixd: serving on %s (|Dm| = %d, epoch %d)\n",
+		*addr, sys.MasterLen(), sys.MasterEpoch())
+
+	select {
+	case err := <-errCh:
+		fatalf("%v", err)
+	case <-ctx.Done():
+	}
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	// Stateless by design: draining loses nothing — every in-flight
+	// session's state lives in a token the client already holds.
+	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fatalf("shutdown: %v", err)
+	}
+	fmt.Fprintln(os.Stderr, "certainfixd: drained, bye")
+}
+
+// buildSystem loads the rules file (schema headers + DSL) and the master
+// CSV, then constructs the System with the flag-selected options.
+func buildSystem(rulesPath, masterPath string, useCache bool, maxRounds, history int) (*certainfix.System, error) {
+	src, err := os.ReadFile(rulesPath)
+	if err != nil {
+		return nil, err
+	}
+	_, rm, rules, err := certainfix.ParseRulesWithSchemas(string(src))
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", rulesPath, err)
+	}
+	f, err := os.Open(masterPath)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	masterRel, err := certainfix.ReadCSV(rm, bufio.NewReader(f))
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", masterPath, err)
+	}
+	var opts []certainfix.Option
+	if useCache {
+		opts = append(opts, certainfix.WithSuggestionCache())
+	}
+	if maxRounds > 0 {
+		opts = append(opts, certainfix.WithMaxRounds(maxRounds))
+	}
+	if history > 0 {
+		opts = append(opts, certainfix.WithMasterHistory(history))
+	}
+	return certainfix.New(rules, masterRel, opts...)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "certainfixd: "+format+"\n", args...)
+	os.Exit(1)
+}

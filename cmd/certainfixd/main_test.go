@@ -1,0 +1,293 @@
+package main
+
+// End-to-end smoke for the daemon: boot a real HTTP server on a loopback
+// port, fix one tuple with plain JSON requests (what a curl session
+// would send), exercise the token round-trip — including resuming
+// against a *second* server instance mid-fix, since the handlers are
+// stateless — and shut down gracefully.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/paperex"
+	"repro/pkg/certainfix"
+)
+
+func paperSystem(t *testing.T, opts ...certainfix.Option) *certainfix.System {
+	t.Helper()
+	sys, err := certainfix.New(paperex.Sigma0(), paperex.MasterRelation(), opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+// startServer boots a real listener and returns its base URL plus a
+// graceful stopper.
+func startServer(t *testing.T, sys *certainfix.System) (string, func()) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &http.Server{Handler: newHandler(sys)}
+	go func() { _ = srv.Serve(ln) }()
+	stop := func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	}
+	return "http://" + ln.Addr().String(), stop
+}
+
+// post sends one JSON request and decodes the JSON reply, returning the
+// HTTP status.
+func post(t *testing.T, url string, body any, reply any) int {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if reply != nil {
+		if err := json.NewDecoder(resp.Body).Decode(reply); err != nil {
+			t.Fatalf("decode reply from %s: %v", url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+type wireSession struct {
+	Token          json.RawMessage  `json:"token"`
+	Suggested      []int            `json:"suggested"`
+	SuggestedAttrs []string         `json:"suggestedAttrs"`
+	Tuple          certainfix.Tuple `json:"tuple"`
+	Rounds         int              `json:"rounds"`
+	Done           bool             `json:"done"`
+	Completed      bool             `json:"completed"`
+	Epoch          uint64           `json:"epoch"`
+}
+
+// answer runs one round against base, asserting truth for the pending
+// suggestion.
+func answer(t *testing.T, base string, sess wireSession, truth certainfix.Tuple) wireSession {
+	t.Helper()
+	values := make([]certainfix.Value, len(sess.Suggested))
+	for i, p := range sess.Suggested {
+		values[i] = truth[p]
+	}
+	var next wireSession
+	if code := post(t, base+"/v1/answer", map[string]any{
+		"token": sess.Token, "attrs": sess.Suggested, "values": values,
+	}, &next); code != http.StatusOK {
+		t.Fatalf("answer: HTTP %d", code)
+	}
+	return next
+}
+
+// TestHTTPFixOneTuple: the full zero-to-result flow of the README
+// narrative — begin, answer rounds until done, fetch the result — over a
+// real socket, with the mid-fix rounds served by a *different* server
+// process to prove statelessness.
+func TestHTTPFixOneTuple(t *testing.T) {
+	truth := certainfix.StringTuple(
+		"Robert", "Brady", "131", "6884563", "1",
+		"51 Elm Row", "Edi", "EH7 4AH", "CD")
+
+	baseA, stopA := startServer(t, paperSystem(t))
+	baseB, stopB := startServer(t, paperSystem(t)) // an independent replica
+	defer stopB()
+
+	var sess wireSession
+	if code := post(t, baseA+"/v1/begin", map[string]any{"tuple": paperex.InputT2()}, &sess); code != http.StatusOK {
+		t.Fatalf("begin: HTTP %d", code)
+	}
+	if sess.Done || len(sess.Suggested) == 0 || len(sess.SuggestedAttrs) != len(sess.Suggested) {
+		t.Fatalf("begin reply: %+v", sess)
+	}
+
+	// Round 1 on server A, then A goes away entirely.
+	sess = answer(t, baseA, sess, truth)
+	stopA()
+
+	// The token carries the whole session to replica B.
+	for i := 0; !sess.Done; i++ {
+		if i > 10 {
+			t.Fatal("session did not converge")
+		}
+		sess = answer(t, baseB, sess, truth)
+	}
+	if !sess.Completed {
+		t.Fatalf("session finished incomplete: %+v", sess)
+	}
+	if !sess.Tuple.Equal(truth) {
+		t.Fatalf("fixed tuple %v != truth %v", sess.Tuple, truth)
+	}
+
+	var res struct {
+		Result certainfix.Result `json:"result"`
+	}
+	if code := post(t, baseB+"/v1/result", map[string]any{"token": sess.Token}, &res); code != http.StatusOK {
+		t.Fatalf("result: HTTP %d", code)
+	}
+	if !res.Result.Completed || !res.Result.Tuple.Equal(truth) {
+		t.Fatalf("result: %+v", res.Result)
+	}
+
+	// Answering a finished session is a 409 with a machine-readable code.
+	var errReply map[string]string
+	if code := post(t, baseB+"/v1/answer", map[string]any{
+		"token": sess.Token, "attrs": []int{0}, "values": []certainfix.Value{certainfix.Null},
+	}, &errReply); code != http.StatusConflict || errReply["code"] != "session_done" {
+		t.Fatalf("answer-after-done: HTTP %d %v", code, errReply)
+	}
+}
+
+// TestHTTPSuggestAndErrors: /v1/suggest peeks without advancing, and the
+// error mapping covers bad JSON, bad tokens and arity mismatches.
+func TestHTTPSuggestAndErrors(t *testing.T) {
+	base, stop := startServer(t, paperSystem(t))
+	defer stop()
+
+	var sess wireSession
+	if code := post(t, base+"/v1/begin", map[string]any{"tuple": paperex.InputT1()}, &sess); code != http.StatusOK {
+		t.Fatalf("begin: HTTP %d", code)
+	}
+	var peek wireSession
+	if code := post(t, base+"/v1/suggest", map[string]any{"token": sess.Token}, &peek); code != http.StatusOK {
+		t.Fatalf("suggest: HTTP %d", code)
+	}
+	if peek.Rounds != 0 || fmt.Sprint(peek.Suggested) != fmt.Sprint(sess.Suggested) {
+		t.Fatalf("suggest must not advance: %+v vs %+v", peek, sess)
+	}
+
+	var errReply map[string]string
+	if code := post(t, base+"/v1/begin", map[string]any{"tuple": []string{"short"}}, &errReply); code != http.StatusBadRequest {
+		t.Fatalf("short begin: HTTP %d %v", code, errReply)
+	}
+	if code := post(t, base+"/v1/answer", map[string]any{"token": json.RawMessage(`{"v":99}`)}, &errReply); code != http.StatusBadRequest {
+		t.Fatalf("bad token: HTTP %d %v", code, errReply)
+	}
+	// An out-of-range attribute position is bad client input, not a
+	// server fault.
+	if code := post(t, base+"/v1/answer", map[string]any{
+		"token": sess.Token, "attrs": []int{99}, "values": []certainfix.Value{certainfix.Null},
+	}, &errReply); code != http.StatusBadRequest || errReply["code"] != "invalid_input" {
+		t.Fatalf("out-of-range attr: HTTP %d %v", code, errReply)
+	}
+	resp, err := http.Post(base+"/v1/begin", "application/json", bytes.NewReader([]byte("{nope")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed JSON: HTTP %d", resp.StatusCode)
+	}
+	if code := post(t, base+"/healthz", nil, nil); code != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /healthz: HTTP %d", code)
+	}
+	resp, err = http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /healthz: HTTP %d", resp.StatusCode)
+	}
+}
+
+// TestHTTPEpochEvictionAndRebase: update-master advances the epoch; with
+// a single-slot ring the suspended session's epoch evicts, /v1/answer
+// replies 409 epoch_evicted, and "rebase": true recovers.
+func TestHTTPEpochEvictionAndRebase(t *testing.T) {
+	truth := certainfix.StringTuple(
+		"Robert", "Brady", "131", "6884563", "1",
+		"51 Elm Row", "Edi", "EH7 4AH", "CD")
+	base, stop := startServer(t, paperSystem(t, certainfix.WithMasterHistory(1)))
+	defer stop()
+
+	var sess wireSession
+	if code := post(t, base+"/v1/begin", map[string]any{"tuple": paperex.InputT2()}, &sess); code != http.StatusOK {
+		t.Fatalf("begin: HTTP %d", code)
+	}
+	sess = answer(t, base, sess, truth)
+
+	var upd map[string]any
+	if code := post(t, base+"/v1/update-master", map[string]any{
+		"adds": []certainfix.Tuple{certainfix.StringTuple(
+			"Jane", "Doe", "999", "5551234", "070000000",
+			"1 Test St", "Tst", "ZZ1 1ZZ", "01/01/70", "F")},
+	}, &upd); code != http.StatusOK {
+		t.Fatalf("update-master: HTTP %d %v", code, upd)
+	}
+
+	values := []certainfix.Value{}
+	attrs := []int{}
+	for _, p := range sess.Suggested {
+		attrs = append(attrs, p)
+		values = append(values, truth[p])
+	}
+	var errReply map[string]string
+	if code := post(t, base+"/v1/answer", map[string]any{
+		"token": sess.Token, "attrs": attrs, "values": values,
+	}, &errReply); code != http.StatusConflict || errReply["code"] != "epoch_evicted" {
+		t.Fatalf("evicted answer: HTTP %d %v", code, errReply)
+	}
+
+	var next wireSession
+	if code := post(t, base+"/v1/answer", map[string]any{
+		"token": sess.Token, "attrs": attrs, "values": values, "rebase": true,
+	}, &next); code != http.StatusOK {
+		t.Fatalf("rebased answer: HTTP %d", code)
+	}
+	for i := 0; !next.Done; i++ {
+		if i > 10 {
+			t.Fatal("rebased session did not converge")
+		}
+		next = answer(t, base, next, truth)
+	}
+	if !next.Completed {
+		t.Fatalf("rebased session incomplete: %+v", next)
+	}
+}
+
+// TestBuildSystemFromFiles: the daemon's file loaders (schema-header
+// rules file + master CSV) produce a working system.
+func TestBuildSystemFromFiles(t *testing.T) {
+	dir := t.TempDir()
+	rules := filepath.Join(dir, "kv.rules")
+	if err := os.WriteFile(rules, []byte(
+		"schema R: K, V\nmaster Rm: K, V\nrule kv: (K ; K) -> (V ; V) when K != nil\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	masterCSV := filepath.Join(dir, "master.csv")
+	if err := os.WriteFile(masterCSV, []byte("K,V\nk1,v1\nk2,v2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	sys, err := buildSystem(rules, masterCSV, false, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixed, _, changed, err := sys.RepairOnce(certainfix.StringTuple("k1", "wrong"), []int{0})
+	if err != nil || len(changed) != 1 || fixed[1].Str() != "v1" {
+		t.Fatalf("fixed=%v changed=%v err=%v", fixed, changed, err)
+	}
+	if _, err := buildSystem(filepath.Join(dir, "missing.rules"), masterCSV, false, 0, 0); err == nil {
+		t.Fatal("missing rules file must error")
+	}
+}

@@ -1,0 +1,220 @@
+package main
+
+// The HTTP layer of certainfixd. Every handler is stateless: the session
+// state travels as a JSON token embedded in requests and responses, so
+// any replica of this server (sharing the same rules and master lineage)
+// can serve any round of any session — the stateless-server pattern the
+// resumable session API exists for. The server holds exactly one piece
+// of mutable state, the versioned master data inside the System, which
+// /v1/update-master advances.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"repro/pkg/certainfix"
+)
+
+// server wires a certainfix.System into HTTP handlers.
+type server struct {
+	sys *certainfix.System
+}
+
+// newHandler builds the route table.
+func newHandler(sys *certainfix.System) http.Handler {
+	s := &server{sys: sys}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/begin", s.handleBegin)
+	mux.HandleFunc("POST /v1/suggest", s.handleSuggest)
+	mux.HandleFunc("POST /v1/answer", s.handleAnswer)
+	mux.HandleFunc("POST /v1/result", s.handleResult)
+	mux.HandleFunc("POST /v1/update-master", s.handleUpdateMaster)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"ok": true, "epoch": sys.MasterEpoch(), "masterSize": sys.MasterLen()})
+	})
+	return mux
+}
+
+// sessionResponse is the common reply of begin / suggest / answer: the
+// new token (the client must send it back on the next call — the server
+// keeps nothing) plus enough progress information to render a round.
+type sessionResponse struct {
+	Token          json.RawMessage  `json:"token"`
+	Suggested      []int            `json:"suggested"`
+	SuggestedAttrs []string         `json:"suggestedAttrs"`
+	Tuple          certainfix.Tuple `json:"tuple"`
+	Rounds         int              `json:"rounds"`
+	Done           bool             `json:"done"`
+	Completed      bool             `json:"completed"`
+	Epoch          uint64           `json:"epoch"`
+}
+
+func (s *server) sessionReply(w http.ResponseWriter, sess *certainfix.FixSession) {
+	token, err := sess.MarshalBinary()
+	if err != nil {
+		writeErr(w, fmt.Errorf("serialize session: %w", err))
+		return
+	}
+	suggested := sess.Suggested()
+	if suggested == nil {
+		suggested = []int{}
+	}
+	names := make([]string, len(suggested))
+	for i, p := range suggested {
+		names[i] = s.sys.Schema().Attr(p).Name
+	}
+	writeJSON(w, http.StatusOK, sessionResponse{
+		Token:          token,
+		Suggested:      suggested,
+		SuggestedAttrs: names,
+		Tuple:          sess.Tuple(),
+		Rounds:         sess.Rounds(),
+		Done:           sess.Done(),
+		Completed:      sess.Completed(),
+		Epoch:          sess.Epoch(),
+	})
+}
+
+type beginRequest struct {
+	Tuple certainfix.Tuple `json:"tuple"`
+}
+
+func (s *server) handleBegin(w http.ResponseWriter, r *http.Request) {
+	var req beginRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	sess, err := s.sys.Begin(r.Context(), req.Tuple)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	s.sessionReply(w, sess)
+}
+
+type tokenRequest struct {
+	Token json.RawMessage `json:"token"`
+	// Rebase accepts re-pinning the current master head when the token's
+	// original epoch has been evicted (see certainfix.RebaseToHead).
+	Rebase bool `json:"rebase,omitempty"`
+}
+
+func (s *server) resume(r *http.Request, req tokenRequest) (*certainfix.FixSession, error) {
+	var opts []certainfix.ResumeOption
+	if req.Rebase {
+		opts = append(opts, certainfix.RebaseToHead())
+	}
+	return s.sys.Resume(r.Context(), req.Token, opts...)
+}
+
+func (s *server) handleSuggest(w http.ResponseWriter, r *http.Request) {
+	var req tokenRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	sess, err := s.resume(r, req)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	s.sessionReply(w, sess)
+}
+
+type answerRequest struct {
+	tokenRequest
+	// Attrs/Values are the asserted positions and their values, aligned.
+	// Attrs may differ from the last suggestion; empty Attrs aborts the
+	// session (§5: the users declined).
+	Attrs  []int              `json:"attrs"`
+	Values []certainfix.Value `json:"values"`
+}
+
+func (s *server) handleAnswer(w http.ResponseWriter, r *http.Request) {
+	var req answerRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	sess, err := s.resume(r, req.tokenRequest)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	if err := sess.Provide(req.Attrs, req.Values); err != nil {
+		writeErr(w, err)
+		return
+	}
+	s.sessionReply(w, sess)
+}
+
+func (s *server) handleResult(w http.ResponseWriter, r *http.Request) {
+	var req tokenRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	sess, err := s.resume(r, req)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"result": sess.Result()})
+}
+
+type updateMasterRequest struct {
+	Adds    []certainfix.Tuple `json:"adds"`
+	Deletes []int              `json:"deletes"`
+}
+
+func (s *server) handleUpdateMaster(w http.ResponseWriter, r *http.Request) {
+	var req updateMasterRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	epoch, err := s.sys.UpdateMaster(req.Adds, req.Deletes)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"epoch": epoch, "masterSize": s.sys.MasterLen()})
+}
+
+// readJSON decodes the request body into dst, replying 400 on failure.
+func readJSON(w http.ResponseWriter, r *http.Request, dst any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		writeJSON(w, http.StatusBadRequest, errBody(err, "bad_request"))
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(body)
+}
+
+func errBody(err error, code string) map[string]string {
+	return map[string]string{"error": err.Error(), "code": code}
+}
+
+// writeErr maps the library's typed sentinels onto HTTP statuses and
+// machine-readable codes — the errors.Is contract of the API at work.
+func writeErr(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, certainfix.ErrBadToken), errors.Is(err, certainfix.ErrArityMismatch):
+		writeJSON(w, http.StatusBadRequest, errBody(err, "invalid_input"))
+	case errors.Is(err, certainfix.ErrEpochEvicted):
+		// Conflict, not 400: the token was valid; the server's retention
+		// moved on. The client may retry with "rebase": true.
+		writeJSON(w, http.StatusConflict, errBody(err, "epoch_evicted"))
+	case errors.Is(err, certainfix.ErrSessionDone):
+		writeJSON(w, http.StatusConflict, errBody(err, "session_done"))
+	case errors.Is(err, certainfix.ErrInconsistent):
+		writeJSON(w, http.StatusConflict, errBody(err, "inconsistent"))
+	default:
+		writeJSON(w, http.StatusInternalServerError, errBody(err, "internal"))
+	}
+}

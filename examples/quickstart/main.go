@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -39,7 +40,7 @@ rule desc:  (sku ; sku) -> (desc ; desc)  when sku != nil
 		certainfix.StringTuple("SKU-1003", "249.00", "Burr grinder"),
 	)
 
-	sys, err := certainfix.New(rules, masterRel, certainfix.Options{})
+	sys, err := certainfix.New(rules, masterRel)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -73,4 +74,14 @@ rule desc:  (sku ; sku) -> (desc ; desc)  when sku != nil
 	// minimal attribute set users must vouch for.
 	best := sys.Regions()[0]
 	fmt.Printf("best certain region asks users to validate: %v\n", best.ZSet.Names(orders))
+
+	// When answers are not available synchronously — a form, a queue, a
+	// network client — drive the fix as a resumable session instead of a
+	// callback; see examples/resumable for suspend/resume across
+	// processes.
+	sess, err := sys.Begin(context.Background(), dirty)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("session starts by asking about positions %v\n", sess.Suggested())
 }

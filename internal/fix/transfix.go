@@ -1,12 +1,19 @@
 package fix
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/master"
 	"repro/internal/relation"
 	"repro/internal/rule"
 )
+
+// ErrInconsistent is the sentinel for "no certain fix exists under the
+// asserted values": applicable rule/master pairs disagree, so proceeding
+// would mean guessing. Concrete failures carry details in a
+// *ConflictError; errors.Is(err, ErrInconsistent) matches both.
+var ErrInconsistent = errors.New("fix: no certain fix: applicable rules conflict on asserted values")
 
 // ConflictError reports that two applicable rule/master pairs disagree on
 // the value of one attribute — the inconsistency witness of §4. TransFix
@@ -21,6 +28,10 @@ type ConflictError struct {
 func (e *ConflictError) Error() string {
 	return fmt.Sprintf("fix: conflicting certain values %v for attribute %d", e.Values, e.Attr)
 }
+
+// Is matches ErrInconsistent, so callers can test the condition with
+// errors.Is without naming the concrete type.
+func (e *ConflictError) Is(target error) bool { return target == ErrInconsistent }
 
 // node processing states for TransFix.
 const (

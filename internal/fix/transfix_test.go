@@ -91,6 +91,9 @@ func TestTransFixConflictDetected(t *testing.T) {
 	if conflict.Error() == "" {
 		t.Error("ConflictError must render a message")
 	}
+	if !errors.Is(err, fix.ErrInconsistent) {
+		t.Error("ConflictError must match ErrInconsistent via errors.Is")
+	}
 }
 
 // TestTransFixAgreesWithNaiveFix cross-checks the dependency-graph

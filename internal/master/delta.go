@@ -26,6 +26,7 @@ package master
 // gap (hundreds of times faster at |Dm| = 60k).
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -219,14 +220,34 @@ func (nd *Data) indexTuple(t relation.Tuple, id int) {
 // call, a monitor Session pins one for its whole interactive lifetime);
 // they never block behind a writer and never observe a half-applied
 // delta.
+//
+// Beyond the head, Versioned retains a bounded ring of recent snapshots
+// so that suspended work — a serialized fix session resumed minutes
+// later, possibly in another process — can re-pin the exact epoch it
+// started on via At. Retention is cheap: delta-derived snapshots share
+// their base index layers copy-on-write, so a retained epoch costs the
+// delta overlays plus two size-linear headers, not a full copy of Dm.
 type Versioned struct {
-	mu  sync.Mutex
-	cur atomic.Pointer[Data]
+	mu      sync.Mutex
+	cur     atomic.Pointer[Data]
+	hist    []*Data // ascending epochs; the last element is the head
+	histCap int
 }
 
-// NewVersioned starts a version chain at snapshot d (epoch as built).
+// DefaultHistory is how many snapshots (including the head) a Versioned
+// retains for At unless SetHistory overrides it.
+const DefaultHistory = 8
+
+// ErrEpochEvicted reports that the requested epoch is no longer retained
+// in the snapshot ring. Callers holding a session pinned to that epoch
+// must either fail the resume or rebase the session onto the current
+// head (monitor.ResumeOptions.RebaseToHead).
+var ErrEpochEvicted = errors.New("master: epoch evicted from snapshot history")
+
+// NewVersioned starts a version chain at snapshot d (epoch as built),
+// retaining DefaultHistory snapshots for At.
 func NewVersioned(d *Data) *Versioned {
-	v := &Versioned{}
+	v := &Versioned{histCap: DefaultHistory, hist: []*Data{d}}
 	v.cur.Store(d)
 	return v
 }
@@ -236,6 +257,46 @@ func (v *Versioned) Current() *Data { return v.cur.Load() }
 
 // Epoch returns the latest published snapshot's epoch.
 func (v *Versioned) Epoch() uint64 { return v.cur.Load().epoch }
+
+// SetHistory bounds the snapshot ring to n entries including the head
+// (n < 1 is clamped to 1: the head is always retained), evicting the
+// oldest retained epochs immediately if the ring shrank.
+func (v *Versioned) SetHistory(n int) {
+	if n < 1 {
+		n = 1
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.histCap = n
+	v.trimLocked()
+}
+
+// History returns the current retention bound.
+func (v *Versioned) History() int {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.histCap
+}
+
+// At returns the retained snapshot with the given epoch. The head is
+// always available; older epochs are served from the ring until evicted,
+// after which At fails with an error matching ErrEpochEvicted via
+// errors.Is.
+func (v *Versioned) At(epoch uint64) (*Data, error) {
+	if cur := v.cur.Load(); cur.epoch == epoch {
+		return cur, nil
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	for i := len(v.hist) - 1; i >= 0; i-- {
+		if v.hist[i].epoch == epoch {
+			return v.hist[i], nil
+		}
+	}
+	head := v.cur.Load().epoch
+	return nil, fmt.Errorf("master: epoch %d not retained (head %d, history %d): %w",
+		epoch, head, v.histCap, ErrEpochEvicted)
+}
 
 // Apply derives a snapshot from the current head via ApplyDelta and
 // publishes it. On error nothing is published and the head is unchanged.
@@ -247,5 +308,20 @@ func (v *Versioned) Apply(adds []relation.Tuple, deletes []int) (*Data, error) {
 		return nil, err
 	}
 	v.cur.Store(next)
+	v.hist = append(v.hist, next)
+	v.trimLocked()
 	return next, nil
+}
+
+// trimLocked evicts the oldest snapshots beyond histCap; v.mu held.
+func (v *Versioned) trimLocked() {
+	if drop := len(v.hist) - v.histCap; drop > 0 {
+		// Shift instead of re-slicing so evicted snapshots are not kept
+		// alive by the backing array.
+		copy(v.hist, v.hist[drop:])
+		for i := len(v.hist) - drop; i < len(v.hist); i++ {
+			v.hist[i] = nil
+		}
+		v.hist = v.hist[:len(v.hist)-drop]
+	}
 }

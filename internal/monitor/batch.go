@@ -1,6 +1,7 @@
 package monitor
 
 import (
+	"context"
 	"sync"
 
 	"repro/internal/parallel"
@@ -30,20 +31,15 @@ var sessionPool = sync.Pool{New: func() any { return &Session{} }}
 
 // fixPooled fixes one tuple on a pool-recycled session. The tuple passed
 // to user.Assert aliases the pooled scratch buffer — see the User
-// lifetime contract — so it must not be retained past the call.
-func (m *Monitor) fixPooled(d *suggest.Deriver, input relation.Tuple, user User) (Result, error) {
+// lifetime contract — so it must not be retained past the call. The
+// context is observed between rounds, like FixCtx.
+func (m *Monitor) fixPooled(ctx context.Context, d *suggest.Deriver, input relation.Tuple, user User) (Result, error) {
 	sess := sessionPool.Get().(*Session)
 	defer sessionPool.Put(sess)
 	if err := m.initSession(sess, d, input); err != nil {
 		return Result{}, err
 	}
-	for !sess.Done() {
-		attrs, values := user.Assert(sess.t, sess.Suggested())
-		if err := sess.Provide(attrs, values); err != nil {
-			return Result{}, err
-		}
-	}
-	return sess.Result(), nil
+	return driveSession(ctx, sess, user)
 }
 
 // FixBatch fixes many input tuples concurrently against the shared
@@ -63,10 +59,18 @@ func (m *Monitor) fixPooled(d *suggest.Deriver, input relation.Tuple, user User)
 // depend on the order sessions populate the cache, so round counts and
 // per-round snapshots may differ from a sequential run.
 func (m *Monitor) FixBatch(inputs []relation.Tuple, userFor func(i int) User, opt BatchOptions) ([]Result, error) {
-	return parallel.MapWorkers(len(inputs), opt.Workers, func() func(i int) (Result, error) {
+	return m.FixBatchCtx(context.Background(), inputs, userFor, opt)
+}
+
+// FixBatchCtx is FixBatch with cancellation: once ctx is done no further
+// tuples are dispatched, in-flight sessions stop at their next round
+// boundary, and the call returns ctx.Err() after the pool drains (a job
+// error still wins, per the internal/parallel contract).
+func (m *Monitor) FixBatchCtx(ctx context.Context, inputs []relation.Tuple, userFor func(i int) User, opt BatchOptions) ([]Result, error) {
+	return parallel.MapWorkersCtx(ctx, len(inputs), opt.Workers, func() func(i int) (Result, error) {
 		d := m.workerDeriver(opt)
 		return func(i int) (Result, error) {
-			return m.fixPooled(d, inputs[i], userFor(i))
+			return m.fixPooled(ctx, d, inputs[i], userFor(i))
 		}
 	})
 }
@@ -103,17 +107,53 @@ type StreamResult struct {
 // concurrently, against the shared immutable master. The User lifetime
 // contract of FixBatch applies to each request's User.
 func (m *Monitor) FixStream(in <-chan StreamRequest, opt BatchOptions) <-chan StreamResult {
+	return m.FixStreamCtx(context.Background(), in, opt)
+}
+
+// FixStreamCtx is FixStream with cancellation: when ctx is done the
+// workers stop consuming requests (whether or not in is ever closed),
+// in-flight fixes stop at their next round boundary with ctx.Err() as
+// their result error, and the output channel is closed after the
+// workers drain. Requests already buffered in the channel but not yet
+// picked up are dropped, and delivery of results completing *during*
+// the cancellation is best-effort: a consumer still draining the
+// channel receives them, one that stopped reading does not (the workers
+// must not block forever on an abandoned channel).
+func (m *Monitor) FixStreamCtx(ctx context.Context, in <-chan StreamRequest, opt BatchOptions) <-chan StreamResult {
 	out := make(chan StreamResult)
 	workers := parallel.Clamp(opt.Workers, -1)
+	done := ctx.Done()
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			d := m.workerDeriver(opt)
-			for req := range in {
-				res, err := m.fixPooled(d, req.Tuple, req.User)
-				out <- StreamResult{ID: req.ID, Result: res, Err: err}
+			for {
+				var req StreamRequest
+				var ok bool
+				select {
+				case <-done:
+					return
+				case req, ok = <-in:
+					if !ok {
+						return
+					}
+				}
+				res, err := m.fixPooled(ctx, d, req.Tuple, req.User)
+				// Prefer delivery over teardown: the non-blocking send
+				// wins when the consumer is already waiting, so a result
+				// racing the cancellation still reaches a draining
+				// consumer instead of being dropped by a random select.
+				select {
+				case out <- StreamResult{ID: req.ID, Result: res, Err: err}:
+				default:
+					select {
+					case out <- StreamResult{ID: req.ID, Result: res, Err: err}:
+					case <-done:
+						return
+					}
+				}
 			}
 		}()
 	}

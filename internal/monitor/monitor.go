@@ -8,6 +8,7 @@
 package monitor
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -136,6 +137,9 @@ func build(d *suggest.Deriver, sigma *rule.Set, cfg Config) (*Monitor, error) {
 	if cfg.InitialRegion >= len(cands) {
 		cfg.InitialRegion = len(cands) - 1
 	}
+	if cfg.InitialRegion < 0 {
+		cfg.InitialRegion = 0
+	}
 	m := &Monitor{
 		deriver: d,
 		graph:   rule.NewDepGraph(sigma),
@@ -178,11 +182,29 @@ func (m *Monitor) CacheStats() (hits, misses int) {
 // (≤ 3 rounds for dblp, ≤ 4 for hosp). Conflicting rules are never
 // resolved by guessing: the disputed attribute joins the next suggestion.
 func (m *Monitor) Fix(input relation.Tuple, user User) (Result, error) {
+	return m.FixCtx(context.Background(), input, user)
+}
+
+// FixCtx is Fix with cancellation: the context is checked before every
+// interaction round, so a deadline or cancellation interrupts the fix
+// between rounds (never mid-round — rounds are short and atomic). An
+// interrupted fix returns ctx.Err(); to suspend instead of abandon, use
+// a Session and serialize its State.
+func (m *Monitor) FixCtx(ctx context.Context, input relation.Tuple, user User) (Result, error) {
 	sess, err := m.NewSession(input)
 	if err != nil {
 		return Result{}, err
 	}
+	return driveSession(ctx, sess, user)
+}
+
+// driveSession runs the callback interaction loop over a session — the
+// wrapper that makes the callback API a client of the session API.
+func driveSession(ctx context.Context, sess *Session, user User) (Result, error) {
 	for !sess.Done() {
+		if err := ctx.Err(); err != nil {
+			return Result{}, err
+		}
 		attrs, values := user.Assert(sess.t, sess.Suggested())
 		if err := sess.Provide(attrs, values); err != nil {
 			return Result{}, err
@@ -223,16 +245,4 @@ func allOutside(s []int, zSet relation.AttrSet) bool {
 		}
 	}
 	return true
-}
-
-func dedupInts(xs []int) []int {
-	seen := map[int]bool{}
-	out := xs[:0]
-	for _, x := range xs {
-		if !seen[x] {
-			seen[x] = true
-			out = append(out, x)
-		}
-	}
-	return out
 }

@@ -202,12 +202,14 @@ func TestMonitorArityCheck(t *testing.T) {
 	}
 }
 
-// TestInitialRegionIndexClamped: an out-of-range region index falls back
-// to the last candidate instead of panicking.
+// TestInitialRegionIndexClamped: an out-of-range region index — too
+// large or negative — clamps instead of panicking at the first session.
 func TestInitialRegionIndexClamped(t *testing.T) {
-	m := newMonitor(t, monitor.Config{InitialRegion: 99})
-	res, err := m.Fix(paperex.InputT1(), monitor.SimulatedUser{Truth: truthT1()})
-	if err != nil || !res.Completed {
-		t.Fatalf("res=%v err=%v", res, err)
+	for _, idx := range []int{99, -1} {
+		m := newMonitor(t, monitor.Config{InitialRegion: idx})
+		res, err := m.Fix(paperex.InputT1(), monitor.SimulatedUser{Truth: truthT1()})
+		if err != nil || !res.Completed {
+			t.Fatalf("InitialRegion=%d: res=%v err=%v", idx, res, err)
+		}
 	}
 }

@@ -10,6 +10,15 @@ import (
 	"repro/internal/suggest"
 )
 
+// Typed sentinels for the session state machine, usable with errors.Is.
+var (
+	// ErrSessionDone reports a Provide on a finished session.
+	ErrSessionDone = errors.New("monitor: session already done")
+	// ErrArityMismatch reports tuples, attribute lists or value lists
+	// whose shape does not fit the schema.
+	ErrArityMismatch = errors.New("monitor: arity mismatch")
+)
+
 // Session drives the interactive fixing of a single tuple one round at a
 // time — the state machine under algorithm CertainFix, exposed for
 // frontends that cannot model the user as a callback (forms, REPLs,
@@ -41,6 +50,13 @@ type Session struct {
 	maxRounds  int
 	done       bool
 	perRound   []RoundStat
+
+	// dedup scratch for the per-round suggestion merge: an epoch-stamped
+	// dense array over attribute positions (bounded by arity), reused
+	// across rounds and — through the session pool — across tuples, so
+	// the merge allocates nothing after warm-up.
+	dedupEpoch uint32
+	dedupStamp []uint32
 }
 
 // NewSession starts a fixing session for one tuple; the input is copied.
@@ -58,9 +74,9 @@ func (m *Monitor) NewSession(input relation.Tuple) (*Session, error) {
 // passes a zero Session. Per-round snapshots are always freshly allocated
 // because they escape into Result.
 func (m *Monitor) initSession(s *Session, d *suggest.Deriver, input relation.Tuple) error {
-	r := m.deriver.Sigma().Schema()
+	r := d.Sigma().Schema()
 	if len(input) != r.Arity() {
-		return fmt.Errorf("monitor: tuple arity %d does not match schema %s", len(input), r)
+		return fmt.Errorf("monitor: tuple arity %d does not match schema %s: %w", len(input), r, ErrArityMismatch)
 	}
 	maxRounds := m.cfg.MaxRounds
 	if maxRounds <= 0 {
@@ -103,8 +119,18 @@ func (s *Session) Suggested() []int {
 // was hit).
 func (s *Session) Done() bool { return s.done }
 
+// Completed reports whether every attribute is validated — Result's
+// Completed field without the allocation of building a Result.
+func (s *Session) Completed() bool {
+	return s.zSet.Len() == s.d.Sigma().Schema().Arity()
+}
+
 // Rounds returns the interaction rounds consumed so far.
 func (s *Session) Rounds() int { return s.rounds }
+
+// Epoch returns the epoch of the master snapshot the session is pinned
+// to — the epoch a resumed session will try to re-pin (Versioned.At).
+func (s *Session) Epoch() uint64 { return s.d.Epoch() }
 
 // Tuple returns the current tuple state (copy).
 func (s *Session) Tuple() relation.Tuple { return s.t.Clone() }
@@ -118,20 +144,26 @@ func (s *Session) Validated() relation.AttrSet { return s.zSet.Clone() }
 // prepares the next suggestion.
 func (s *Session) Provide(attrs []int, values []relation.Value) error {
 	if s.done {
-		return errors.New("monitor: session already done")
+		return ErrSessionDone
 	}
 	if len(attrs) != len(values) {
-		return fmt.Errorf("monitor: %d attributes but %d values", len(attrs), len(values))
+		return fmt.Errorf("monitor: %d attributes but %d values: %w", len(attrs), len(values), ErrArityMismatch)
 	}
 	if len(attrs) == 0 {
 		s.done = true // the users declined: stop without completing
 		return nil
 	}
 	r := s.d.Sigma().Schema()
-	for i, p := range attrs {
+	// Validate every position before mutating anything: a failed Provide
+	// must leave the session exactly as it was, so long-lived sessions
+	// (and the service tokens derived from them) can retry after an
+	// input error without phantom validations.
+	for _, p := range attrs {
 		if p < 0 || p >= r.Arity() {
-			return fmt.Errorf("monitor: attribute position %d out of range", p)
+			return fmt.Errorf("monitor: attribute position %d out of range [0, %d): %w", p, r.Arity(), ErrArityMismatch)
 		}
+	}
+	for i, p := range attrs {
 		s.t[p] = values[i]
 		s.zSet.Add(p)
 		s.userSet.Add(p)
@@ -185,7 +217,7 @@ func (s *Session) Provide(attrs []int, values []relation.Value) error {
 		merged := make([]int, 0, len(sug)+len(conflicted))
 		merged = append(merged, sug...)
 		merged = append(merged, conflicted...)
-		s.sug = dedupInts(merged)
+		s.sug = s.dedupInts(merged)
 	}
 	if len(s.sug) == 0 {
 		for p := 0; p < r.Arity(); p++ {
@@ -197,9 +229,12 @@ func (s *Session) Provide(attrs []int, values []relation.Value) error {
 	return nil
 }
 
-// Result summarizes the session so far (or finally, once Done).
+// Result summarizes the session so far (or finally, once Done). It reads
+// the schema through the pinned deriver s.d — never through the shared
+// monitor — so a Result taken from a pooled or resumed session can only
+// observe the snapshot the session itself is bound to.
 func (s *Session) Result() Result {
-	r := s.m.deriver.Sigma().Schema()
+	r := s.d.Sigma().Schema()
 	return Result{
 		Tuple:         s.t.Clone(),
 		Rounds:        s.rounds,
@@ -208,4 +243,28 @@ func (s *Session) Result() Result {
 		AutoFixed:     s.autoSet.Clone(),
 		PerRound:      s.perRound,
 	}
+}
+
+// dedupInts removes duplicate attribute positions from xs in place,
+// keeping first occurrences in order. It runs on the session's
+// epoch-stamped scratch instead of allocating a map per round.
+func (s *Session) dedupInts(xs []int) []int {
+	s.dedupEpoch++
+	if s.dedupEpoch == 0 { // wrapped: stale stamps could collide
+		for i := range s.dedupStamp {
+			s.dedupStamp[i] = 0
+		}
+		s.dedupEpoch = 1
+	}
+	out := xs[:0]
+	for _, x := range xs {
+		for x >= len(s.dedupStamp) {
+			s.dedupStamp = append(s.dedupStamp, 0)
+		}
+		if s.dedupStamp[x] != s.dedupEpoch {
+			s.dedupStamp[x] = s.dedupEpoch
+			out = append(out, x)
+		}
+	}
+	return out
 }

@@ -1,0 +1,216 @@
+package monitor
+
+// This file implements suspend/resume for fix sessions: SessionState is
+// the full, serializable image of a Session's mutable state, and
+// ResumeSession rebuilds a live Session from it — possibly in a
+// different process, against a different Monitor built over the same
+// (Σ, Dm). Together they turn the interactive state machine of §5 into
+// the stateless-server pattern: a network frontend can hand the state to
+// the client as a token after every round and hold nothing itself.
+//
+// What is and is not captured:
+//
+//   - Everything the round loop reads or writes is captured: the working
+//     tuple, the three attribute sets (validated / user-asserted /
+//     rule-fixed), the pending suggestion, the no-progress and round
+//     counters, the round cap, the done flag and the per-round
+//     snapshots. A resumed session is therefore step-for-step identical
+//     to the uninterrupted one under CertainFix (no BDD cache).
+//   - The master snapshot is captured by reference: its epoch. Resume
+//     re-pins that epoch through the deriver (Versioned.At), so the
+//     resumed rounds observe exactly the Dm the earlier rounds did, even
+//     if the master head has moved on. When the epoch has been evicted
+//     from the snapshot ring the resume fails with an error matching
+//     master.ErrEpochEvicted unless ResumeOptions.RebaseToHead accepts
+//     re-pinning the current head instead.
+//   - The BDD cursor (CertainFix+) is deliberately NOT captured: it is a
+//     position inside one process's shared suggestion cache, meaningless
+//     in another process. Resume cold-restarts the traversal at the
+//     cache root. This is safe — cached suggestions are revalidated
+//     before use, and TransFix re-checks everything — but a resumed
+//     CertainFix+ session may spend different rounds than the
+//     uninterrupted run, exactly like the batch determinism caveat.
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/relation"
+)
+
+// SessionStateVersion is the format version stamped into serialized
+// session states; Resume rejects versions it does not know.
+const SessionStateVersion = 1
+
+// ErrBadState reports a session state that fails validation against the
+// resuming monitor's schema (wrong arity, out-of-range positions,
+// unknown version). Like the other sentinels it is matched with
+// errors.Is; the concrete error carries the detail.
+var ErrBadState = errors.New("monitor: invalid session state")
+
+// SessionState is the serializable image of a Session. It is a plain
+// data struct with a stable JSON encoding — relation.Value cells map to
+// native JSON (null / string / integer) and attribute sets to sorted
+// position lists — so it can round-trip through any JSON transport and
+// be inspected by non-Go clients. It contains no authentication: a
+// service exposing states as client-held tokens must sign or MAC them if
+// clients are untrusted (the state asserts which attributes are already
+// "user validated").
+type SessionState struct {
+	// Version is SessionStateVersion at serialization time.
+	Version int `json:"v"`
+	// Epoch is the pinned master snapshot's epoch.
+	Epoch uint64 `json:"epoch"`
+	// Tuple is the working tuple after the rounds so far.
+	Tuple relation.Tuple `json:"tuple"`
+	// Z is the set of validated attributes (user ∪ rule-fixed).
+	Z relation.AttrSet `json:"z"`
+	// User is the subset of Z the users asserted directly.
+	User relation.AttrSet `json:"user"`
+	// Auto is the subset of Z the rules fixed (TransFix cascades).
+	Auto relation.AttrSet `json:"auto"`
+	// Suggested is the pending suggestion for the next round.
+	Suggested []int `json:"sug"`
+	// NoProgress counts consecutive rounds in which TransFix fixed
+	// nothing (two trigger the mop-up suggestion).
+	NoProgress int `json:"noProgress"`
+	// Rounds is the number of interaction rounds consumed.
+	Rounds int `json:"rounds"`
+	// MaxRounds is the session's round cap.
+	MaxRounds int `json:"maxRounds"`
+	// Done marks a finished session.
+	Done bool `json:"done"`
+	// PerRound carries the per-round history feeding Result.PerRound.
+	PerRound []roundState `json:"perRound,omitempty"`
+}
+
+// roundState is the serialized form of one RoundStat.
+type roundState struct {
+	Suggested     []int            `json:"sug"`
+	UserValidated relation.AttrSet `json:"user"`
+	AutoFixed     relation.AttrSet `json:"auto"`
+	Tuple         relation.Tuple   `json:"tuple"`
+}
+
+// State captures the session's current state for suspension. The
+// returned struct shares no mutable storage with the session: the caller
+// may serialize it later, after further rounds, and still observe the
+// state as of this call.
+func (s *Session) State() *SessionState {
+	st := &SessionState{
+		Version:    SessionStateVersion,
+		Epoch:      s.d.Epoch(),
+		Tuple:      s.t.Clone(),
+		Z:          s.zSet.Clone(),
+		User:       s.userSet.Clone(),
+		Auto:       s.autoSet.Clone(),
+		Suggested:  append([]int(nil), s.sug...),
+		NoProgress: s.noProgress,
+		Rounds:     s.rounds,
+		MaxRounds:  s.maxRounds,
+		Done:       s.done,
+	}
+	if len(s.perRound) > 0 {
+		st.PerRound = make([]roundState, len(s.perRound))
+		for i, r := range s.perRound {
+			// RoundStat's slices and sets are immutable once recorded
+			// (Provide always builds fresh ones), so sharing is safe.
+			st.PerRound[i] = roundState(r)
+		}
+	}
+	return st
+}
+
+// ResumeOptions tunes ResumeSession.
+type ResumeOptions struct {
+	// RebaseToHead accepts re-pinning the currently published master
+	// snapshot when the state's original epoch has been evicted from the
+	// snapshot ring. The resumed rounds then run against newer master
+	// data than the earlier rounds did — every remaining suggestion and
+	// TransFix cascade is computed against the head snapshot, so the fix
+	// stays certain with respect to it, but the session loses the
+	// single-epoch guarantee and may suggest or fix differently than the
+	// uninterrupted run would have.
+	RebaseToHead bool
+}
+
+// ResumeSession rebuilds a live Session from a serialized state — the
+// other half of Session.State. The monitor must be built over the same
+// rules and master lineage; the state's epoch is re-pinned via the
+// deriver (an error matching master.ErrEpochEvicted when the ring no
+// longer retains it and opt.RebaseToHead is false). Structural
+// validation failures match ErrBadState.
+func (m *Monitor) ResumeSession(st *SessionState, opt ResumeOptions) (*Session, error) {
+	if st == nil {
+		return nil, fmt.Errorf("%w: nil state", ErrBadState)
+	}
+	if st.Version != SessionStateVersion {
+		return nil, fmt.Errorf("%w: version %d, want %d", ErrBadState, st.Version, SessionStateVersion)
+	}
+	r := m.deriver.Sigma().Schema()
+	arity := r.Arity()
+	if len(st.Tuple) != arity {
+		return nil, fmt.Errorf("%w: tuple arity %d does not match schema %s (%w)",
+			ErrBadState, len(st.Tuple), r, ErrArityMismatch)
+	}
+	for _, set := range []struct {
+		name string
+		set  relation.AttrSet
+	}{{"z", st.Z}, {"user", st.User}, {"auto", st.Auto}} {
+		ok := true
+		set.set.Range(func(p int) bool { ok = p < arity; return ok })
+		if !ok {
+			return nil, fmt.Errorf("%w: %s positions exceed arity %d", ErrBadState, set.name, arity)
+		}
+	}
+	for _, p := range st.Suggested {
+		if p < 0 || p >= arity {
+			return nil, fmt.Errorf("%w: suggested position %d out of range [0, %d)", ErrBadState, p, arity)
+		}
+	}
+	if st.Rounds < 0 || st.NoProgress < 0 {
+		return nil, fmt.Errorf("%w: negative counters", ErrBadState)
+	}
+
+	d, err := m.deriver.PinAt(st.Epoch)
+	if err != nil {
+		if !opt.RebaseToHead {
+			return nil, err
+		}
+		d = m.deriver.Pin()
+	}
+
+	// States from hand-built tokens may omit the cap; fall back to the
+	// resuming monitor's configuration exactly like initSession does, so
+	// a missing field can never exceed the operator-configured limit.
+	maxRounds := st.MaxRounds
+	if maxRounds <= 0 {
+		maxRounds = m.cfg.MaxRounds
+	}
+	if maxRounds <= 0 {
+		maxRounds = arity + 1
+	}
+	s := &Session{
+		m:          m,
+		d:          d,
+		t:          st.Tuple.Clone(),
+		zSet:       st.Z.Clone(),
+		userSet:    st.User.Clone(),
+		autoSet:    st.Auto.Clone(),
+		sug:        append([]int(nil), st.Suggested...),
+		noProgress: st.NoProgress,
+		rounds:     st.Rounds,
+		maxRounds:  maxRounds,
+		done:       st.Done,
+	}
+	if len(st.PerRound) > 0 {
+		s.perRound = make([]RoundStat, len(st.PerRound))
+		for i, r := range st.PerRound {
+			s.perRound[i] = RoundStat(r)
+		}
+	}
+	if m.cache != nil && !s.done {
+		s.cursor = m.cache.Cursor() // cold restart; see the file comment
+	}
+	return s, nil
+}

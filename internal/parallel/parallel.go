@@ -6,6 +6,7 @@
 package parallel
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"runtime/debug"
@@ -50,6 +51,14 @@ func Map[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
 	return MapWorkers(n, workers, func() func(i int) (T, error) { return fn })
 }
 
+// MapCtx is Map with cancellation: once ctx is done, no further jobs are
+// dispatched (in-flight jobs finish — fn is responsible for observing ctx
+// itself if jobs are long), and after the pool drains ctx's error is
+// returned when no job error preceded it.
+func MapCtx[T any](ctx context.Context, n, workers int, fn func(i int) (T, error)) ([]T, error) {
+	return MapWorkersCtx(ctx, n, workers, func() func(i int) (T, error) { return fn })
+}
+
 // MapWorkers is Map with per-worker state: newWorker runs once on each
 // worker goroutine and returns the job function that worker uses, so
 // workers can pin private scratch (e.g. a per-worker deriver) without
@@ -62,6 +71,13 @@ func Map[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
 // panicked. Without the recovery a worker-goroutine panic would kill the
 // whole process with a stack the caller cannot defend against.
 func MapWorkers[T any](n, workers int, newWorker func() func(i int) (T, error)) ([]T, error) {
+	return MapWorkersCtx(context.Background(), n, workers, newWorker)
+}
+
+// MapWorkersCtx is MapWorkers with the cancellation semantics of MapCtx.
+// Error precedence after the drain: worker panics re-raise first, then
+// the first job error, then ctx.Err().
+func MapWorkersCtx[T any](ctx context.Context, n, workers int, newWorker func() func(i int) (T, error)) ([]T, error) {
 	out := make([]T, n)
 	errs := make([]error, n)
 	pans := make([]*WorkerPanic, n)
@@ -90,8 +106,14 @@ func MapWorkers[T any](n, workers int, newWorker func() func(i int) (T, error)) 
 			}
 		}()
 	}
+	done := ctx.Done()
+feed:
 	for i := 0; i < n; i++ {
-		jobs <- i
+		select {
+		case jobs <- i:
+		case <-done:
+			break feed // cancelled: stop dispatching, let in-flight jobs finish
+		}
 	}
 	close(jobs)
 	wg.Wait()
@@ -107,6 +129,9 @@ func MapWorkers[T any](n, workers int, newWorker func() func(i int) (T, error)) 
 		if err != nil {
 			return nil, err
 		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -1,6 +1,7 @@
 package parallel
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -165,5 +166,59 @@ func TestMapZeroJobs(t *testing.T) {
 	out, err := Map(0, 4, func(i int) (int, error) { return i, nil })
 	if err != nil || len(out) != 0 {
 		t.Fatalf("Map(0) = (%v, %v)", out, err)
+	}
+}
+
+// TestMapCtxCancellation: a cancelled context stops dispatch, the call
+// returns ctx.Err(), and jobs dispatched after the cancellation never
+// ran.
+func TestMapCtxCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int32
+	_, err := MapCtx(ctx, 1000, 2, func(i int) (int, error) {
+		if ran.Add(1) == 4 {
+			cancel()
+		}
+		return i, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if n := ran.Load(); n >= 1000 {
+		t.Fatalf("all %d jobs ran despite cancellation", n)
+	}
+}
+
+// TestMapCtxJobErrorWins: a job error reported before cancellation takes
+// precedence over ctx.Err() after the drain.
+func TestMapCtxJobErrorWins(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	boom := errors.New("boom")
+	_, err := MapCtx(ctx, 8, 2, func(i int) (int, error) {
+		if i == 0 {
+			cancel()
+			return 0, boom
+		}
+		return i, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the job error", err)
+	}
+}
+
+// TestMapCtxBackground: with a background context MapCtx behaves exactly
+// like Map — all jobs run, results aligned.
+func TestMapCtxBackground(t *testing.T) {
+	out, err := MapCtx(context.Background(), 50, 4, func(i int) (int, error) {
+		return i * i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
 	}
 }

@@ -1,6 +1,7 @@
 package suggest
 
 import (
+	"fmt"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -57,6 +58,14 @@ type Deriver struct {
 	// Versioned-handle state.
 	ver  *master.Versioned
 	view atomic.Pointer[Deriver] // cached pinned view for the current epoch
+
+	// Historical-view cache for PinAt: in the stateless-server pattern
+	// every round of a pre-update session is a resume, so non-head views
+	// are worth keeping. Bounded by the master ring's retention; entries
+	// whose epoch was evicted are dropped so they cannot keep dead
+	// snapshots alive.
+	histMu    sync.Mutex
+	histViews []*Deriver
 }
 
 // derScratch bundles the per-call mutable state: the closure engine's
@@ -119,9 +128,74 @@ func (d *Deriver) Pin() *Deriver {
 	if v := d.view.Load(); v != nil && v.dm == snap {
 		return v
 	}
+	v := d.buildView(snap)
+	d.view.Store(v)
+	return v
+}
+
+// PinAt returns a view of the deriver bound to the master snapshot with
+// the given epoch — the resume path of a suspended fix session, which
+// must re-observe exactly the Dm it was suspended on. On a versioned
+// deriver the snapshot is served from the Versioned ring (an error
+// matching master.ErrEpochEvicted when no longer retained); a static
+// deriver only ever knows its own snapshot's epoch. Views are cached
+// per epoch — the head like Pin, historical epochs in a small cache
+// bounded by the ring's retention — so repeated resumes of the same
+// epoch (every round of a session in a stateless server) pay the
+// O(|Σ|) engine rebuild once, not per call.
+func (d *Deriver) PinAt(epoch uint64) (*Deriver, error) {
+	if d.ver == nil {
+		if d.dm.Epoch() == epoch {
+			return d, nil
+		}
+		return nil, fmt.Errorf("suggest: static deriver is bound to epoch %d, not %d: %w",
+			d.dm.Epoch(), epoch, master.ErrEpochEvicted)
+	}
+	snap, err := d.ver.At(epoch)
+	if err != nil {
+		return nil, err
+	}
+	if v := d.view.Load(); v != nil && v.dm == snap {
+		return v, nil
+	}
+	if d.ver.Current() == snap {
+		v := d.buildView(snap)
+		d.view.Store(v) // head view: cache it like Pin would
+		return v, nil
+	}
+	return d.histView(snap), nil
+}
+
+// histView serves a non-head pinned view from the historical cache,
+// building and inserting it on a miss. Stale entries — epochs the ring
+// no longer retains — are pruned on every insert.
+func (d *Deriver) histView(snap *master.Data) *Deriver {
+	d.histMu.Lock()
+	defer d.histMu.Unlock()
+	for _, v := range d.histViews {
+		if v.dm == snap {
+			return v
+		}
+	}
+	v := d.buildView(snap)
+	kept := d.histViews[:0]
+	for _, old := range d.histViews {
+		if s, err := d.ver.At(old.dm.Epoch()); err == nil && s == old.dm {
+			kept = append(kept, old)
+		}
+	}
+	d.histViews = append(kept, v)
+	if max := d.ver.History(); len(d.histViews) > max {
+		d.histViews = append([]*Deriver(nil), d.histViews[len(d.histViews)-max:]...)
+	}
+	return v
+}
+
+// buildView constructs a fresh snapshot-bound view sharing the handle's
+// immutable parts and scratch pool.
+func (d *Deriver) buildView(snap *master.Data) *Deriver {
 	v := &Deriver{sigma: d.sigma, actDom: d.actDom, sampleCap: d.sampleCap, pool: d.pool}
 	v.pinTo(snap)
-	d.view.Store(v)
 	return v
 }
 

@@ -10,21 +10,52 @@
 //
 // # Quick start
 //
+// Fixing is interactive: the system suggests attributes to validate, the
+// users answer, certain fixes cascade, repeat. The primary API models
+// each fix as a first-class, resumable session:
+//
 //	r := certainfix.StringSchema("order", "sku", "price", "desc")
 //	rm := certainfix.StringSchema("catalog", "sku", "price", "desc")
 //	rules, _ := certainfix.ParseRules(r, rm, `
 //	rule price: (sku ; sku) -> (price ; price) when sku != nil
 //	rule desc:  (sku ; sku) -> (desc ; desc)  when sku != nil
 //	`)
-//	sys, _ := certainfix.New(rules, masterRelation, certainfix.Options{})
+//	sys, _ := certainfix.New(rules, masterRelation)
+//
+//	sess, _ := sys.Begin(ctx, dirtyTuple)
+//	for !sess.Done() {
+//	    attrs := sess.Suggested()          // ask the users about these
+//	    values := askSomehow(attrs)        // minutes later, over a network...
+//	    if err := sess.Provide(attrs, values); err != nil { ... }
+//	}
+//	res := sess.Result()
+//
+// Sessions serialize: MarshalBinary produces a JSON token from which
+// System.Resume rebuilds the session — in a different process if need
+// be, re-pinning the master snapshot the session started on (see
+// UpdateMaster and WithMasterHistory). That is the stateless-server
+// pattern: a network frontend holds nothing between rounds because the
+// token round-trips through the client; cmd/certainfixd is a complete
+// HTTP service built this way.
+//
+// When the answers are available synchronously, the callback form is a
+// thin wrapper over a session:
+//
 //	res, _ := sys.Fix(dirtyTuple, user) // user answers suggestions
 //
-// See examples/ for complete programs and DESIGN.md for the architecture.
+// Errors are typed: ErrSessionDone, ErrArityMismatch, ErrInconsistent
+// (with *ConflictError details), ErrEpochEvicted and ErrBadToken all
+// match through errors.Is/As.
+//
+// See examples/ for complete programs (examples/resumable demonstrates
+// suspend/resume) and DESIGN.md for the architecture.
 package certainfix
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"strings"
 
 	"repro/internal/analysis"
 	"repro/internal/fix"
@@ -101,21 +132,62 @@ func ReadRules(r, rm *Schema, rd io.Reader) (*Rules, error) {
 	return rule.ParseRules(r, rm, rd)
 }
 
+// ParseRulesWithSchemas parses the self-contained rules-file format the
+// CLIs use: the rule DSL preceded by two schema headers declaring the
+// input and master schemas.
+//
+//	schema R: zip, ST, phn, ...
+//	master Rm: zip, ST, phn, ...
+//	rule h01: (zip ; zip) -> (ST ; ST) when zip != nil
+//
+// It returns both schemas alongside the parsed rule set.
+func ParseRulesWithSchemas(src string) (r, rm *Schema, rules *Rules, err error) {
+	var ruleLines []string
+	for ln, line := range strings.Split(src, "\n") {
+		trimmed := strings.TrimSpace(line)
+		switch {
+		case strings.HasPrefix(trimmed, "schema "):
+			r, err = parseSchemaHeader(trimmed, "schema ")
+		case strings.HasPrefix(trimmed, "master "):
+			rm, err = parseSchemaHeader(trimmed, "master ")
+		default:
+			ruleLines = append(ruleLines, line)
+		}
+		if err != nil {
+			return nil, nil, nil, fmt.Errorf("line %d: %w", ln+1, err)
+		}
+	}
+	if r == nil || rm == nil {
+		return nil, nil, nil, fmt.Errorf("certainfix: missing 'schema R: ...' or 'master Rm: ...' header")
+	}
+	rules, err = ParseRules(r, rm, strings.Join(ruleLines, "\n"))
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return r, rm, rules, nil
+}
+
+// parseSchemaHeader parses one 'schema name: a, b, c' header line.
+func parseSchemaHeader(line, prefix string) (*Schema, error) {
+	rest := strings.TrimPrefix(line, prefix)
+	name, attrs, ok := strings.Cut(rest, ":")
+	if !ok {
+		return nil, fmt.Errorf("certainfix: schema header needs 'name: attr, attr, ...'")
+	}
+	var names []string
+	for _, a := range strings.Split(attrs, ",") {
+		a = strings.TrimSpace(a)
+		if a == "" {
+			return nil, fmt.Errorf("certainfix: empty attribute in schema header")
+		}
+		names = append(names, a)
+	}
+	return StringSchema(strings.TrimSpace(name), names...), nil
+}
+
 // ReadCSV loads a relation from CSV with a header row matching the schema.
 func ReadCSV(schema *Schema, rd io.Reader) (*Relation, error) {
 	return relation.ReadCSV(schema, rd)
-}
-
-// Options configures a System.
-type Options struct {
-	// UseSuggestionCache enables CertainFix+ (the BDD cache of §5.2),
-	// which amortizes suggestion computation across a stream of tuples.
-	UseSuggestionCache bool
-	// InitialRegion selects the precomputed certain region seeding the
-	// first suggestion (0 = highest quality).
-	InitialRegion int
-	// MaxRounds caps user-interaction rounds per tuple (0 = arity + 1).
-	MaxRounds int
 }
 
 // System binds a rule set Σ and versioned master data Dm, precomputing
@@ -132,16 +204,28 @@ type System struct {
 // New builds a System. The master relation must be an instance of Σ's
 // master schema; it is assumed consistent and complete (the master-data
 // contract of the paper, §2) but no longer static — see UpdateMaster.
-func New(rules *Rules, masterRel *Relation, opts Options) (*System, error) {
+// Configuration is by functional options (the deprecated Options struct
+// still works in that position):
+//
+//	sys, err := certainfix.New(rules, masterRel,
+//	    certainfix.WithSuggestionCache(), certainfix.WithMaxRounds(4))
+func New(rules *Rules, masterRel *Relation, opts ...Option) (*System, error) {
+	var cfg Options
+	for _, o := range opts {
+		o.apply(&cfg)
+	}
 	dm, err := master.NewForRules(masterRel, rules)
 	if err != nil {
 		return nil, err
 	}
 	ver := master.NewVersioned(dm)
+	if cfg.MasterHistory > 0 {
+		ver.SetHistory(cfg.MasterHistory)
+	}
 	mon, err := monitor.NewVersioned(rules, ver, monitor.Config{
-		UseBDD:        opts.UseSuggestionCache,
-		InitialRegion: opts.InitialRegion,
-		MaxRounds:     opts.MaxRounds,
+		UseBDD:        cfg.UseSuggestionCache,
+		InitialRegion: cfg.InitialRegion,
+		MaxRounds:     cfg.MaxRounds,
 	})
 	if err != nil {
 		return nil, err
@@ -188,9 +272,19 @@ func (s *System) Schema() *Schema { return s.sigma.Schema() }
 func (s *System) Regions() []RegionCandidate { return s.mon.Regions() }
 
 // Fix interactively finds a certain fix for one input tuple (algorithm
-// CertainFix, Fig. 3 of the paper). The input is not mutated.
+// CertainFix, Fig. 3 of the paper), driving the user callback over a
+// session — a thin wrapper over Begin/Provide/Result for callers whose
+// answers are available synchronously. The input is not mutated.
 func (s *System) Fix(t Tuple, user User) (Result, error) {
-	return s.mon.Fix(t, user)
+	return s.FixContext(context.Background(), t, user)
+}
+
+// FixContext is Fix with cancellation: the context is observed at every
+// round boundary, so a deadline or cancellation interrupts the fix
+// between rounds and returns the context's error. To suspend work
+// instead of abandoning it, use Begin and serialize the session.
+func (s *System) FixContext(ctx context.Context, t Tuple, user User) (Result, error) {
+	return s.mon.FixCtx(ctx, t, user)
 }
 
 // FixBatch fixes many input tuples concurrently on a bounded worker pool,
@@ -198,7 +292,32 @@ func (s *System) Fix(t Tuple, user User) (Result, error) {
 // without the suggestion cache, byte-identical to a sequential Fix loop.
 // workers ≤ 0 selects GOMAXPROCS.
 func (s *System) FixBatch(inputs []Tuple, userFor func(i int) User, workers int) ([]Result, error) {
-	return s.mon.FixBatch(inputs, userFor, monitor.BatchOptions{Workers: workers})
+	return s.FixBatchContext(context.Background(), inputs, userFor, workers)
+}
+
+// FixBatchContext is FixBatch with cancellation: once ctx is done no
+// further tuples are dispatched, in-flight fixes stop at their next
+// round boundary, and the call reports the context's error after the
+// pool drains (a fix error still wins).
+func (s *System) FixBatchContext(ctx context.Context, inputs []Tuple, userFor func(i int) User, workers int) ([]Result, error) {
+	return s.mon.FixBatchCtx(ctx, inputs, userFor, monitor.BatchOptions{Workers: workers})
+}
+
+// StreamRequest is one unit of work for FixStream; ID is a caller-chosen
+// correlation id echoed on the response.
+type StreamRequest = monitor.StreamRequest
+
+// StreamResult is the outcome of one StreamRequest.
+type StreamResult = monitor.StreamResult
+
+// FixStream consumes requests until in is closed or ctx is done, fixing
+// them concurrently, and emits one StreamResult per request in
+// completion order (correlate by ID). The returned channel is closed
+// after the last result — the entry-point-shaped API of the paper's
+// monitoring framework for services that fix tuples as they arrive.
+// workers ≤ 0 selects GOMAXPROCS.
+func (s *System) FixStream(ctx context.Context, in <-chan StreamRequest, workers int) <-chan StreamResult {
+	return s.mon.FixStreamCtx(ctx, in, monitor.BatchOptions{Workers: workers})
 }
 
 // Repair is one RepairBatch outcome; fields mirror RepairOnce's returns.
@@ -215,11 +334,29 @@ type Repair struct {
 // abort the batch (matching the per-tuple error handling of cmd/certainfix).
 // workers ≤ 0 selects GOMAXPROCS.
 func (s *System) RepairBatch(inputs []Tuple, validated []int, workers int) []Repair {
-	out, _ := parallel.Map(len(inputs), workers, func(i int) (Repair, error) {
+	out, err := s.RepairBatchContext(context.Background(), inputs, validated, workers)
+	if err != nil {
+		// Unreachable by construction: the job function reports per-tuple
+		// failures inside Repair.Err and never returns an error, worker
+		// panics re-raise as panics, and a background context cannot be
+		// cancelled — those are the only error sources in the
+		// internal/parallel contract. Panic rather than drop the error so
+		// a future contract change cannot be silently swallowed (the bug
+		// this replaces: `out, _ :=` discarded the error unconditionally).
+		panic("certainfix: RepairBatch: unreachable error from parallel map: " + err.Error())
+	}
+	return out
+}
+
+// RepairBatchContext is RepairBatch with cancellation: once ctx is done
+// no further tuples are dispatched and the call returns the context's
+// error after the pool drains. Per-tuple repair failures are still
+// reported in place (Repair.Err), never as the call error.
+func (s *System) RepairBatchContext(ctx context.Context, inputs []Tuple, validated []int, workers int) ([]Repair, error) {
+	return parallel.MapCtx(ctx, len(inputs), workers, func(i int) (Repair, error) {
 		t, z, fixed, err := s.RepairOnce(inputs[i], validated)
 		return Repair{Tuple: t, Validated: z, Fixed: fixed, Err: err}, nil
 	})
-	return out
 }
 
 // RepairOnce applies every certain fix that follows from the attributes

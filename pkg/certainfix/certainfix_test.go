@@ -137,3 +137,23 @@ func TestSystemWithCache(t *testing.T) {
 		}
 	}
 }
+
+func TestParseRulesWithSchemas(t *testing.T) {
+	r, rm, rules, err := certainfix.ParseRulesWithSchemas(`
+schema R: K, V
+master Rm: K, V
+rule kv: (K ; K) -> (V ; V) when K != nil
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Arity() != 2 || rm.Arity() != 2 || rules.Len() != 1 {
+		t.Fatalf("r=%v rm=%v rules=%d", r, rm, rules.Len())
+	}
+	if _, _, _, err := certainfix.ParseRulesWithSchemas("rule kv: (K ; K) -> (V ; V)"); err == nil {
+		t.Fatal("missing headers must error")
+	}
+	if _, _, _, err := certainfix.ParseRulesWithSchemas("schema R: \nmaster Rm: K"); err == nil {
+		t.Fatal("empty attribute must error")
+	}
+}

@@ -1,0 +1,35 @@
+package certainfix
+
+import (
+	"repro/internal/fix"
+	"repro/internal/master"
+	"repro/internal/monitor"
+)
+
+// Typed error sentinels, for errors.Is. All System entry points wrap
+// their failures so these match across the package boundary.
+var (
+	// ErrSessionDone reports Provide on a finished session.
+	ErrSessionDone = monitor.ErrSessionDone
+	// ErrArityMismatch reports tuples or attribute/value lists whose
+	// shape does not fit the schema.
+	ErrArityMismatch = monitor.ErrArityMismatch
+	// ErrBadToken reports a session token that fails structural
+	// validation against the resuming system.
+	ErrBadToken = monitor.ErrBadState
+	// ErrEpochEvicted reports a Resume whose pinned master epoch is no
+	// longer retained in the snapshot ring; resume with RebaseToHead or
+	// enlarge the ring (WithMasterHistory).
+	ErrEpochEvicted = master.ErrEpochEvicted
+	// ErrInconsistent reports that no certain fix exists under the
+	// asserted values: applicable rule/master pairs conflict. Concrete
+	// failures are *ConflictError values carrying the disputed attribute
+	// and candidate values; errors.Is(err, ErrInconsistent) matches them.
+	ErrInconsistent = fix.ErrInconsistent
+)
+
+// ConflictError carries the witness of an inconsistency: the attribute
+// two applicable rule/master pairs disagree on and the conflicting
+// values. Retrieve it with errors.As; it matches ErrInconsistent under
+// errors.Is.
+type ConflictError = fix.ConflictError

@@ -7,12 +7,15 @@ import (
 	"repro/internal/relation"
 )
 
-// Session is the step-wise interactive API: obtain suggestions and
-// provide asserted values one round at a time (for form UIs, REPLs or
-// services that cannot model the user as a callback).
+// Session is the internal step-wise session type.
+//
+// Deprecated: use FixSession via System.Begin, which adds context
+// awareness and serialization (suspend/resume across processes).
 type Session = monitor.Session
 
 // NewSession starts a step-wise fixing session for one tuple.
+//
+// Deprecated: use System.Begin.
 func (s *System) NewSession(t Tuple) (*Session, error) {
 	return s.mon.NewSession(t)
 }

@@ -1,0 +1,75 @@
+package certainfix
+
+// Option configures a System at construction. Options are applied in the
+// order given to New, later ones overriding earlier ones.
+//
+//	sys, err := certainfix.New(rules, masterRel,
+//	    certainfix.WithSuggestionCache(),
+//	    certainfix.WithMaxRounds(4))
+type Option interface {
+	apply(*Options)
+}
+
+// optionFunc adapts a function to the Option interface.
+type optionFunc func(*Options)
+
+func (f optionFunc) apply(o *Options) { f(o) }
+
+// Options configures a System as one struct.
+//
+// Deprecated: pass functional options (WithSuggestionCache, WithMaxRounds,
+// ...) to New instead. Options is retained as a compatibility shim — it
+// implements Option, so existing New(rules, master, Options{...}) calls
+// keep compiling — but note that applying an Options value overwrites
+// every field set by options before it in the argument list.
+type Options struct {
+	// UseSuggestionCache enables CertainFix+ (the BDD cache of §5.2),
+	// which amortizes suggestion computation across a stream of tuples.
+	UseSuggestionCache bool
+	// InitialRegion selects the precomputed certain region seeding the
+	// first suggestion (0 = highest quality).
+	InitialRegion int
+	// MaxRounds caps user-interaction rounds per tuple (0 = arity + 1).
+	MaxRounds int
+	// MasterHistory bounds how many recent master snapshots the system
+	// retains for session resume (0 = master.DefaultHistory). A resumed
+	// session re-pins its original epoch only while that epoch is
+	// retained; see System.Resume.
+	MasterHistory int
+}
+
+// apply implements Option: the whole struct replaces the accumulated
+// configuration (the historical semantics of the Options parameter).
+func (o Options) apply(dst *Options) { *dst = o }
+
+// WithSuggestionCache enables CertainFix+ (the shared BDD suggestion
+// cache of §5.2). Note the determinism caveat on FixBatch, and the
+// cold-restart caveat on Resume: a resumed session re-enters the cache
+// at the root.
+func WithSuggestionCache() Option {
+	return optionFunc(func(o *Options) { o.UseSuggestionCache = true })
+}
+
+// WithInitialRegion selects which precomputed certain region seeds the
+// first suggestion (0 = highest quality; out-of-range clamps to the
+// lowest-quality candidate).
+func WithInitialRegion(i int) Option {
+	return optionFunc(func(o *Options) { o.InitialRegion = i })
+}
+
+// WithMaxRounds caps user-interaction rounds per tuple (n <= 0 restores
+// the default, arity + 1). The cap is captured into each session's
+// serialized state, so a resumed session keeps the cap it began with.
+func WithMaxRounds(n int) Option {
+	return optionFunc(func(o *Options) { o.MaxRounds = n })
+}
+
+// WithMasterHistory bounds the master snapshot ring to n epochs
+// including the head (n <= 0 restores master.DefaultHistory; the head is
+// always retained). Larger rings let sessions stay suspended across more
+// UpdateMaster publishes before resume falls back to ErrEpochEvicted /
+// RebaseToHead; retained snapshots share storage copy-on-write, so the
+// cost per epoch is the delta overlays, not a copy of Dm.
+func WithMasterHistory(n int) Option {
+	return optionFunc(func(o *Options) { o.MasterHistory = n })
+}

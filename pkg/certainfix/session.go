@@ -1,0 +1,171 @@
+package certainfix
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/monitor"
+)
+
+// SessionState is the serializable image of a fix session — everything
+// the round loop reads or writes, plus the pinned master epoch. Its JSON
+// form is the session token of the stateless-server pattern: values map
+// to native JSON (null / string / integer) and attribute sets to sorted
+// position lists, so non-Go clients can inspect and store it.
+//
+// Tokens carry no authentication. A service handing them to untrusted
+// clients must sign or MAC them: the state asserts which attributes are
+// already "user validated".
+type SessionState = monitor.SessionState
+
+// FixSession is a first-class, resumable fixing session for one tuple —
+// the interactive state machine of §5 (Fig. 2/3) with its user
+// interaction turned inside out: instead of supplying a callback, the
+// caller asks for Suggested attributes, gathers answers at its own pace
+// (a form, a queue, a network round-trip that completes minutes later),
+// and feeds them back through Provide.
+//
+//	sess, _ := sys.Begin(ctx, dirty)
+//	for !sess.Done() {
+//	    attrs := sess.Suggested()
+//	    // ... ask the users about attrs; possibly suspend here:
+//	    // token, _ := sess.MarshalBinary() → client; later:
+//	    // sess, _ = sys.Resume(ctx, token)
+//	    if err := sess.Provide(attrs, values); err != nil { ... }
+//	}
+//	res := sess.Result()
+//
+// A session pins the master snapshot current at Begin for its whole
+// lifetime (including across suspend/resume while the epoch is
+// retained), so concurrent UpdateMaster publishes never make rounds of
+// one session disagree about Dm. Sessions are not safe for concurrent
+// use; one session belongs to one interaction flow.
+type FixSession struct {
+	ctx  context.Context
+	sess *monitor.Session
+}
+
+// Begin starts a resumable fix session for one input tuple (copied, not
+// mutated). The context governs the session's subsequent calls: Provide
+// fails with the context's error once it is done. A nil ctx means
+// context.Background().
+func (s *System) Begin(ctx context.Context, t Tuple) (*FixSession, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	sess, err := s.mon.NewSession(t)
+	if err != nil {
+		return nil, err
+	}
+	return &FixSession{ctx: ctx, sess: sess}, nil
+}
+
+// ResumeOption tunes Resume.
+type ResumeOption interface {
+	applyResume(*monitor.ResumeOptions)
+}
+
+type resumeOptionFunc func(*monitor.ResumeOptions)
+
+func (f resumeOptionFunc) applyResume(o *monitor.ResumeOptions) { f(o) }
+
+// RebaseToHead lets Resume re-pin the currently published master
+// snapshot when the token's original epoch has been evicted from the
+// snapshot ring. The resumed rounds then run against newer master data:
+// every remaining suggestion and cascade is computed against the head,
+// so the fix stays certain with respect to it, but the session loses the
+// single-epoch guarantee and may interact differently than the
+// uninterrupted run would have.
+func RebaseToHead() ResumeOption {
+	return resumeOptionFunc(func(o *monitor.ResumeOptions) { o.RebaseToHead = true })
+}
+
+// Resume rebuilds a live session from a token produced by MarshalBinary
+// — in this process or another one, as long as the System was built over
+// the same rules and master lineage. The token's pinned epoch is
+// re-pinned from the snapshot ring; if it has been evicted the resume
+// fails with ErrEpochEvicted unless RebaseToHead is given. Malformed
+// tokens fail with ErrBadToken.
+func (s *System) Resume(ctx context.Context, token []byte, opts ...ResumeOption) (*FixSession, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	var st monitor.SessionState
+	if err := json.Unmarshal(token, &st); err != nil {
+		return nil, fmt.Errorf("certainfix: parse session token: %w (%w)", err, ErrBadToken)
+	}
+	return s.ResumeState(ctx, &st, opts...)
+}
+
+// ResumeState is Resume for callers that already hold a decoded
+// SessionState (an HTTP handler embedding the token as a JSON object,
+// for example).
+func (s *System) ResumeState(ctx context.Context, st *SessionState, opts ...ResumeOption) (*FixSession, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	var ro monitor.ResumeOptions
+	for _, o := range opts {
+		o.applyResume(&ro)
+	}
+	sess, err := s.mon.ResumeSession(st, ro)
+	if err != nil {
+		return nil, err
+	}
+	return &FixSession{ctx: ctx, sess: sess}, nil
+}
+
+// Suggested returns the attribute positions the users should assert this
+// round (a copy; empty once the session is done).
+func (fs *FixSession) Suggested() []int { return fs.sess.Suggested() }
+
+// Provide runs one round: the users assert t[attrs] = values (aligned
+// slices; attrs may differ from Suggested — §5's "S may not necessarily
+// be the same as sug"). Providing no attributes aborts the session:
+// Done becomes true with Result().Completed false. Fails with the
+// context's error when the session's context is done, ErrSessionDone
+// after the session finished, ErrArityMismatch on misaligned input, and
+// surfaces *ConflictError (matching ErrInconsistent) only through the
+// suggestion flow — conflicts are routed back to the users, never
+// guessed at.
+func (fs *FixSession) Provide(attrs []int, values []Value) error {
+	if err := fs.ctx.Err(); err != nil {
+		return err
+	}
+	return fs.sess.Provide(attrs, values)
+}
+
+// Done reports whether the session finished (all attributes validated,
+// the round cap hit, or the users declined).
+func (fs *FixSession) Done() bool { return fs.sess.Done() }
+
+// Completed reports whether every attribute is validated (Done can also
+// mean the cap was hit or the users declined).
+func (fs *FixSession) Completed() bool { return fs.sess.Completed() }
+
+// Rounds returns the interaction rounds consumed so far.
+func (fs *FixSession) Rounds() int { return fs.sess.Rounds() }
+
+// Tuple returns the current working tuple (copy).
+func (fs *FixSession) Tuple() Tuple { return fs.sess.Tuple() }
+
+// Validated returns the currently validated attribute set (copy).
+func (fs *FixSession) Validated() AttrSet { return fs.sess.Validated() }
+
+// Epoch returns the pinned master epoch — the epoch Resume will try to
+// re-pin.
+func (fs *FixSession) Epoch() uint64 { return fs.sess.Epoch() }
+
+// Result summarizes the session so far (or finally, once Done).
+func (fs *FixSession) Result() Result { return fs.sess.Result() }
+
+// State captures the session's serializable state. The result shares no
+// mutable storage with the session.
+func (fs *FixSession) State() *SessionState { return fs.sess.State() }
+
+// MarshalBinary implements encoding.BinaryMarshaler: the session token,
+// a JSON encoding of State suitable for Resume in another process.
+func (fs *FixSession) MarshalBinary() ([]byte, error) {
+	return json.Marshal(fs.sess.State())
+}

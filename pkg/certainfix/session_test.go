@@ -1,0 +1,323 @@
+package certainfix_test
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"testing"
+
+	"repro/internal/paperex"
+	"repro/pkg/certainfix"
+)
+
+// truthT2 is the ground truth for t2: s1's address block given
+// (type, AC, phn), the remainder as entered.
+func truthT2() certainfix.Tuple {
+	return certainfix.StringTuple(
+		"Robert", "Brady", "131", "6884563", "1",
+		"51 Elm Row", "Edi", "EH7 4AH", "CD")
+}
+
+func newPaperSystem(t *testing.T, opts ...certainfix.Option) *certainfix.System {
+	t.Helper()
+	sys, err := certainfix.New(paperex.Sigma0(), paperex.MasterRelation(), opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+// driveToEnd answers every suggestion from truth until the session is
+// done.
+func driveToEnd(t *testing.T, sess *certainfix.FixSession, truth certainfix.Tuple) certainfix.Result {
+	t.Helper()
+	for !sess.Done() {
+		provideRound(t, sess, truth)
+	}
+	return sess.Result()
+}
+
+func provideRound(t *testing.T, sess *certainfix.FixSession, truth certainfix.Tuple) {
+	t.Helper()
+	attrs := sess.Suggested()
+	values := make([]certainfix.Value, len(attrs))
+	for i, p := range attrs {
+		values[i] = truth[p]
+	}
+	if err := sess.Provide(attrs, values); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func canonical(t *testing.T, r certainfix.Result) string {
+	t.Helper()
+	b, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// TestBeginMatchesFix: driving a FixSession produces the same result as
+// the callback Fix (which is now a wrapper over sessions).
+func TestBeginMatchesFix(t *testing.T) {
+	sys := newPaperSystem(t)
+	truth := truthT2()
+	viaFix, err := sys.Fix(paperex.InputT2(), certainfix.SimulatedUser{Truth: truth})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := sys.Begin(context.Background(), paperex.InputT2())
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaSession := driveToEnd(t, sess, truth)
+	if canonical(t, viaSession) != canonical(t, viaFix) {
+		t.Fatalf("session result diverged from Fix:\n got  %s\n want %s",
+			canonical(t, viaSession), canonical(t, viaFix))
+	}
+}
+
+// TestTokenResumeInSeparateSystem is the headline acceptance scenario: a
+// session serialized after round 1 and resumed in a *separate* System
+// instance (same rules + master) produces a Result byte-identical to
+// the uninterrupted Fix.
+func TestTokenResumeInSeparateSystem(t *testing.T) {
+	truth := truthT2()
+	sysA := newPaperSystem(t)
+	want, err := sysA.Fix(paperex.InputT2(), certainfix.SimulatedUser{Truth: truth})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.Rounds < 2 {
+		t.Fatalf("fixture must need ≥ 2 rounds, got %d", want.Rounds)
+	}
+
+	sess, err := sysA.Begin(context.Background(), paperex.InputT2())
+	if err != nil {
+		t.Fatal(err)
+	}
+	provideRound(t, sess, truth)
+	token, err := sess.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// "Different process": an independently constructed System over the
+	// same rules and master relation.
+	sysB := newPaperSystem(t)
+	resumed, err := sysB.Resume(context.Background(), token)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed.Rounds() != 1 {
+		t.Fatalf("resumed rounds = %d, want 1", resumed.Rounds())
+	}
+	got := driveToEnd(t, resumed, truth)
+	if canonical(t, got) != canonical(t, want) {
+		t.Fatalf("resumed result diverged:\n got  %s\n want %s",
+			canonical(t, got), canonical(t, want))
+	}
+}
+
+// TestResumeUnderConcurrentUpdateMaster: an UpdateMaster lands while the
+// session is suspended; the resumed session re-pins its original epoch
+// via the snapshot ring and finishes byte-identically to the
+// uninterrupted run.
+func TestResumeUnderConcurrentUpdateMaster(t *testing.T) {
+	truth := truthT2()
+	sys := newPaperSystem(t)
+	want, err := sys.Fix(paperex.InputT2(), certainfix.SimulatedUser{Truth: truth})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sess, err := sys.Begin(context.Background(), paperex.InputT2())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e0 := sess.Epoch()
+	provideRound(t, sess, truth)
+	token, err := sess.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Master moves on: delete both master tuples, leaving the head with
+	// an empty Dm — a session observing the head could fix nothing.
+	epoch, err := sys.UpdateMaster(nil, []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if epoch == e0 || sys.MasterLen() != 0 {
+		t.Fatalf("head epoch=%d |Dm|=%d after update", epoch, sys.MasterLen())
+	}
+
+	resumed, err := sys.Resume(context.Background(), token)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed.Epoch() != e0 {
+		t.Fatalf("resumed epoch = %d, want original %d", resumed.Epoch(), e0)
+	}
+	got := driveToEnd(t, resumed, truth)
+	if canonical(t, got) != canonical(t, want) {
+		t.Fatalf("resume under update diverged:\n got  %s\n want %s",
+			canonical(t, got), canonical(t, want))
+	}
+}
+
+// TestResumeEvictionAndRebase: with a single-slot snapshot ring the
+// original epoch is evicted by the next update; Resume fails with
+// ErrEpochEvicted and RebaseToHead is the documented escape hatch.
+func TestResumeEvictionAndRebase(t *testing.T) {
+	truth := truthT2()
+	sys := newPaperSystem(t, certainfix.WithMasterHistory(1))
+	sess, err := sys.Begin(context.Background(), paperex.InputT2())
+	if err != nil {
+		t.Fatal(err)
+	}
+	provideRound(t, sess, truth)
+	token, err := sess.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := sys.UpdateMaster([]certainfix.Tuple{certainfix.StringTuple(
+		"Jane", "Doe", "999", "5551234", "070000000",
+		"1 Test St", "Tst", "ZZ1 1ZZ", "01/01/70", "F")}, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := sys.Resume(context.Background(), token); !errors.Is(err, certainfix.ErrEpochEvicted) {
+		t.Fatalf("resume after eviction = %v, want ErrEpochEvicted", err)
+	}
+	resumed, err := sys.Resume(context.Background(), token, certainfix.RebaseToHead())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed.Epoch() != sys.MasterEpoch() {
+		t.Fatalf("rebased epoch = %d, want head %d", resumed.Epoch(), sys.MasterEpoch())
+	}
+	res := driveToEnd(t, resumed, truth)
+	if !res.Completed || !res.Tuple.Equal(truth) {
+		t.Fatalf("rebased session: completed=%v tuple=%v", res.Completed, res.Tuple)
+	}
+}
+
+// TestResumeBadToken: garbage and structurally invalid tokens fail with
+// ErrBadToken.
+func TestResumeBadToken(t *testing.T) {
+	sys := newPaperSystem(t)
+	if _, err := sys.Resume(context.Background(), []byte("{not json")); !errors.Is(err, certainfix.ErrBadToken) {
+		t.Fatalf("garbage token = %v, want ErrBadToken", err)
+	}
+	if _, err := sys.Resume(context.Background(), []byte(`{"v":1,"tuple":["only-one"]}`)); !errors.Is(err, certainfix.ErrBadToken) {
+		t.Fatalf("short-tuple token = %v, want ErrBadToken", err)
+	}
+	if _, err := sys.Resume(context.Background(), []byte(`{"v":99}`)); !errors.Is(err, certainfix.ErrBadToken) {
+		t.Fatalf("future-version token = %v, want ErrBadToken", err)
+	}
+}
+
+// TestFunctionalOptions: option constructors configure the system, and
+// the deprecated Options struct still works in the variadic slot.
+func TestFunctionalOptions(t *testing.T) {
+	capped := newPaperSystem(t, certainfix.WithMaxRounds(1))
+	sess, err := capped.Begin(context.Background(), paperex.InputT4())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := driveToEnd(t, sess, paperex.InputT4())
+	if res.Rounds != 1 || res.Completed {
+		t.Fatalf("WithMaxRounds(1): rounds=%d completed=%v", res.Rounds, res.Completed)
+	}
+
+	shim := newPaperSystem(t, certainfix.Options{MaxRounds: 1})
+	res2, err := shim.Fix(paperex.InputT4(), certainfix.SimulatedUser{Truth: paperex.InputT4()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Rounds != 1 || res2.Completed {
+		t.Fatalf("Options shim: rounds=%d completed=%v", res2.Rounds, res2.Completed)
+	}
+
+	// Later options override earlier ones.
+	mixed := newPaperSystem(t, certainfix.Options{MaxRounds: 1}, certainfix.WithMaxRounds(0))
+	res3, err := mixed.Fix(paperex.InputT4(), certainfix.SimulatedUser{Truth: paperex.InputT4()})
+	if err != nil || !res3.Completed {
+		t.Fatalf("override: res=%+v err=%v", res3, err)
+	}
+}
+
+// TestContextThreading: cancellation is observed by FixContext,
+// FixSession.Provide, FixBatchContext and RepairBatchContext.
+func TestContextThreading(t *testing.T) {
+	sys := newPaperSystem(t)
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	if _, err := sys.FixContext(cancelled, paperex.InputT1(), certainfix.SimulatedUser{Truth: truthT2()}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("FixContext = %v, want context.Canceled", err)
+	}
+
+	sess, err := sys.Begin(cancelled, paperex.InputT1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Provide([]int{0}, []certainfix.Value{certainfix.String("x")}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Provide under cancelled ctx = %v, want context.Canceled", err)
+	}
+
+	inputs := []certainfix.Tuple{paperex.InputT4()}
+	if _, err := sys.FixBatchContext(cancelled, inputs, func(i int) certainfix.User {
+		return certainfix.SimulatedUser{Truth: inputs[i]}
+	}, 2); !errors.Is(err, context.Canceled) {
+		t.Fatalf("FixBatchContext = %v, want context.Canceled", err)
+	}
+
+	if _, err := sys.RepairBatchContext(cancelled, inputs, nil, 2); !errors.Is(err, context.Canceled) {
+		t.Fatalf("RepairBatchContext = %v, want context.Canceled", err)
+	}
+
+	// FixStream drains and closes on cancellation.
+	in := make(chan certainfix.StreamRequest)
+	out := sys.FixStream(cancelled, in, 2)
+	if _, ok := <-out; ok {
+		t.Fatal("stream under cancelled ctx must close without results")
+	}
+}
+
+// TestTypedSentinelsSurface: the re-exported sentinels match errors from
+// the public entry points.
+func TestTypedSentinelsSurface(t *testing.T) {
+	sys := newPaperSystem(t)
+
+	if _, err := sys.Begin(context.Background(), certainfix.StringTuple("short")); !errors.Is(err, certainfix.ErrArityMismatch) {
+		t.Fatalf("Begin short tuple = %v, want ErrArityMismatch", err)
+	}
+
+	sess, err := sys.Begin(context.Background(), paperex.InputT1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Provide(nil, nil); err != nil { // abort
+		t.Fatal(err)
+	}
+	err = sess.Provide([]int{0}, []certainfix.Value{certainfix.Null})
+	if !errors.Is(err, certainfix.ErrSessionDone) {
+		t.Fatalf("Provide after abort = %v, want ErrSessionDone", err)
+	}
+
+	// t3 with both key groups validated: ϕ-rules disagree → the repair
+	// path surfaces ErrInconsistent with ConflictError details.
+	r := sys.Schema()
+	_, _, _, err = sys.RepairOnce(paperex.InputT3(), r.MustPosList("zip", "AC", "phn", "type"))
+	if !errors.Is(err, certainfix.ErrInconsistent) {
+		t.Fatalf("conflicting repair = %v, want ErrInconsistent", err)
+	}
+	var ce *certainfix.ConflictError
+	if !errors.As(err, &ce) || len(ce.Values) < 2 {
+		t.Fatalf("conflict details missing: %v", err)
+	}
+}
