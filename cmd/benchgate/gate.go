@@ -1,0 +1,227 @@
+package main
+
+// Parsing and comparison logic for the CI perf-regression gate, separated
+// from main so the unit tests drive it directly.
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Measurement is one benchmark's observed numbers.
+type Measurement struct {
+	NsOp      float64
+	BOp       float64
+	AllocsOp  float64
+	HasAllocs bool // -benchmem columns present
+	Samples   int
+}
+
+// benchLine matches one `go test -bench` result line, e.g.
+//
+//	BenchmarkProbeAlloc/hit-8   9303972   118.6 ns/op   0 B/op   0 allocs/op
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+(.*)$`)
+
+// ParseBenchOutput extracts measurements from `go test -bench` output.
+// The trailing -N GOMAXPROCS suffix is stripped from names. When a
+// benchmark appears several times (-count, or several input files), the
+// minimum ns/op is kept — the least-noise estimate — and the maximum
+// allocs/op, the conservative choice for the no-new-allocations gate.
+func ParseBenchOutput(r io.Reader) (map[string]Measurement, error) {
+	out := map[string]Measurement{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		name, rest := m[1], m[2]
+		meas, ok := parseMetrics(rest)
+		if !ok {
+			continue
+		}
+		prev, seen := out[name]
+		if !seen {
+			meas.Samples = 1
+			out[name] = meas
+			continue
+		}
+		if meas.NsOp < prev.NsOp {
+			prev.NsOp = meas.NsOp
+		}
+		if meas.HasAllocs {
+			prev.HasAllocs = true
+			if meas.AllocsOp > prev.AllocsOp {
+				prev.AllocsOp = meas.AllocsOp
+				prev.BOp = meas.BOp
+			}
+		}
+		prev.Samples++
+		out[name] = prev
+	}
+	return out, sc.Err()
+}
+
+// parseMetrics reads the "value unit" pairs after the iteration count.
+func parseMetrics(rest string) (Measurement, bool) {
+	fields := strings.Fields(rest)
+	var meas Measurement
+	ok := false
+	for i := 0; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Measurement{}, false
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			meas.NsOp = v
+			ok = true
+		case "B/op":
+			meas.BOp = v
+		case "allocs/op":
+			meas.AllocsOp = v
+			meas.HasAllocs = true
+		}
+	}
+	return meas, ok
+}
+
+// BaselineEntry is one benchmark's recorded reference numbers (the
+// BENCH_*.json "results" format shared with the per-PR bench records).
+type BaselineEntry struct {
+	NsOp     float64 `json:"ns_op"`
+	BOp      float64 `json:"b_op"`
+	AllocsOp float64 `json:"allocs_op"`
+}
+
+// baselineDoc is the checked-in BENCH_*.json shape; fields beyond results
+// are descriptive metadata.
+type baselineDoc struct {
+	Date      string                   `json:"date,omitempty"`
+	PR        int                      `json:"pr,omitempty"`
+	Title     string                   `json:"title,omitempty"`
+	Config    map[string]any           `json:"config,omitempty"`
+	Results   map[string]BaselineEntry `json:"results"`
+	Headlines map[string]string        `json:"headlines,omitempty"`
+}
+
+// LoadBaseline reads the results map of a BENCH_*.json file.
+func LoadBaseline(path string) (map[string]BaselineEntry, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc baselineDoc
+	if err := json.Unmarshal(b, &doc); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(doc.Results) == 0 {
+		return nil, fmt.Errorf("%s: no \"results\" in baseline", path)
+	}
+	return doc.Results, nil
+}
+
+// WriteBaseline records measurements as a BENCH_*.json document.
+func WriteBaseline(path, title string, pr int, date string, meas map[string]Measurement) error {
+	doc := baselineDoc{
+		Date:    date,
+		PR:      pr,
+		Title:   title,
+		Results: make(map[string]BaselineEntry, len(meas)),
+	}
+	for name, m := range meas {
+		doc.Results[name] = BaselineEntry{NsOp: m.NsOp, BOp: m.BOp, AllocsOp: m.AllocsOp}
+	}
+	b, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// Verdict is the outcome of gating one benchmark.
+type Verdict struct {
+	Name     string
+	Base     BaselineEntry
+	Current  Measurement
+	Missing  bool    // in the baseline, absent from the input
+	NsDelta  float64 // (cur-base)/base
+	NsFail   bool
+	AllocsUp bool
+}
+
+// Gate compares measurements against the baseline: ns/op may drift up to
+// tolerance (a fraction, e.g. 0.30) in either direction — only slowdowns
+// beyond it fail — and allocs/op must not increase at all (the
+// any-allocs-increase threshold; a 0-alloc benchmark that starts
+// allocating always fails). Benchmarks absent from the baseline are
+// ignored (new benchmarks gate only once recorded); baseline entries
+// absent from the input are reported Missing and fail only in strict
+// mode (the caller's choice).
+func Gate(baseline map[string]BaselineEntry, current map[string]Measurement, tolerance float64) []Verdict {
+	names := make([]string, 0, len(baseline))
+	for name := range baseline {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	verdicts := make([]Verdict, 0, len(names))
+	for _, name := range names {
+		base := baseline[name]
+		v := Verdict{Name: name, Base: base}
+		cur, ok := current[name]
+		if !ok {
+			v.Missing = true
+			verdicts = append(verdicts, v)
+			continue
+		}
+		v.Current = cur
+		if base.NsOp > 0 {
+			v.NsDelta = (cur.NsOp - base.NsOp) / base.NsOp
+			v.NsFail = v.NsDelta > tolerance
+		}
+		v.AllocsUp = cur.HasAllocs && cur.AllocsOp > base.AllocsOp
+		verdicts = append(verdicts, v)
+	}
+	return verdicts
+}
+
+// Report renders the verdicts and returns whether the gate passes.
+// strict makes missing benchmarks fail.
+func Report(w io.Writer, verdicts []Verdict, tolerance float64, strict bool) bool {
+	pass := true
+	for _, v := range verdicts {
+		switch {
+		case v.Missing:
+			status := "SKIP"
+			if strict {
+				status = "FAIL"
+				pass = false
+			}
+			fmt.Fprintf(w, "%-4s %-55s not in bench output\n", status, v.Name)
+		case v.NsFail && v.AllocsUp:
+			pass = false
+			fmt.Fprintf(w, "FAIL %-55s %9.1f ns/op vs %9.1f (%+.0f%% > ±%.0f%%), allocs %g vs %g\n",
+				v.Name, v.Current.NsOp, v.Base.NsOp, v.NsDelta*100, tolerance*100, v.Current.AllocsOp, v.Base.AllocsOp)
+		case v.NsFail:
+			pass = false
+			fmt.Fprintf(w, "FAIL %-55s %9.1f ns/op vs %9.1f baseline (%+.0f%%, tolerance ±%.0f%%)\n",
+				v.Name, v.Current.NsOp, v.Base.NsOp, v.NsDelta*100, tolerance*100)
+		case v.AllocsUp:
+			pass = false
+			fmt.Fprintf(w, "FAIL %-55s allocs/op rose %g -> %g (any increase fails)\n",
+				v.Name, v.Base.AllocsOp, v.Current.AllocsOp)
+		default:
+			fmt.Fprintf(w, "ok   %-55s %9.1f ns/op vs %9.1f (%+.0f%%), allocs %g\n",
+				v.Name, v.Current.NsOp, v.Base.NsOp, v.NsDelta*100, v.Current.AllocsOp)
+		}
+	}
+	return pass
+}

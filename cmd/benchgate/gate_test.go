@@ -1,0 +1,134 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkProbeAlloc/hit-8         	 9303972	       118.6 ns/op	       0 B/op	       0 allocs/op
+BenchmarkProbeAlloc/miss-uninterned-8 	28292818	        42.53 ns/op	       0 B/op	       0 allocs/op
+BenchmarkSuggest/compiled         	  224366	      5329 ns/op	     432 B/op	       6 allocs/op
+BenchmarkFig9aRecallTuple/hosp-8  	      37	  31808108 ns/op	         0.7000 recall_t_k1	         0.9533 recall_t_final
+BenchmarkProbeAlloc/hit-8         	 9000000	       131.0 ns/op	       0 B/op	       1 allocs/op
+PASS
+ok  	repro	12.3s
+`
+
+func TestParseBenchOutput(t *testing.T) {
+	meas, err := ParseBenchOutput(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hit, ok := meas["BenchmarkProbeAlloc/hit"]
+	if !ok {
+		t.Fatalf("hit benchmark missing (GOMAXPROCS suffix not stripped?): %v", meas)
+	}
+	// Duplicate lines: min ns/op, max allocs/op.
+	if hit.NsOp != 118.6 || hit.AllocsOp != 1 || !hit.HasAllocs || hit.Samples != 2 {
+		t.Fatalf("hit = %+v, want ns 118.6, allocs 1, 2 samples", hit)
+	}
+	sug := meas["BenchmarkSuggest/compiled"]
+	if sug.NsOp != 5329 || sug.BOp != 432 || sug.AllocsOp != 6 {
+		t.Fatalf("suggest = %+v", sug)
+	}
+	// Custom -benchmem-less metrics (ReportMetric columns) parse without
+	// fabricating alloc data.
+	fig := meas["BenchmarkFig9aRecallTuple/hosp"]
+	if fig.NsOp != 31808108 || fig.HasAllocs {
+		t.Fatalf("fig9 = %+v", fig)
+	}
+}
+
+func gateOne(t *testing.T, base BaselineEntry, cur string, tolerance float64) Verdict {
+	t.Helper()
+	meas, err := ParseBenchOutput(strings.NewReader(cur))
+	if err != nil {
+		t.Fatal(err)
+	}
+	verdicts := Gate(map[string]BaselineEntry{"BenchmarkX/y": base}, meas, tolerance)
+	if len(verdicts) != 1 {
+		t.Fatalf("got %d verdicts", len(verdicts))
+	}
+	return verdicts[0]
+}
+
+func TestGateWithinTolerancePasses(t *testing.T) {
+	v := gateOne(t, BaselineEntry{NsOp: 100, AllocsOp: 0},
+		"BenchmarkX/y-4 100 125.0 ns/op 0 B/op 0 allocs/op\n", 0.30)
+	if v.NsFail || v.AllocsUp || v.Missing {
+		t.Fatalf("+25%% within ±30%% must pass: %+v", v)
+	}
+}
+
+func TestGateNsRegressionFails(t *testing.T) {
+	v := gateOne(t, BaselineEntry{NsOp: 100, AllocsOp: 0},
+		"BenchmarkX/y-4 100 131.0 ns/op 0 B/op 0 allocs/op\n", 0.30)
+	if !v.NsFail {
+		t.Fatalf("+31%% must fail: %+v", v)
+	}
+}
+
+func TestGateFasterAlwaysPasses(t *testing.T) {
+	v := gateOne(t, BaselineEntry{NsOp: 100, AllocsOp: 0},
+		"BenchmarkX/y-4 100 20.0 ns/op 0 B/op 0 allocs/op\n", 0.30)
+	if v.NsFail || v.AllocsUp {
+		t.Fatalf("-80%% must pass (one-sided gate): %+v", v)
+	}
+}
+
+func TestGateAnyAllocIncreaseFails(t *testing.T) {
+	// The 0-alloc benchmark allocating once is the regression the gate
+	// exists for, even when ns/op is fine.
+	v := gateOne(t, BaselineEntry{NsOp: 100, AllocsOp: 0},
+		"BenchmarkX/y-4 100 99.0 ns/op 16 B/op 1 allocs/op\n", 0.30)
+	if !v.AllocsUp || v.NsFail {
+		t.Fatalf("0 -> 1 allocs must fail: %+v", v)
+	}
+	// Without -benchmem columns the alloc gate cannot fire.
+	v = gateOne(t, BaselineEntry{NsOp: 100, AllocsOp: 0},
+		"BenchmarkX/y-4 100 99.0 ns/op\n", 0.30)
+	if v.AllocsUp {
+		t.Fatalf("no allocs columns must not fire the alloc gate: %+v", v)
+	}
+}
+
+func TestGateMissingAndStrict(t *testing.T) {
+	verdicts := Gate(map[string]BaselineEntry{"BenchmarkGone": {NsOp: 10}}, map[string]Measurement{}, 0.3)
+	var buf bytes.Buffer
+	if !Report(&buf, verdicts, 0.3, false) {
+		t.Fatalf("missing benchmark must pass without -strict:\n%s", buf.String())
+	}
+	buf.Reset()
+	if Report(&buf, verdicts, 0.3, true) {
+		t.Fatalf("missing benchmark must fail with -strict:\n%s", buf.String())
+	}
+}
+
+func TestBaselineRoundTrip(t *testing.T) {
+	meas, err := ParseBenchOutput(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_test.json")
+	if err := WriteBaseline(path, "round trip", 5, "2026-07-29", meas); err != nil {
+		t.Fatal(err)
+	}
+	base, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(base) != len(meas) {
+		t.Fatalf("round trip lost entries: %d vs %d", len(base), len(meas))
+	}
+	verdicts := Gate(base, meas, 0.0)
+	var buf bytes.Buffer
+	if !Report(&buf, verdicts, 0.0, true) {
+		t.Fatalf("identical data must gate clean at zero tolerance:\n%s", buf.String())
+	}
+}

@@ -1,0 +1,100 @@
+// Command benchgate is the CI perf-regression gate: it parses `go test
+// -bench` output and compares it against a checked-in BENCH_*.json
+// baseline, failing (exit 1) when a benchmark's ns/op regresses beyond
+// the tolerance or its allocs/op increases at all — the latter is what
+// keeps the zero-allocation probe paths zero-allocation.
+//
+// Compare mode (CI):
+//
+//	go test -bench='...' -benchmem -benchtime=3x -run NONE . > bench.txt
+//	benchgate -baseline BENCH_2026-07-29_pr5.json bench.txt more.txt
+//
+// Record mode (refreshing the baseline after an intentional change):
+//
+//	benchgate -record BENCH_new.json -title "PR 6: ..." -pr 6 bench.txt
+//
+// With no file arguments, bench output is read from stdin. Benchmarks in
+// the baseline but absent from the input are skipped unless -strict;
+// benchmarks in the input but not the baseline never gate (record them
+// first). ns/op gating is one-sided — getting faster never fails — with
+// the band sized by -tolerance (default ±30%, sized for -benchtime=3x
+// noise on shared CI runners).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+func main() {
+	var (
+		baselinePath = flag.String("baseline", "", "BENCH_*.json baseline to gate against")
+		tolerance    = flag.Float64("tolerance", 0.30, "allowed fractional ns/op regression (0.30 = +30%)")
+		strict       = flag.Bool("strict", false, "fail when a baseline benchmark is missing from the input")
+		recordPath   = flag.String("record", "", "write a new baseline JSON from the input instead of gating")
+		title        = flag.String("title", "", "baseline title metadata (record mode)")
+		pr           = flag.Int("pr", 0, "baseline PR number metadata (record mode)")
+		date         = flag.String("date", "", "baseline date metadata (record mode)")
+	)
+	flag.Parse()
+	if (*baselinePath == "") == (*recordPath == "") {
+		fatalf("exactly one of -baseline (compare) or -record is required")
+	}
+
+	meas, err := readInputs(flag.Args())
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if len(meas) == 0 {
+		fatalf("no benchmark lines found in input")
+	}
+
+	if *recordPath != "" {
+		if err := WriteBaseline(*recordPath, *title, *pr, *date, meas); err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Fprintf(os.Stderr, "benchgate: recorded %d benchmarks to %s\n", len(meas), *recordPath)
+		return
+	}
+
+	baseline, err := LoadBaseline(*baselinePath)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	verdicts := Gate(baseline, meas, *tolerance)
+	if !Report(os.Stdout, verdicts, *tolerance, *strict) {
+		fmt.Fprintln(os.Stderr, "benchgate: FAIL")
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchgate: ok (%d gated against %s, tolerance ±%.0f%%)\n",
+		len(baseline), *baselinePath, *tolerance*100)
+}
+
+// readInputs parses bench output from the argument files — concatenated,
+// so ParseBenchOutput's duplicate-merge policy (min ns/op, max allocs/op)
+// is the single merge semantics — or stdin when none are given.
+func readInputs(paths []string) (map[string]Measurement, error) {
+	if len(paths) == 0 {
+		return ParseBenchOutput(os.Stdin)
+	}
+	readers := make([]io.Reader, 0, len(paths)*2)
+	for _, path := range paths {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		// A file that ends without a newline must not glue its last
+		// bench line onto the next file's first.
+		readers = append(readers, f, strings.NewReader("\n"))
+	}
+	return ParseBenchOutput(io.MultiReader(readers...))
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "benchgate: "+format+"\n", args...)
+	os.Exit(2)
+}

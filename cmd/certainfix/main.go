@@ -44,6 +44,7 @@ func main() {
 		suggestOut  = flag.Bool("suggest", false, "print next-suggestion per tuple instead of repairing")
 		interactive = flag.Bool("interactive", false, "fix each tuple interactively on the terminal")
 		workers     = flag.Int("workers", 0, "concurrent repair workers (0 = all CPUs)")
+		shards      = flag.Int("shards", 0, "master index shards, built in parallel (0 = one per CPU)")
 		masterDelta = flag.String("master-delta", "", "master-delta replay file applied before fixing (lines 'add,<cells...>' / 'del,<id>'; '---' publishes a batch)")
 	)
 	flag.Parse()
@@ -63,7 +64,7 @@ func main() {
 	if err != nil {
 		fatalf("%v", err)
 	}
-	sys, err := certainfix.New(rules, masterRel)
+	sys, err := certainfix.New(rules, masterRel, certainfix.WithShards(*shards))
 	if err != nil {
 		fatalf("%v", err)
 	}

@@ -57,14 +57,20 @@ func main() {
 		useCache   = flag.Bool("suggestion-cache", false, "enable the CertainFix+ suggestion cache")
 		maxRounds  = flag.Int("max-rounds", 0, "cap interaction rounds per session (0 = arity + 1)")
 		history    = flag.Int("history", 0, "master snapshot ring size for session resume (0 = default)")
+		shards     = flag.Int("shards", 0, "master index shards, built in parallel (0 = one per CPU)")
 	)
 	flag.Parse()
 	if *rulesPath == "" || *masterPath == "" {
 		fatalf("-rules and -master are required")
 	}
 
-	sys, err := buildSystem(*rulesPath, *masterPath, *useCache, *maxRounds, *history)
+	sys, err := buildSystem(*rulesPath, *masterPath, *useCache, *maxRounds, *history, *shards)
 	if err != nil {
+		// *certainfix.MasterBuildError renders the failing tuple's
+		// shard/id/key itself; the sentinel check names the subsystem.
+		if errors.Is(err, certainfix.ErrMasterBuild) {
+			fatalf("master data rejected: %v", err)
+		}
 		fatalf("%v", err)
 	}
 
@@ -97,7 +103,7 @@ func main() {
 
 // buildSystem loads the rules file (schema headers + DSL) and the master
 // CSV, then constructs the System with the flag-selected options.
-func buildSystem(rulesPath, masterPath string, useCache bool, maxRounds, history int) (*certainfix.System, error) {
+func buildSystem(rulesPath, masterPath string, useCache bool, maxRounds, history, shards int) (*certainfix.System, error) {
 	src, err := os.ReadFile(rulesPath)
 	if err != nil {
 		return nil, err
@@ -124,6 +130,9 @@ func buildSystem(rulesPath, masterPath string, useCache bool, maxRounds, history
 	}
 	if history > 0 {
 		opts = append(opts, certainfix.WithMasterHistory(history))
+	}
+	if shards > 0 {
+		opts = append(opts, certainfix.WithShards(shards))
 	}
 	return certainfix.New(rules, masterRel, opts...)
 }

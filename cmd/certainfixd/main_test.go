@@ -279,7 +279,7 @@ func TestBuildSystemFromFiles(t *testing.T) {
 	if err := os.WriteFile(masterCSV, []byte("K,V\nk1,v1\nk2,v2\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	sys, err := buildSystem(rules, masterCSV, false, 3, 4)
+	sys, err := buildSystem(rules, masterCSV, false, 3, 4, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -287,7 +287,7 @@ func TestBuildSystemFromFiles(t *testing.T) {
 	if err != nil || len(changed) != 1 || fixed[1].Str() != "v1" {
 		t.Fatalf("fixed=%v changed=%v err=%v", fixed, changed, err)
 	}
-	if _, err := buildSystem(filepath.Join(dir, "missing.rules"), masterCSV, false, 0, 0); err == nil {
+	if _, err := buildSystem(filepath.Join(dir, "missing.rules"), masterCSV, false, 0, 0, 0); err == nil {
 		t.Fatal("missing rules file must error")
 	}
 }

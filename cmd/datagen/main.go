@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"repro/internal/datagen"
 	"repro/internal/relation"
@@ -70,8 +71,14 @@ func main() {
 	truths.MustAppend(ds.Truths...)
 	writeCSV(filepath.Join(*outdir, *dataset+"_truth.csv"), truths)
 
+	// Prepend the schema headers cmd/certainfix and cmd/certainfixd
+	// require, so the emitted files chain straight into the CLIs (the CI
+	// scale smoke does exactly that).
+	header := fmt.Sprintf("schema %s: %s\nmaster %s: %s\n",
+		ds.Sigma.Schema().Name(), strings.Join(ds.Sigma.Schema().AttrNames(), ", "),
+		ds.Master.Schema().Name(), strings.Join(ds.Master.Schema().AttrNames(), ", "))
 	rulesPath := filepath.Join(*outdir, *dataset+".rules")
-	if err := os.WriteFile(rulesPath, []byte(rules), 0o644); err != nil {
+	if err := os.WriteFile(rulesPath, []byte(header+rules), 0o644); err != nil {
 		fatalf("writing %s: %v", rulesPath, err)
 	}
 	fmt.Printf("wrote %s dataset: |Dm|=%d |D|=%d (%d erroneous tuples, %d erroneous cells) to %s\n",

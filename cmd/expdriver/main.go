@@ -5,29 +5,40 @@
 //
 // Usage:
 //
-//	expdriver [-experiment all|exp1|exp2|fig9|fig10|fig11|fig12]
+//	expdriver [-experiment all|exp1|exp2|fig9|fig10|fig11|fig12|fixdump]
 //	          [-dataset hosp|dblp|both] [-master N] [-tuples N] [-seed N]
+//	          [-workers N] [-shards P] [-out FILE]
 //
 // The defaults run a laptop-scale pass (|Dm| = 2000, |D| = 500) in a few
 // seconds; raise -master/-tuples to approach the paper's 10K/10K setting.
+//
+// The fixdump experiment runs the full pipeline end to end — generate,
+// build the sharded master, fix every tuple on -workers workers — and
+// writes the repaired relation as CSV to -out. Its output is
+// byte-identical for every -workers/-shards combination; the CI scale
+// smoke diffs -shards 1 against -shards 8 at |Dm| = 100k.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 
 	"repro/internal/experiments"
+	"repro/internal/master"
 )
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "which experiment to run: all, exp1, exp2, fig9, fig10, fig11, fig12")
+		experiment = flag.String("experiment", "all", "which experiment to run: all, exp1, exp2, fig9, fig10, fig11, fig12, fixdump")
 		dataset    = flag.String("dataset", "both", "dataset: hosp, dblp or both")
 		masterSize = flag.Int("master", 2000, "master relation size |Dm|")
 		tuples     = flag.Int("tuples", 500, "input tuples |D|")
 		seed       = flag.Int64("seed", 1, "generator seed")
 		workers    = flag.Int("workers", 1, "batch-fix workers for accuracy experiments (fig12 latency always runs sequentially)")
+		shards     = flag.Int("shards", 0, "master index shards, built in parallel (0 = one per CPU)")
+		outPath    = flag.String("out", "", "output file for fixdump (default stdout)")
 	)
 	flag.Parse()
 
@@ -48,8 +59,31 @@ func main() {
 		t.Fprint(os.Stdout)
 	}
 
+	if *experiment == "fixdump" {
+		if len(datasets) != 1 {
+			fatalf("fixdump writes one relation; pick -dataset hosp or -dataset dblp")
+		}
+		ds := datasets[0]
+		p := experiments.Params{Dataset: ds, Seed: *seed, MasterSize: *masterSize, Tuples: *tuples, Workers: *workers, Shards: *shards}
+		rel, err := experiments.FixedOutputs(p)
+		checkErr(err)
+		out := os.Stdout
+		if *outPath != "" {
+			f, err := os.Create(*outPath)
+			checkErr(err)
+			out = f
+		}
+		checkErr(rel.WriteCSV(out))
+		if *outPath != "" {
+			checkErr(out.Close())
+			fmt.Fprintf(os.Stderr, "expdriver: wrote %d fixed %s tuples to %s (|Dm|=%d, workers=%d, shards=%d)\n",
+				rel.Len(), ds, *outPath, *masterSize, *workers, *shards)
+		}
+		return
+	}
+
 	for _, ds := range datasets {
-		p := experiments.Params{Dataset: ds, Seed: *seed, MasterSize: *masterSize, Tuples: *tuples, Workers: *workers}
+		p := experiments.Params{Dataset: ds, Seed: *seed, MasterSize: *masterSize, Tuples: *tuples, Workers: *workers, Shards: *shards}
 
 		if run("exp2") {
 			t, err := experiments.Exp2InitialSuggestion(p)
@@ -99,9 +133,15 @@ func main() {
 }
 
 func checkErr(err error) {
-	if err != nil {
-		fatalf("%v", err)
+	if err == nil {
+		return
 	}
+	// *master.BuildError renders the failing tuple's shard/id/key itself;
+	// the sentinel check just names the subsystem for the operator.
+	if errors.Is(err, master.ErrMasterBuild) {
+		fatalf("master data rejected: %v", err)
+	}
+	fatalf("%v", err)
 }
 
 func fatalf(format string, args ...any) {

@@ -26,6 +26,10 @@ type Config struct {
 	// multi-round interactions of Fig. 9. Zero selects the default 0.5;
 	// a negative value disables partial matches entirely.
 	PartialRate float64
+	// Shards partitions the generated master's indexes into hash shards
+	// built in parallel (0 = one per CPU; see master.WithShards). Fix
+	// results are byte-identical for every shard count.
+	Shards int
 }
 
 func (c Config) withDefaults() Config {
@@ -87,7 +91,7 @@ func Hosp(cfg Config) (*Dataset, error) {
 		h, m := w.masterPair(k)
 		rel.MustAppend(w.row(rel.Schema(), h, m))
 	}
-	dm, err := master.NewForRules(rel, sigma)
+	dm, err := master.NewForRules(rel, sigma, master.WithShards(cfg.Shards))
 	if err != nil {
 		return nil, fmt.Errorf("datagen: hosp: %w", err)
 	}
@@ -166,7 +170,7 @@ func Dblp(cfg Config) (*Dataset, error) {
 	for p := 0; p < cfg.MasterSize; p++ {
 		rel.MustAppend(w.row(rel.Schema(), p))
 	}
-	dm, err := master.NewForRules(rel, sigma)
+	dm, err := master.NewForRules(rel, sigma, master.WithShards(cfg.Shards))
 	if err != nil {
 		return nil, fmt.Errorf("datagen: dblp: %w", err)
 	}

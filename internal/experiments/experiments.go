@@ -31,6 +31,11 @@ type Params struct {
 	// latency experiments ignore this and always run sequentially so that
 	// concurrent runs cannot contaminate each other's timings.
 	Workers int
+	// Shards partitions the master indexes into hash shards built in
+	// parallel (0 = one per CPU; see master.WithShards). Results are
+	// byte-identical for every shard count — TestFixOutputShardInvariance
+	// and the CI scale smoke pin this.
+	Shards int
 }
 
 // WithDefaults fills unset fields with the §6 defaults.
@@ -71,6 +76,7 @@ func generate(p Params) (*datagen.Dataset, error) {
 		Tuples:     p.Tuples,
 		DupRate:    p.DupRate,
 		NoiseRate:  p.NoiseRate,
+		Shards:     p.Shards,
 	}
 	switch p.Dataset {
 	case "hosp":

@@ -1,0 +1,38 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/monitor"
+	"repro/internal/relation"
+)
+
+// FixedOutputs runs the full monitoring pipeline over a generated
+// dataset — every dirty tuple fixed with the simulated user through
+// monitor.FixBatch on p.Workers — and returns the repaired relation, in
+// input order. Without the BDD cache the pipeline is deterministic: for a
+// fixed (Dataset, Seed, MasterSize, Tuples, ...) the output is
+// byte-identical regardless of p.Workers and p.Shards. The CI scale
+// smoke diffs the CSV of two runs (P=1 vs P=8) at |Dm| = 100k to pin
+// exactly that; TestFixOutputShardInvariance pins it at test scale.
+func FixedOutputs(p Params) (*relation.Relation, error) {
+	p = p.WithDefaults()
+	ds, err := generate(p)
+	if err != nil {
+		return nil, err
+	}
+	m, err := monitor.New(ds.Sigma, ds.Master, monitor.Config{})
+	if err != nil {
+		return nil, err
+	}
+	userFor := func(i int) monitor.User { return monitor.SimulatedUser{Truth: ds.Truths[i]} }
+	results, err := m.FixBatch(ds.Inputs, userFor, monitor.BatchOptions{Workers: p.Workers})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: fix dump: %w", err)
+	}
+	out := relation.NewRelation(ds.Sigma.Schema())
+	for _, res := range results {
+		out.MustAppend(res.Tuple)
+	}
+	return out, nil
+}

@@ -28,7 +28,10 @@ func kvData(t *testing.T) (*rule.Set, *rule.Rule, *Data) {
 		relation.StringTuple("k2", "v2", "w2"),
 		relation.StringTuple("k1", "v1b", "w3"),
 	)
-	dm, err := NewForRules(rel, sigma)
+	// One shard: these tests inject collisions into raw buckets, which
+	// needs a deterministic bucket location. The multi-shard collision
+	// path is covered by the shard property tests.
+	dm, err := NewForRules(rel, sigma, WithShards(1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -52,7 +55,7 @@ func TestBucketVerificationFiltersCollisions(t *testing.T) {
 		t.Fatal("probe must hash")
 	}
 	// id 1 is the k2 tuple: same bucket now, different projection.
-	idx.base[h] = append(idx.base[h], 1)
+	idx.shards[0].base[h] = append(idx.shards[0].base[h], 1)
 
 	ids := dm.MatchIDs(ru, probe)
 	if len(ids) != 2 || ids[0] != 0 || ids[1] != 2 {
@@ -69,7 +72,7 @@ func TestBucketVerificationFiltersCollisions(t *testing.T) {
 
 	// A collision at the head of the bucket exercises the filtered path
 	// from position 0.
-	idx.base[h] = append([]int{1}, idx.base[h]...)
+	idx.shards[0].base[h] = append([]int{1}, idx.shards[0].base[h]...)
 	ids = dm.MatchIDs(ru, probe)
 	if len(ids) != 2 || ids[0] != 0 || ids[1] != 2 {
 		t.Fatalf("MatchIDs with head collision = %v, want [0 2]", ids)

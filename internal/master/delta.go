@@ -19,6 +19,13 @@ package master
 //  2. adds are then appended in order; added tuples are deep-copied, so
 //     callers may reuse their slices.
 //
+// Every index and posting mutation routes to the owning tuple's shard
+// (shard.go), so a delta's overlays — and the flatten-at-1/4 compaction
+// they eventually trigger in fork — stay shard-local. The mutations are
+// PLANNED serially (cheap: bitmap bits, interning, op lists) and APPLIED
+// per shard; a large delta applies its shards in parallel, since distinct
+// shards share no maps.
+//
 // Cost per delta: O(|Dm|) to copy the tuple-header slice and the per-rule
 // bitmaps (a few machine words per tuple, no hashing), plus O(|delta|)
 // map and bucket work — against the full rebuild's per-tuple hashing,
@@ -28,10 +35,12 @@ package master
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/parallel"
 	"repro/internal/relation"
 	"repro/internal/rule"
 )
@@ -50,18 +59,39 @@ func (cp *compatPlan) fork(remap map[*postings]*postings, words int) *compatPlan
 	return &compatPlan{patBits: bits, patCount: cp.patCount, posts: posts}
 }
 
+// shardOp is one planned index/posting mutation, queued on the owning
+// tuple's shard. Bitmap updates and interning happen at planning time
+// (they are global and O(1) per op); the map and bucket work — the bulk
+// of a delta — runs in applyShardOps.
+type shardOp struct {
+	kind   uint8
+	t      relation.Tuple
+	id, to int
+}
+
+const (
+	opUnindex uint8 = iota
+	opRename
+	opAppend
+)
+
+// parallelDeltaOps is the op count above which shards apply in parallel;
+// below it, goroutine fan-out costs more than it saves.
+const parallelDeltaOps = 128
+
 // ApplyDelta derives a new snapshot with the deletes applied (swap-remove,
 // descending id order) followed by the adds (appended in order). The
 // receiver is not modified and stays fully usable; probes running against
 // it — or any other snapshot — are never blocked or invalidated.
 // Concurrent ApplyDelta calls on the same snapshot must be serialized by
-// the caller (use Versioned.Apply).
+// the caller (use Versioned.Apply). Validation failures are typed
+// (*BuildError matching ErrMasterBuild) with the failing tuple's shard
+// and key context.
 func (d *Data) ApplyDelta(adds []relation.Tuple, deletes []int) (*Data, error) {
-	arity := d.rel.Schema().Arity()
-	for _, t := range adds {
-		if len(t) != arity {
-			return nil, fmt.Errorf("master: delta add of arity %d against schema %s of arity %d",
-				len(t), d.rel.Schema().Name(), arity)
+	for i, t := range adds {
+		if err := validateTuple(d.rel.Schema(), t); err != nil {
+			return nil, &BuildError{Shard: d.shardOf(t), TupleID: i, Key: tupleKeyContext(t),
+				Err: fmt.Errorf("delta add: %w", err)}
 		}
 	}
 	n := d.rel.Len()
@@ -69,10 +99,14 @@ func (d *Data) ApplyDelta(adds []relation.Tuple, deletes []int) (*Data, error) {
 	sort.Sort(sort.Reverse(sort.IntSlice(del)))
 	for i, id := range del {
 		if id < 0 || id >= n {
-			return nil, fmt.Errorf("master: delta delete id %d out of range [0, %d)", id, n)
+			// Tuple-independent context (no tuple exists at this id; the
+			// wrapped error names it).
+			return nil, &BuildError{Shard: -1, TupleID: -1,
+				Err: fmt.Errorf("delta delete id %d out of range [0, %d)", id, n)}
 		}
 		if i > 0 && del[i-1] == id {
-			return nil, fmt.Errorf("master: duplicate delta delete id %d", id)
+			return nil, &BuildError{Shard: d.shardOf(d.rel.Tuple(id)), TupleID: id,
+				Key: tupleKeyContext(d.rel.Tuple(id)), Err: fmt.Errorf("duplicate delta delete id %d", id)}
 		}
 	}
 
@@ -86,8 +120,12 @@ func (d *Data) ApplyDelta(adds []relation.Tuple, deletes []int) (*Data, error) {
 	words := (maxLen + 63) / 64
 
 	nd := &Data{
-		epoch: d.epoch + 1,
-		syms:  d.syms.Fork(),
+		epoch:   d.epoch + 1,
+		nshards: d.nshards,
+		// Aliasing is safe: addNeedCol rebuilds the slice copy-on-write,
+		// never mutating the shared array in place.
+		needCols: d.needCols,
+		syms:     d.syms.Fork(),
 	}
 	nd.hasher = relation.NewHasher(nd.syms)
 	remapIdx := make(map[*index]*index, len(d.indexes))
@@ -116,12 +154,21 @@ func (d *Data) ApplyDelta(adds []relation.Tuple, deletes []int) (*Data, error) {
 	tuples := make([]relation.Tuple, n, maxLen)
 	copy(tuples, d.rel.Tuples())
 
+	// Plan: route every op to its tuple's shard; update bitmaps and
+	// intern added values inline (both global, both O(1) per op).
+	perShard := make([][]shardOp, nd.nshards)
+	enqueue := func(s int, op shardOp) { perShard[s] = append(perShard[s], op) }
+
 	for _, id := range del {
 		last := len(tuples) - 1
-		nd.unindexTuple(tuples[id], id)
+		t := tuples[id]
+		enqueue(nd.shardOf(t), shardOp{kind: opUnindex, t: t, id: id})
+		nd.unsetBits(id)
 		if last != id {
-			nd.renameTuple(tuples[last], last, id)
-			tuples[id] = tuples[last]
+			moved := tuples[last]
+			enqueue(nd.shardOf(moved), shardOp{kind: opRename, t: moved, id: last, to: id})
+			nd.moveBits(last, id)
+			tuples[id] = moved
 		}
 		tuples[last] = nil
 		tuples = tuples[:last]
@@ -130,7 +177,27 @@ func (d *Data) ApplyDelta(adds []relation.Tuple, deletes []int) (*Data, error) {
 		tc := t.Clone()
 		id := len(tuples)
 		tuples = append(tuples, tc)
-		nd.indexTuple(tc, id)
+		for _, col := range nd.needCols {
+			nd.syms.Intern(tc[col])
+		}
+		enqueue(nd.shardOf(tc), shardOp{kind: opAppend, t: tc, id: id})
+		nd.setBitsFor(tc, id)
+	}
+
+	// Apply: per-shard op lists touch disjoint maps, so a large delta
+	// fans the shards out across CPUs.
+	totalOps := len(del) + len(adds)
+	if nd.nshards > 1 && totalOps >= parallelDeltaOps && runtime.GOMAXPROCS(0) > 1 {
+		if _, err := parallel.Map(nd.nshards, 0, func(s int) (struct{}, error) {
+			nd.applyShardOps(s, perShard[s])
+			return struct{}{}, nil
+		}); err != nil {
+			return nil, err // unreachable: applyShardOps cannot fail
+		}
+	} else {
+		for s, ops := range perShard {
+			nd.applyShardOps(s, ops)
+		}
 	}
 
 	// Trim the pattern bitmaps to the final length (net-shrinking deltas
@@ -141,27 +208,65 @@ func (d *Data) ApplyDelta(adds []relation.Tuple, deletes []int) (*Data, error) {
 	}
 	rel, err := relation.FromTuples(d.rel.Schema(), tuples)
 	if err != nil {
-		return nil, err // unreachable: adds were arity-checked above
+		return nil, err // unreachable: adds were validated above
 	}
 	nd.rel = rel
 	return nd, nil
 }
 
-// unindexTuple removes tuple id's entries from every index, posting list
-// and pattern bitmap. t is the stored tuple at id.
-func (nd *Data) unindexTuple(t relation.Tuple, id int) {
-	for _, idx := range nd.indexes {
-		if h, ok := nd.hasher.HashTuple(t, idx.xm); ok {
-			idx.set(h, removeID(idx.get(h), id))
+// applyShardOps runs one shard's planned mutations in order. Ops touch
+// only shard s's layered maps, so distinct shards may run concurrently;
+// the symbol table is read-only here (interning happened at plan time).
+func (nd *Data) applyShardOps(s int, ops []shardOp) {
+	for _, op := range ops {
+		switch op.kind {
+		case opUnindex:
+			for _, idx := range nd.indexes {
+				if h, ok := nd.hasher.HashTuple(op.t, idx.xm); ok {
+					l := &idx.shards[s]
+					l.set(h, removeID(l.get(h), op.id))
+				}
+			}
+			for _, ps := range nd.postings {
+				if vid, ok := nd.syms.ID(op.t[ps.col]); ok {
+					l := &ps.shards[s]
+					l.set(vid, removeID(l.get(vid), int32(op.id)))
+				}
+			}
+		case opRename:
+			for _, idx := range nd.indexes {
+				if h, ok := nd.hasher.HashTuple(op.t, idx.xm); ok {
+					l := &idx.shards[s]
+					l.set(h, renameID(l.get(h), op.id, op.to))
+				}
+			}
+			for _, ps := range nd.postings {
+				if vid, ok := nd.syms.ID(op.t[ps.col]); ok {
+					l := &ps.shards[s]
+					l.set(vid, renameID(l.get(vid), int32(op.id), int32(op.to)))
+				}
+			}
+		case opAppend:
+			for _, idx := range nd.indexes {
+				if h, ok := nd.hasher.HashTuple(op.t, idx.xm); ok {
+					l := &idx.shards[s]
+					l.set(h, appendID(l.get(h), op.id))
+				}
+			}
+			for _, ps := range nd.postings {
+				if vid, ok := nd.syms.ID(op.t[ps.col]); ok {
+					l := &ps.shards[s]
+					l.set(vid, appendID(l.get(vid), int32(op.id)))
+				}
+			}
 		}
 	}
-	for _, ps := range nd.postings {
-		if vid, ok := nd.syms.ID(t[ps.col]); ok {
-			ps.set(vid, removeID(ps.get(vid), int32(id)))
-		}
-	}
+}
+
+// unsetBits clears tuple id's pattern bits (planning-time, serial).
+func (nd *Data) unsetBits(id int) {
+	w, m := id>>6, uint64(1)<<(uint(id)&63)
 	for _, cp := range nd.compat {
-		w, m := id>>6, uint64(1)<<(uint(id)&63)
 		if cp.patBits[w]&m != 0 {
 			cp.patBits[w] &^= m
 			cp.patCount--
@@ -169,23 +274,11 @@ func (nd *Data) unindexTuple(t relation.Tuple, id int) {
 	}
 }
 
-// renameTuple rewrites tuple `from`'s entries to id `to` (the swap-remove
-// move of the last tuple into a freed slot; to < from, and to's own
-// entries were removed by unindexTuple first). Bucket and posting order
-// stays ascending.
-func (nd *Data) renameTuple(t relation.Tuple, from, to int) {
-	for _, idx := range nd.indexes {
-		if h, ok := nd.hasher.HashTuple(t, idx.xm); ok {
-			idx.set(h, renameID(idx.get(h), from, to))
-		}
-	}
-	for _, ps := range nd.postings {
-		if vid, ok := nd.syms.ID(t[ps.col]); ok {
-			ps.set(vid, renameID(ps.get(vid), int32(from), int32(to)))
-		}
-	}
+// moveBits rewrites tuple `from`'s pattern bits to id `to` (the
+// swap-remove move; to's own bits were cleared by unsetBits first).
+func (nd *Data) moveBits(from, to int) {
+	wf, mf := from>>6, uint64(1)<<(uint(from)&63)
 	for _, cp := range nd.compat {
-		wf, mf := from>>6, uint64(1)<<(uint(from)&63)
 		if cp.patBits[wf]&mf != 0 {
 			cp.patBits[wf] &^= mf
 			cp.patBits[to>>6] |= 1 << (uint(to) & 63)
@@ -193,18 +286,9 @@ func (nd *Data) renameTuple(t relation.Tuple, from, to int) {
 	}
 }
 
-// indexTuple adds a freshly appended tuple (id is the current maximum, so
-// appending keeps buckets and posting lists ascending), interning any new
-// values into the snapshot's owned symbol layer.
-func (nd *Data) indexTuple(t relation.Tuple, id int) {
-	for _, idx := range nd.indexes {
-		h := nd.hasher.HashInterning(t, idx.xm)
-		idx.set(h, appendID(idx.get(h), id))
-	}
-	for _, ps := range nd.postings {
-		vid := nd.syms.Intern(t[ps.col])
-		ps.set(vid, appendID(ps.get(vid), int32(id)))
-	}
+// setBitsFor evaluates a freshly appended tuple against every rule's
+// pattern and sets its bits.
+func (nd *Data) setBitsFor(t relation.Tuple, id int) {
 	for ru, cp := range nd.compat {
 		if patternCompatible(ru, t) {
 			cp.patBits[id>>6] |= 1 << (uint(id) & 63)

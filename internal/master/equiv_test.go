@@ -4,12 +4,13 @@ package master
 // asserts a snapshot reached through a chain of ApplyDelta calls is
 // deep-equal — indexes, posting lists, pattern-support bitmaps, probe
 // plans — to MustNewForRules run from scratch on the snapshot's
-// materialized relation. Interned value ids (and therefore raw uint64
-// bucket keys) are the one representation detail allowed to differ: a
-// delta chain interns values in historical order, a rebuild in current
-// first-seen order, so the comparison resolves buckets and posting lists
-// through each side's own hasher/symbol table and compares the id
-// contents, which is exactly what every probe observes.
+// materialized relation with the same shard count. Interned value ids
+// (and therefore raw uint64 bucket keys) are the one representation
+// detail allowed to differ: a delta chain interns values in historical
+// order, a rebuild in current first-seen order (and a parallel rebuild in
+// nondeterministic merge order), so the comparison resolves buckets and
+// posting lists through each side's own hasher/symbol table and compares
+// the id contents, which is exactly what every probe observes.
 
 import (
 	"sort"
@@ -37,14 +38,15 @@ func shadowApply(tuples []relation.Tuple, adds []relation.Tuple, deletes []int) 
 	return out
 }
 
-// rebuildOracle materializes got's relation and rebuilds from scratch.
+// rebuildOracle materializes got's relation and rebuilds from scratch
+// with got's shard count.
 func rebuildOracle(t testing.TB, got *Data, sigma *rule.Set) *Data {
 	t.Helper()
 	rel := relation.NewRelation(got.Relation().Schema())
 	for _, tm := range got.Relation().Tuples() {
 		rel.MustAppend(tm.Clone())
 	}
-	want, err := NewForRules(rel, sigma)
+	want, err := NewForRules(rel, sigma, WithShards(got.nshards))
 	if err != nil {
 		t.Fatalf("oracle rebuild: %v", err)
 	}
@@ -84,9 +86,14 @@ func checkEquiv(t testing.TB, ctx string, got *Data, sigma *rule.Set) {
 	if want.Len() != n {
 		t.Fatalf("%s: materialized length %d vs snapshot %d", ctx, want.Len(), n)
 	}
+	if got.nshards != want.nshards {
+		t.Fatalf("%s: snapshot has %d shards, rebuild %d", ctx, got.nshards, want.nshards)
+	}
 
 	// Index registry: same Xm lists, same total size, identical bucket
-	// contents for every stored tuple's projection.
+	// contents for every stored tuple's projection — per shard: the
+	// tuple-key routing is deterministic, so the rebuild places every id
+	// in the same shard the delta chain did.
 	if len(got.indexes) != len(want.indexes) {
 		t.Fatalf("%s: %d indexes, rebuild has %d", ctx, len(got.indexes), len(want.indexes))
 	}
@@ -100,6 +107,7 @@ func checkEquiv(t testing.TB, ctx string, got *Data, sigma *rule.Set) {
 		}
 		for id := 0; id < n; id++ {
 			tm := got.Tuple(id)
+			s := got.shardOf(tm)
 			gh, ok := got.hasher.HashTuple(tm, gidx.xm)
 			if !ok {
 				t.Fatalf("%s: stored tuple %d not hashable in snapshot index %v", ctx, id, gidx.xm)
@@ -108,14 +116,27 @@ func checkEquiv(t testing.TB, ctx string, got *Data, sigma *rule.Set) {
 			if !ok {
 				t.Fatalf("%s: stored tuple %d not hashable in rebuilt index %v", ctx, id, widx.xm)
 			}
-			if gb, wb := gidx.get(gh), widx.get(wh); !eqInts(gb, wb) {
-				t.Fatalf("%s: index %v bucket for tuple %d = %v, rebuild %v", ctx, widx.xm, id, gb, wb)
+			if gb, wb := gidx.shards[s].get(gh), widx.shards[s].get(wh); !eqInts(gb, wb) {
+				t.Fatalf("%s: index %v shard %d bucket for tuple %d = %v, rebuild %v", ctx, widx.xm, s, id, gb, wb)
+			}
+			// Routing invariant: the id appears in its own shard's bucket
+			// and in no other shard's.
+			for os := range gidx.shards {
+				if os == s {
+					continue
+				}
+				for _, oid := range gidx.shards[os].get(gh) {
+					if oid == id {
+						t.Fatalf("%s: tuple %d routed to shard %d but found in shard %d", ctx, id, s, os)
+					}
+				}
 			}
 		}
 	}
 
 	// Posting lists: same columns, same total size, identical id lists
-	// per stored value (resolved through each side's own symbol table).
+	// per stored value per shard (resolved through each side's own symbol
+	// table).
 	if len(got.postings) != len(want.postings) {
 		t.Fatalf("%s: %d posting columns, rebuild has %d", ctx, len(got.postings), len(want.postings))
 	}
@@ -134,7 +155,9 @@ func checkEquiv(t testing.TB, ctx string, got *Data, sigma *rule.Set) {
 			t.Fatalf("%s: postings col %d hold %d ids, rebuild %d", ctx, wps.col, gs, ws)
 		}
 		for id := 0; id < n; id++ {
-			v := got.Tuple(id)[wps.col]
+			tm := got.Tuple(id)
+			s := got.shardOf(tm)
+			v := tm[wps.col]
 			gid, ok := got.syms.ID(v)
 			if !ok {
 				t.Fatalf("%s: stored value %v of column %d not interned in snapshot", ctx, v, wps.col)
@@ -143,8 +166,8 @@ func checkEquiv(t testing.TB, ctx string, got *Data, sigma *rule.Set) {
 			if !ok {
 				t.Fatalf("%s: stored value %v of column %d not interned in rebuild", ctx, v, wps.col)
 			}
-			if gl, wl := gps.get(gid), wps.get(wid); !eqInt32s(gl, wl) {
-				t.Fatalf("%s: postings col %d list for %v = %v, rebuild %v", ctx, wps.col, v, gl, wl)
+			if gl, wl := gps.shards[s].get(gid), wps.shards[s].get(wid); !eqInt32s(gl, wl) {
+				t.Fatalf("%s: postings col %d shard %d list for %v = %v, rebuild %v", ctx, wps.col, s, v, gl, wl)
 			}
 		}
 	}

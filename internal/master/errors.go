@@ -1,0 +1,91 @@
+package master
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/relation"
+)
+
+// ErrMasterBuild is the sentinel matched (errors.Is) by every failure of
+// snapshot construction and incremental maintenance: NewForRules schema
+// and tuple validation, and ApplyDelta add/delete validation. The
+// concrete error is a *BuildError carrying the failing tuple's shard and
+// key context; match it with errors.As to render structured diagnostics
+// (cmd/expdriver and cmd/certainfixd do).
+var ErrMasterBuild = errors.New("master: build failed")
+
+// BuildError reports a master build or delta failure with enough context
+// to find the offending tuple in a multi-million-row load: which shard
+// the tuple routes to, its id (position in the relation or delta), and a
+// bounded rendering of its key. Shard and TupleID are -1 when the
+// failure is not tied to one tuple (e.g. a schema mismatch).
+type BuildError struct {
+	// Shard the failing tuple routes to (-1 when tuple-independent).
+	Shard int
+	// TupleID is the tuple's position: an id in the relation for build
+	// validation, an index into the adds slice or a delete id for deltas
+	// (-1 when tuple-independent).
+	TupleID int
+	// Key is a bounded rendering of the failing tuple's cells ("" when
+	// tuple-independent).
+	Key string
+	// Err is the underlying cause.
+	Err error
+}
+
+func (e *BuildError) Error() string {
+	if e.TupleID < 0 {
+		return fmt.Sprintf("master: build: %v", e.Err)
+	}
+	return fmt.Sprintf("master: build: tuple %d (shard %d, key %s): %v", e.TupleID, e.Shard, e.Key, e.Err)
+}
+
+// Unwrap makes the error match both ErrMasterBuild and the underlying
+// cause through errors.Is/As.
+func (e *BuildError) Unwrap() []error { return []error{ErrMasterBuild, e.Err} }
+
+// maxKeyContext bounds the tuple-key rendering embedded in errors, so a
+// pathological row cannot flood logs.
+const maxKeyContext = 128
+
+// tupleKeyContext renders a tuple's full key for error context, truncated
+// to maxKeyContext bytes.
+func tupleKeyContext(t relation.Tuple) string {
+	positions := make([]int, len(t))
+	for i := range positions {
+		positions[i] = i
+	}
+	k := t.Key(positions)
+	if len(k) > maxKeyContext {
+		k = k[:maxKeyContext] + "…"
+	}
+	return k
+}
+
+// validateTuple checks a master tuple against the schema: arity, and each
+// cell's dynamic kind against the attribute's declared type (null is
+// allowed everywhere — the paper's completeness assumption is the data
+// owner's contract, not a structural one).
+func validateTuple(schema *relation.Schema, t relation.Tuple) error {
+	if len(t) != schema.Arity() {
+		return fmt.Errorf("arity %d against schema %s of arity %d", len(t), schema.Name(), schema.Arity())
+	}
+	for i, v := range t {
+		attr := schema.Attr(i)
+		switch v.Kind() {
+		case relation.KindNull:
+		case relation.KindString:
+			if attr.Type != relation.TypeString {
+				return fmt.Errorf("attribute %s: string value %q against declared type %v", attr.Name, v.Str(), attr.Type)
+			}
+		case relation.KindInt:
+			if attr.Type != relation.TypeInt {
+				return fmt.Errorf("attribute %s: int value %d against declared type %v", attr.Name, v.Int64(), attr.Type)
+			}
+		default:
+			return fmt.Errorf("attribute %s: unknown value kind %v", attr.Name, v.Kind())
+		}
+	}
+	return nil
+}

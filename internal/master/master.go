@@ -7,10 +7,11 @@
 // The indexes are keyed on uint64 FNV-1a hashes of interned values
 // (relation.Symbols / relation.Hasher), so the hot probe path — MatchIDs,
 // Lookup, RHSValues on an indexed Xm — performs zero heap allocations: one
-// hash fold, one map lookup, one bucket walk verifying candidates against
-// the stored tuples (hash equality alone does not prove projection
-// equality). Per-rule probe plans are resolved once at NewForRules time, so
-// a probe does not rebuild position lists or registry keys.
+// hash fold, one map lookup per shard, one bucket walk verifying
+// candidates against the stored tuples (hash equality alone does not
+// prove projection equality). Per-rule probe plans are resolved once at
+// NewForRules time, so a probe does not rebuild position lists or
+// registry keys.
 //
 // Beyond the full-key indexes, NewForRules builds the inverted-postings
 // layer of postings.go: per-column posting lists and per-rule
@@ -18,15 +19,23 @@
 // compatibility test and the rule-support precomputation of §5 without
 // scanning Dm.
 //
+// To reach multi-million-tuple masters, every per-tuple structure is
+// partitioned into P hash shards (see shard.go): tuples route to shards
+// by an interning-free hash of their full content, NewForRules fills the
+// shards in parallel, ApplyDelta routes maintenance to the owning shard,
+// and probes fan out with early exit. Tuple ids stay global, so probe
+// results are byte-identical for every P. Configure with WithShards /
+// WithBuildWorkers; the default is one shard per CPU.
+//
 // The paper assumes master data is consistent, complete and static (§2,
 // citing [31]). A production service cannot stop the world to re-run
 // NewForRules whenever the master relation gains a correction, so this
 // package versions Dm instead of freezing it: a *Data is an immutable,
 // epoch-stamped SNAPSHOT, and ApplyDelta derives the next snapshot by
 // copy-on-write — indexes, posting lists and pattern-support bitmaps are
-// maintained incrementally (shared base layers plus small per-snapshot
-// overlays) rather than rebuilt. The Versioned handle publishes the
-// current snapshot through an atomic pointer.
+// maintained incrementally (shared base layers plus small per-snapshot,
+// per-shard overlays) rather than rebuilt. The Versioned handle publishes
+// the current snapshot through an atomic pointer.
 //
 // Concurrency contract:
 //
@@ -51,36 +60,52 @@ package master
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/relation"
 	"repro/internal/rule"
 )
 
 // index is one hash index over an Xm position list: bucket ids keyed on
-// the uint64 projection hash through the copy-on-write layered map (see
-// overlay.go). Buckets hold ascending tuple ids, so probe results are
-// deterministic.
+// the uint64 projection hash, partitioned into one copy-on-write layered
+// map per shard (see overlay.go, shard.go). Buckets hold ascending tuple
+// ids, so probe results are deterministic.
 type index struct {
-	xm []int
-	layered[uint64, int]
+	xm     []int
+	shards []layered[uint64, int]
 }
 
-// fork derives the next snapshot's view of the index.
+// fork derives the next snapshot's view of the index: every shard layer
+// forks independently, so overlay growth and compaction stay shard-local.
 func (idx *index) fork() *index {
-	return &index{xm: idx.xm, layered: idx.layered.fork()}
+	ni := &index{xm: idx.xm, shards: make([]layered[uint64, int], len(idx.shards))}
+	for s := range idx.shards {
+		ni.shards[s] = idx.shards[s].fork()
+	}
+	return ni
+}
+
+// size returns the total number of ids across all shards (tests, stats).
+func (idx *index) size() int {
+	n := 0
+	for s := range idx.shards {
+		n += idx.shards[s].size()
+	}
+	return n
 }
 
 // Data is one immutable snapshot of the master relation plus its lookup
 // indexes, stamped with the epoch it was published at (NewForRules/New
 // build epoch 0; each ApplyDelta increments).
 type Data struct {
-	epoch  uint64
-	rel    *relation.Relation
-	syms   *relation.Symbols
-	hasher relation.Hasher
-	// indexes is the dense registry of built indexes, replacing the old
-	// string-keyed posKey map; with a handful of distinct Xm lists per Σ a
-	// linear scan comparing position slices beats string building.
+	epoch   uint64
+	nshards int
+	rel     *relation.Relation
+	syms    *relation.Symbols
+	hasher  relation.Hasher
+	// indexes is the dense registry of built indexes; with a handful of
+	// distinct Xm lists per Σ a linear scan comparing position slices
+	// beats string building.
 	indexes []*index
 	// plans maps each rule of the Σ the data was built for to its index —
 	// the per-rule probe plan, resolved once so MatchIDs is a single hash +
@@ -92,39 +117,60 @@ type Data struct {
 	// serving the partial-lhs and pattern-support paths of §5.
 	postings []*postings
 	compat   map[*rule.Rule]*compatPlan
+	// needCols are the Rm positions whose values the registered structures
+	// require interned (sorted); ApplyDelta interns added tuples' cells on
+	// exactly these columns.
+	needCols []int
 }
 
 // New wraps a master relation. Indexes are added with Index or NewForRules.
-func New(rel *relation.Relation) *Data {
+func New(rel *relation.Relation, opts ...BuildOption) *Data {
+	cfg := resolveBuildConfig(opts)
+	return newData(rel, cfg.shards)
+}
+
+func newData(rel *relation.Relation, shards int) *Data {
 	syms := relation.NewSymbols()
 	return &Data{
-		rel:    rel,
-		syms:   syms,
-		hasher: relation.NewHasher(syms),
-		plans:  map[*rule.Rule]*index{},
-		compat: map[*rule.Rule]*compatPlan{},
+		nshards: shards,
+		rel:     rel,
+		syms:    syms,
+		hasher:  relation.NewHasher(syms),
+		plans:   map[*rule.Rule]*index{},
+		compat:  map[*rule.Rule]*compatPlan{},
 	}
 }
 
 // NewForRules wraps a master relation, eagerly builds one index per
 // distinct Xm list in Σ, one posting list per distinct Xm column, and
-// resolves each rule's probe and compatibility plans.
-func NewForRules(rel *relation.Relation, sigma *rule.Set) (*Data, error) {
+// resolves each rule's probe and compatibility plans. The structures are
+// partitioned into WithShards shards and filled in parallel on
+// WithBuildWorkers goroutines (both default to one per CPU). Failures —
+// schema mismatch, a tuple violating the schema's declared types — are
+// typed: errors.Is(err, ErrMasterBuild), with a *BuildError carrying the
+// failing tuple's shard and key context.
+func NewForRules(rel *relation.Relation, sigma *rule.Set, opts ...BuildOption) (*Data, error) {
+	cfg := resolveBuildConfig(opts)
 	if !sigma.MasterSchema().Equal(rel.Schema()) {
-		return nil, fmt.Errorf("master: relation schema %s does not match Σ's master schema %s",
-			rel.Schema().Name(), sigma.MasterSchema().Name())
+		return nil, &BuildError{Shard: -1, TupleID: -1, Err: fmt.Errorf(
+			"relation schema %s does not match Σ's master schema %s",
+			rel.Schema().Name(), sigma.MasterSchema().Name())}
 	}
-	d := New(rel)
+	d := newData(rel, cfg.shards)
 	for _, ru := range sigma.Rules() {
-		d.plans[ru] = d.buildIndex(ru.LHSMRef())
-		d.compat[ru] = d.buildCompatPlan(ru)
+		idx, _ := d.registerIndex(ru.LHSMRef())
+		d.plans[ru] = idx
+		d.compat[ru] = d.registerCompatPlan(ru)
+	}
+	if err := d.buildParallel(sigma, cfg.workers); err != nil {
+		return nil, err
 	}
 	return d, nil
 }
 
 // MustNewForRules is NewForRules that panics on error.
-func MustNewForRules(rel *relation.Relation, sigma *rule.Set) *Data {
-	d, err := NewForRules(rel, sigma)
+func MustNewForRules(rel *relation.Relation, sigma *rule.Set, opts ...BuildOption) *Data {
+	d, err := NewForRules(rel, sigma, opts...)
 	if err != nil {
 		panic(err)
 	}
@@ -155,21 +201,18 @@ func (d *Data) Hasher() relation.Hasher { return d.hasher }
 func (d *Data) Index(xm []int) { d.buildIndex(xm) }
 
 // buildIndex returns the index over xm, building and registering it on
-// first request. The position list is copied, so callers may pass shared
-// slices.
+// first request (the sequential fill path used outside NewForRules). The
+// position list is copied, so callers may pass shared slices.
 func (d *Data) buildIndex(xm []int) *index {
-	if idx := d.findIndex(xm); idx != nil {
+	idx, created := d.registerIndex(xm)
+	if !created {
 		return idx
-	}
-	idx := &index{
-		xm:      append([]int(nil), xm...),
-		layered: layered[uint64, int]{base: make(map[uint64][]int, d.rel.Len())},
 	}
 	for i, tm := range d.rel.Tuples() {
 		h := d.hasher.HashInterning(tm, xm)
-		idx.base[h] = append(idx.base[h], i)
+		s := d.shardOf(tm)
+		idx.shards[s].base[h] = append(idx.shards[s].base[h], i)
 	}
-	d.indexes = append(d.indexes, idx)
 	return idx
 }
 
@@ -196,25 +239,79 @@ func eqPos(a, b []int) bool {
 	return true
 }
 
-// probe walks the bucket for t's projection hash on x, verifying every
-// candidate against the stored tuple (collision check). In the common
-// all-match case the shared bucket slice is returned without copying; a
-// filtered slice is allocated only when a hash collision is actually
-// observed.
+// probe walks the buckets for t's projection hash on x across all shards,
+// verifying every candidate against the stored tuple (collision check).
+// The common case — every match in one shard, which includes all
+// single-match probes — returns that shard's bucket slice without
+// copying; a merged slice is allocated only when matches straddle shards
+// (duplicate projections in Dm) or a hash collision is actually observed.
 func (d *Data) probe(idx *index, t relation.Tuple, x []int) []int {
 	h, ok := d.hasher.HashTuple(t, x)
 	if !ok {
 		return nil // some probe value never occurs in the indexed columns
 	}
-	bucket := idx.get(h)
-	for i, id := range bucket {
-		if !t.ProjectMatches(x, d.rel.Tuple(id), idx.xm) {
-			return filterBucket(bucket, i, func(id int) bool {
-				return t.ProjectMatches(x, d.rel.Tuple(id), idx.xm)
-			})
+	if d.nshards == 1 {
+		bucket := idx.shards[0].get(h)
+		for i, id := range bucket {
+			if !t.ProjectMatches(x, d.rel.Tuple(id), idx.xm) {
+				return filterBucket(bucket, i, func(id int) bool {
+					return t.ProjectMatches(x, d.rel.Tuple(id), idx.xm)
+				})
+			}
+		}
+		return bucket
+	}
+	return fanOutProbe(idx, h, func(id int) bool {
+		return t.ProjectMatches(x, d.rel.Tuple(id), idx.xm)
+	})
+}
+
+// fanOutProbe is the multi-shard probe shared by probe and Lookup: walk
+// every shard's bucket for h, verifying candidates with match. The
+// common case — all matches in one shard — returns that shard's
+// (possibly collision-filtered) bucket without merging; matches
+// straddling shards are collected and restored to the global ascending
+// order the P=1 layout produces.
+func fanOutProbe(idx *index, h uint64, match func(id int) bool) []int {
+	var single []int
+	hits := 0
+	for s := range idx.shards {
+		bucket := idx.shards[s].get(h)
+		if len(bucket) == 0 {
+			continue
+		}
+		clean := true
+		for _, id := range bucket {
+			if !match(id) {
+				clean = false
+				break
+			}
+		}
+		if !clean {
+			bucket = filterBucket(bucket, 0, match)
+			if len(bucket) == 0 {
+				continue
+			}
+		}
+		hits++
+		single = bucket
+		if hits > 1 {
+			break
 		}
 	}
-	return bucket
+	if hits <= 1 {
+		return single
+	}
+	var out []int
+	for s := range idx.shards {
+		for _, id := range idx.shards[s].get(h) {
+			if match(id) {
+				out = append(out, id)
+			}
+		}
+	}
+	sort.Ints(out)
+	return out
 }
 
 // filterBucket handles the cold collision path shared by probe and Lookup:
@@ -242,15 +339,20 @@ func (d *Data) Lookup(xm []int, values []relation.Value) []int {
 		if !ok {
 			return nil
 		}
-		bucket := idx.get(h)
-		for i, id := range bucket {
-			if !valuesMatch(values, d.rel.Tuple(id), idx.xm) {
-				return filterBucket(bucket, i, func(id int) bool {
-					return valuesMatch(values, d.rel.Tuple(id), idx.xm)
-				})
+		if d.nshards == 1 {
+			bucket := idx.shards[0].get(h)
+			for i, id := range bucket {
+				if !valuesMatch(values, d.rel.Tuple(id), idx.xm) {
+					return filterBucket(bucket, i, func(id int) bool {
+						return valuesMatch(values, d.rel.Tuple(id), idx.xm)
+					})
+				}
 			}
+			return bucket
 		}
-		return bucket
+		return fanOutProbe(idx, h, func(id int) bool {
+			return valuesMatch(values, d.rel.Tuple(id), idx.xm)
+		})
 	}
 	var out []int
 	for i, tm := range d.rel.Tuples() {
@@ -272,8 +374,9 @@ func valuesMatch(values []relation.Value, tm relation.Tuple, xm []int) bool {
 
 // MatchIDs returns the ids of master tuples tm with t[X] = tm[Xm] for the
 // rule's (X, Xm) correspondence. It does not test the rule's pattern
-// (patterns constrain t, not tm). Indexed probes are allocation-free; the
-// returned slice may alias internal index state — treat it as read-only.
+// (patterns constrain t, not tm). Indexed probes are allocation-free
+// unless the matches straddle shards; the returned slice may alias
+// internal index state — treat it as read-only.
 func (d *Data) MatchIDs(ru *rule.Rule, t relation.Tuple) []int {
 	x := ru.LHSRef()
 	if idx, ok := d.plans[ru]; ok {
@@ -293,18 +396,30 @@ func (d *Data) MatchIDs(ru *rule.Rule, t relation.Tuple) []int {
 }
 
 // HasMatch reports whether some master tuple matches t on the rule's
-// (X, Xm) correspondence. Indexed probes reuse the (allocation-free)
-// bucket walk; the unindexed fallback returns at the first matching tuple
-// instead of materializing the full id list.
+// (X, Xm) correspondence. Indexed probes walk the per-shard buckets with
+// early exit (never merging); the unindexed fallback returns at the first
+// matching tuple instead of materializing the full id list.
 func (d *Data) HasMatch(ru *rule.Rule, t relation.Tuple) bool {
 	x := ru.LHSRef()
-	if idx, ok := d.plans[ru]; ok {
-		return len(d.probe(idx, t, x)) > 0
+	idx, ok := d.plans[ru]
+	if !ok {
+		idx = d.findIndex(ru.LHSMRef())
+	}
+	if idx != nil {
+		h, ok := d.hasher.HashTuple(t, x)
+		if !ok {
+			return false
+		}
+		for s := range idx.shards {
+			for _, id := range idx.shards[s].get(h) {
+				if t.ProjectMatches(x, d.rel.Tuple(id), idx.xm) {
+					return true
+				}
+			}
+		}
+		return false
 	}
 	xm := ru.LHSMRef()
-	if idx := d.findIndex(xm); idx != nil {
-		return len(d.probe(idx, t, x)) > 0
-	}
 	for _, tm := range d.rel.Tuples() {
 		if t.ProjectMatches(x, tm, xm) {
 			return true

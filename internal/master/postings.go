@@ -19,65 +19,51 @@ import (
 // that made per-round latency grow linearly in |Dm| (Fig. 12a/b). With
 // postings, the partial-lhs test walks the smallest posting list of the
 // validated attributes, filtered by the pattern bitmap, and falls back to
-// the scan only when the best list is so unselective (≥ half of Dm) that
-// scanning is no worse.
+// the scan only when the best lists are so unselective (≥ half of Dm
+// summed across shards) that scanning is no worse.
+//
+// Posting lists are sharded like the hash indexes (see shard.go): each
+// shard holds the ids of its own tuples, ascending. The partial-lhs walk
+// fans out shard by shard, picking each shard's smallest validated list
+// independently (a shard with a locally selective attribute walks that
+// one even when another shard's copy is long) and early-exits on the
+// first compatible tuple. The pattern bitmap stays GLOBAL — one dense
+// id-indexed array per rule, not one per shard: a per-shard copy would
+// multiply memory by P for identical information (ids are global), while
+// the parallel build fills disjoint id ranges of the single array and
+// deltas flip single bits under the writer lock that serializes them
+// anyway.
 
 // postings is the inverted index over one master column: interned value
-// id → ascending tuple ids through the copy-on-write layered map (see
-// overlay.go).
+// id → ascending tuple ids, one copy-on-write layered map per shard.
 type postings struct {
-	col int // Rm position
-	layered[uint32, int32]
+	col    int // Rm position
+	shards []layered[uint32, int32]
 }
 
 // fork derives the next snapshot's view of the posting lists.
 func (ps *postings) fork() *postings {
-	return &postings{col: ps.col, layered: ps.layered.fork()}
+	np := &postings{col: ps.col, shards: make([]layered[uint32, int32], len(ps.shards))}
+	for s := range ps.shards {
+		np.shards[s] = ps.shards[s].fork()
+	}
+	return np
+}
+
+// size returns the total number of ids across all shards (tests, stats).
+func (ps *postings) size() int {
+	n := 0
+	for s := range ps.shards {
+		n += ps.shards[s].size()
+	}
+	return n
 }
 
 // compatPlan is a rule's compiled compatibility plan.
 type compatPlan struct {
-	patBits  []uint64    // bitmap over tuple ids: pattern cells on λϕ(Xp ∩ X) hold
+	patBits  []uint64    // bitmap over global tuple ids: pattern cells on λϕ(Xp ∩ X) hold
 	patCount int         // popcount of patBits
 	posts    []*postings // aligned with the rule's X/Xm lists
-}
-
-// buildPostings returns the posting list for column col, building and
-// registering it on first request (and interning every value of the
-// column, which is what makes ID-based probes against it sound).
-func (d *Data) buildPostings(col int) *postings {
-	for _, ps := range d.postings {
-		if ps.col == col {
-			return ps
-		}
-	}
-	ps := &postings{col: col, layered: layered[uint32, int32]{base: make(map[uint32][]int32)}}
-	for i, tm := range d.rel.Tuples() {
-		id := d.syms.Intern(tm[col])
-		ps.base[id] = append(ps.base[id], int32(i))
-	}
-	d.postings = append(d.postings, ps)
-	return ps
-}
-
-// buildCompatPlan compiles ru's compatibility plan: postings for each Xm
-// column and the pattern-support bitmap.
-func (d *Data) buildCompatPlan(ru *rule.Rule) *compatPlan {
-	x, xm := ru.LHSRef(), ru.LHSMRef()
-	plan := &compatPlan{
-		patBits: make([]uint64, (d.rel.Len()+63)/64),
-		posts:   make([]*postings, len(x)),
-	}
-	for i := range x {
-		plan.posts[i] = d.buildPostings(xm[i])
-	}
-	for id, tm := range d.rel.Tuples() {
-		if patternCompatible(ru, tm) {
-			plan.patBits[id>>6] |= 1 << (uint(id) & 63)
-			plan.patCount++
-		}
-	}
-	return plan
 }
 
 // patternCompatible reports tm[λϕ(Xp ∩ X)] ≈ tp[Xp ∩ X]: the master-side
@@ -115,8 +101,8 @@ func (d *Data) PatternSupported(ru *rule.Rule) bool {
 // attributes (t[x] = tm[λϕ(x)] for x ∈ X ∩ Z) and satisfies the rule's
 // pattern cells on the λϕ-mapped lhs attributes? A fully validated lhs
 // probes the hash index (O(1)); a partially validated one intersects
-// posting lists smallest-first under the pattern bitmap, falling back to
-// the Dm scan when the postings are degenerate.
+// posting lists smallest-first per shard under the pattern bitmap,
+// falling back to the Dm scan when the postings are degenerate.
 func (d *Data) CompatibleExists(ru *rule.Rule, t relation.Tuple, zSet relation.AttrSet) bool {
 	found, _ := d.compatible(ru, t, zSet)
 	return found
@@ -128,8 +114,27 @@ func (d *Data) compatible(ru *rule.Rule, t relation.Tuple, zSet relation.AttrSet
 	x := ru.LHSRef()
 	plan := d.compat[ru]
 	if zSet.HasAll(x) {
-		// Fully validated lhs: one O(1) index probe on tm[Xm] = t[X], each
-		// candidate checked against the pattern bitmap.
+		// Fully validated lhs: one O(1) index probe on tm[Xm] = t[X] per
+		// shard with early exit, each candidate checked against the
+		// pattern bitmap.
+		if plan != nil {
+			if idx, ok := d.plans[ru]; ok {
+				h, ok := d.hasher.HashTuple(t, x)
+				if !ok {
+					return false, false
+				}
+				xm := ru.LHSMRef()
+				for s := range idx.shards {
+					for _, id := range idx.shards[s].get(h) {
+						if plan.patBits[id>>6]&(1<<(uint(id)&63)) != 0 &&
+							t.ProjectMatches(x, d.rel.Tuple(id), xm) {
+							return true, false
+						}
+					}
+				}
+				return false, false
+			}
+		}
 		for _, id := range d.MatchIDs(ru, t) {
 			if plan != nil {
 				if plan.patBits[id>>6]&(1<<(uint(id)&63)) != 0 {
@@ -144,51 +149,98 @@ func (d *Data) compatible(ru *rule.Rule, t relation.Tuple, zSet relation.AttrSet
 	if plan == nil {
 		return d.compatibleScan(ru, t, zSet), true
 	}
-	// Partially validated lhs: pick the smallest posting list among the
-	// validated attributes.
-	var best []int32
-	bestLen, constrained := -1, false
+	// Partially validated lhs. Resolve the validated attributes' interned
+	// ids once (stack buffer — |X| is 1-2 in practice): an unresolvable
+	// value means no master tuple can agree on it, and X ∩ Z = ∅ means
+	// only the pattern constrains the master side.
+	var idbuf [16]uint32
+	ids := idbuf[:]
+	if len(x) > len(idbuf) {
+		ids = make([]uint32, len(x))
+	}
+	constrained := false
 	for i, p := range x {
 		if !zSet.Has(p) {
 			continue
 		}
-		constrained = true
 		id, ok := d.syms.ID(t[p])
 		if !ok {
 			return false, false // value absent from the master column
 		}
-		lst := plan.posts[i].get(id)
-		if len(lst) == 0 {
-			return false, false
-		}
-		if bestLen < 0 || len(lst) < bestLen {
-			best, bestLen = lst, len(lst)
-		}
+		ids[i] = id
+		constrained = true
 	}
 	if !constrained {
-		// X ∩ Z = ∅: only the pattern constrains the master side.
 		return plan.patCount > 0, false
 	}
-	if 2*bestLen >= d.rel.Len() {
-		// Degenerate postings (the best list covers at least half of Dm):
+	// Pass 1: per shard, the length of the smallest posting list among
+	// the validated attributes (0 when some validated value is absent
+	// from that shard — the whole shard is then a guaranteed miss).
+	// Summed across shards this is the number of candidates pass 2 will
+	// walk; when it reaches half of Dm a scan costs the same and avoids
+	// the per-id indirection.
+	totalBest := 0
+	for s := 0; s < d.nshards; s++ {
+		bestLen := -1
+		for i, p := range x {
+			if !zSet.Has(p) {
+				continue
+			}
+			l := len(plan.posts[i].shards[s].get(ids[i]))
+			if l == 0 {
+				bestLen = 0
+				break
+			}
+			if bestLen < 0 || l < bestLen {
+				bestLen = l
+			}
+		}
+		if bestLen > 0 {
+			totalBest += bestLen
+		}
+	}
+	if 2*totalBest >= d.rel.Len() {
+		// Degenerate postings (the best lists cover at least half of Dm):
 		// a scan costs the same and avoids the per-id indirection.
 		return d.compatibleScan(ru, t, zSet), true
 	}
+	// Pass 2: walk each shard's smallest validated list under the pattern
+	// bitmap, early-exiting on the first compatible tuple.
 	xm := ru.LHSMRef()
-	for _, id := range best {
-		if plan.patBits[id>>6]&(1<<(uint(id)&63)) == 0 {
-			continue
-		}
-		tm := d.rel.Tuple(int(id))
-		ok := true
+	for s := 0; s < d.nshards; s++ {
+		var best []int32
+		bestLen := -1
 		for i, p := range x {
-			if zSet.Has(p) && !t[p].Equal(tm[xm[i]]) {
-				ok = false
+			if !zSet.Has(p) {
+				continue
+			}
+			lst := plan.posts[i].shards[s].get(ids[i])
+			if len(lst) == 0 {
+				bestLen = 0
 				break
 			}
+			if bestLen < 0 || len(lst) < bestLen {
+				best, bestLen = lst, len(lst)
+			}
 		}
-		if ok {
-			return true, false
+		if bestLen <= 0 {
+			continue
+		}
+		for _, id := range best {
+			if plan.patBits[id>>6]&(1<<(uint(id)&63)) == 0 {
+				continue
+			}
+			tm := d.rel.Tuple(int(id))
+			ok := true
+			for i, p := range x {
+				if zSet.Has(p) && !t[p].Equal(tm[xm[i]]) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				return true, false
+			}
 		}
 	}
 	return false, false

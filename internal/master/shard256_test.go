@@ -1,0 +1,22 @@
+package master
+
+import (
+	"testing"
+)
+
+func TestMaxShardsBuild(t *testing.T) {
+	rel, sigma := shardBenchRelation(1000)
+	d := MustNewForRules(rel, sigma, WithShards(400), WithBuildWorkers(3)) // clamps to 256
+	if d.Shards() != MaxShards {
+		t.Fatalf("Shards() = %d, want %d", d.Shards(), MaxShards)
+	}
+	orc := MustNewForRules(rel, sigma, WithShards(1), WithBuildWorkers(1))
+	for i := 0; i < 1000; i += 37 {
+		probe := rel.Tuple(i)
+		for _, ru := range sigma.Rules() {
+			if got, want := d.MatchIDs(ru, probe), orc.MatchIDs(ru, probe); !eqInts(got, want) {
+				t.Fatalf("tuple %d rule %s: %v vs %v", i, ru.Name(), got, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,135 @@
+package master
+
+// Benchmarks for the sharded layout.
+//
+// BenchmarkShardedBuild measures NewForRules at P=1 (sequential,
+// unsharded layout) against P=GOMAXPROCS (parallel sharded build). The
+// speedup target (≥ 4x at |Dm| = 1M) is only observable on a multi-core
+// host: the CI container is single-CPU, where GOMAXPROCS=1 makes both
+// variants sequential and the benchmark degenerates to measuring routing
+// overhead — run locally with MASTER_BENCH_1M=1 on a real machine for
+// the headline number. The default sizes keep CI's -benchtime=1x smoke
+// cheap.
+//
+// BenchmarkProbeShards pins graceful degradation: hit latency of the
+// indexed probe as P grows at the paper-scale |Dm| = 600 (the acceptance
+// bar is "no probe-latency regression at P=1, bounded fan-out cost
+// above").
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"repro/internal/pattern"
+	"repro/internal/relation"
+	"repro/internal/rule"
+)
+
+// shardBenchRelation fabricates a synthetic master with hosp-like value
+// cardinalities: a unique key column, two moderate-cardinality foreign
+// keys, and dependent attribute columns.
+func shardBenchRelation(n int) (*relation.Relation, *rule.Set) {
+	r := relation.StringSchema("R", "key", "fk1", "fk2", "c1", "c2", "c3")
+	rm := relation.StringSchema("Rm", "key", "fk1", "fk2", "c1", "c2", "c3")
+	sigma := rule.MustNewSet(r, rm,
+		rule.MustNew("key-c1", r, rm, []int{0}, []int{0}, 3, 3, pattern.Empty()),
+		rule.MustNew("fk1-c2", r, rm, []int{1}, []int{1}, 4, 4, pattern.Empty()),
+		rule.MustNew("pair-c3", r, rm, []int{1, 2}, []int{1, 2}, 5, 5, pattern.Empty()),
+	)
+	rel := relation.NewRelation(rm)
+	for i := 0; i < n; i++ {
+		fk1 := i % (n/40 + 1)
+		fk2 := i % 97
+		rel.MustAppend(relation.StringTuple(
+			fmt.Sprintf("K%08d", i),
+			fmt.Sprintf("F%06d", fk1),
+			fmt.Sprintf("G%03d", fk2),
+			fmt.Sprintf("c1-%d", fk1),
+			fmt.Sprintf("c2-%d", fk2),
+			fmt.Sprintf("c3-%d", (fk1+fk2)%1000),
+		))
+	}
+	return rel, sigma
+}
+
+// BenchmarkShardedBuild measures the parallel sharded NewForRules against
+// the P=1 sequential build. Set MASTER_BENCH_1M=1 to add the |Dm| = 1M
+// configuration (the ≥ 4x acceptance measurement; needs a multi-core
+// host and a few GiB of memory).
+func BenchmarkShardedBuild(b *testing.B) {
+	sizes := []int{10_000, 100_000}
+	if os.Getenv("MASTER_BENCH_1M") != "" {
+		sizes = append(sizes, 1_000_000)
+	}
+	for _, n := range sizes {
+		rel, sigma := shardBenchRelation(n)
+		for _, cfg := range []struct {
+			name    string
+			shards  int
+			workers int
+		}{
+			{"P=1", 1, 1},
+			{fmt.Sprintf("P=%d", runtime.GOMAXPROCS(0)), runtime.GOMAXPROCS(0), runtime.GOMAXPROCS(0)},
+		} {
+			b.Run(fmt.Sprintf("Dm=%d/%s", n, cfg.name), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					d, err := NewForRules(rel, sigma, WithShards(cfg.shards), WithBuildWorkers(cfg.workers))
+					if err != nil {
+						b.Fatal(err)
+					}
+					if d.Len() != n {
+						b.Fatal("bad build")
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkProbeShards measures indexed hit latency across shard counts
+// at |Dm| = 600: P=1 must match the pre-sharding probe cost, and the
+// fan-out cost above it stays a handful of empty map lookups.
+func BenchmarkProbeShards(b *testing.B) {
+	const n = 600
+	rel, sigma := shardBenchRelation(n)
+	ru := sigma.Rule(0) // key → c1: unique key, single-match hits
+	for _, p := range []int{1, 2, 4, 8} {
+		d := MustNewForRules(rel, sigma, WithShards(p), WithBuildWorkers(2))
+		probe := rel.Tuple(n / 2).Clone()
+		b.Run(fmt.Sprintf("P=%d/hit", p), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if ids := d.MatchIDs(ru, probe); len(ids) != 1 {
+					b.Fatal("probe must match once")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkShardedDelta measures ApplyDelta routing at a delta size large
+// enough to take the shard-parallel application path.
+func BenchmarkShardedDelta(b *testing.B) {
+	const n = 60_000
+	rel, sigma := shardBenchRelation(n)
+	extra, _ := shardBenchRelation(n + 512)
+	adds := extra.Tuples()[n:]
+	deletes := make([]int, 256)
+	for i := range deletes {
+		deletes[i] = i * 7
+	}
+	for _, p := range []int{1, runtime.GOMAXPROCS(0)} {
+		d := MustNewForRules(rel, sigma, WithShards(p))
+		b.Run(fmt.Sprintf("P=%d", p), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := d.ApplyDelta(adds, deletes); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

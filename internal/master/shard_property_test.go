@@ -1,0 +1,390 @@
+package master
+
+// The sharding property: for EVERY shard count P, builds and delta chains
+// produce probe results byte-identical to the unsharded (P=1) oracle —
+// tuple ids are global and routing is a pure function of tuple content,
+// so P is invisible to every caller. These tests sweep P ∈ {1, 2, 7, 16}
+// (one, even, prime, and more-shards-than-some-relations) across
+// randomized instances, forced hash collisions, and delta chains long
+// enough to push shard overlays across the flatten-at-1/4 compaction
+// threshold.
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/pattern"
+	"repro/internal/relation"
+	"repro/internal/rule"
+)
+
+var shardSweep = []int{1, 2, 7, 16}
+
+// randomShardInstance builds a randomized (Rm relation, Σ) pair plus the
+// value pool used to generate probes, without building the master yet —
+// each shard count builds its own Data over the same relation.
+func randomShardInstance(rng *rand.Rand) (*relation.Relation, *rule.Set, []string) {
+	nR := 3 + rng.Intn(3)
+	nM := 3 + rng.Intn(3)
+	rNames := make([]string, nR)
+	for i := range rNames {
+		rNames[i] = fmt.Sprintf("A%d", i)
+	}
+	mNames := make([]string, nM)
+	for i := range mNames {
+		mNames[i] = fmt.Sprintf("M%d", i)
+	}
+	r := relation.StringSchema("R", rNames...)
+	rm := relation.StringSchema("Rm", mNames...)
+
+	// Enough distinct values that tuples spread across 16 shards, skewed
+	// so posting lists drift across the adaptive-scan threshold.
+	vals := []string{"a", "a", "a", "b", "c", "d", "e", "f"}
+	rel := relation.NewRelation(rm)
+	for i, n := 0, 2+rng.Intn(24); i < n; i++ {
+		rel.MustAppend(randomMasterTuple(rng, nM, vals))
+	}
+
+	sigma := rule.MustNewSet(r, rm)
+	for i, n := 0, 1+rng.Intn(5); i < n; i++ {
+		xLen := 1 + rng.Intn(2)
+		perm := rng.Perm(nR)
+		x := perm[:xLen]
+		b := perm[xLen]
+		xm := make([]int, xLen)
+		for j := range xm {
+			xm[j] = rng.Intn(nM)
+		}
+		var pPos []int
+		var pCells []pattern.Cell
+		for _, p := range rng.Perm(nR)[:rng.Intn(3)] {
+			pPos = append(pPos, p)
+			cell := pattern.Eq(relation.String(vals[rng.Intn(len(vals))]))
+			if rng.Intn(3) == 0 {
+				cell = pattern.Neq(cell.Val)
+			}
+			pCells = append(pCells, cell)
+		}
+		ru, err := rule.New(fmt.Sprintf("r%d", i), r, rm, x, xm, b, rng.Intn(nM), pattern.MustTuple(pPos, pCells))
+		if err != nil {
+			continue
+		}
+		sigma.Add(ru)
+	}
+	return rel, sigma, vals
+}
+
+// checkProbeEquality asserts every probe entry point answers byte-
+// identically on the sharded snapshot and the P=1 oracle.
+func checkProbeEquality(t *testing.T, ctx string, sharded, oracle *Data, sigma *rule.Set, probe relation.Tuple, zSet relation.AttrSet) {
+	t.Helper()
+	for _, ru := range sigma.Rules() {
+		if got, want := sharded.MatchIDs(ru, probe), oracle.MatchIDs(ru, probe); !eqInts(got, want) {
+			t.Fatalf("%s: rule %s MatchIDs = %v, oracle %v", ctx, ru.Name(), got, want)
+		}
+		if got, want := sharded.HasMatch(ru, probe), oracle.HasMatch(ru, probe); got != want {
+			t.Fatalf("%s: rule %s HasMatch = %v, oracle %v", ctx, ru.Name(), got, want)
+		}
+		gotRHS, wantRHS := sharded.RHSValues(ru, probe), oracle.RHSValues(ru, probe)
+		if len(gotRHS) != len(wantRHS) {
+			t.Fatalf("%s: rule %s RHSValues = %v, oracle %v", ctx, ru.Name(), gotRHS, wantRHS)
+		}
+		for i := range gotRHS {
+			if !gotRHS[i].Equal(wantRHS[i]) {
+				t.Fatalf("%s: rule %s RHSValues = %v, oracle %v", ctx, ru.Name(), gotRHS, wantRHS)
+			}
+		}
+		if got, want := sharded.CompatibleExists(ru, probe, zSet), oracle.CompatibleExists(ru, probe, zSet); got != want {
+			t.Fatalf("%s: rule %s CompatibleExists = %v, oracle %v (z=%v)", ctx, ru.Name(), got, want, zSet.Positions())
+		}
+		if got, want := sharded.PatternSupported(ru), oracle.PatternSupported(ru); got != want {
+			t.Fatalf("%s: rule %s PatternSupported = %v, oracle %v", ctx, ru.Name(), got, want)
+		}
+		xm := ru.LHSMRef()
+		vals := probe.Project(ru.LHSRef())
+		if got, want := sharded.Lookup(xm, vals), oracle.Lookup(xm, vals); !eqInts(got, want) {
+			t.Fatalf("%s: rule %s Lookup = %v, oracle %v", ctx, ru.Name(), got, want)
+		}
+	}
+}
+
+// TestShardedBuildMatchesUnshardedOracle: a parallel sharded build answers
+// every probe byte-identically to the unsharded sequential build, for
+// random probes, stored tuples, and every validated-attr shape.
+func TestShardedBuildMatchesUnshardedOracle(t *testing.T) {
+	for seed := 0; seed < 120; seed++ {
+		rng := rand.New(rand.NewSource(int64(51_000_000 + seed)))
+		rel, sigma, vals := randomShardInstance(rng)
+		oracle := MustNewForRules(rel, sigma, WithShards(1), WithBuildWorkers(1))
+		for _, p := range shardSweep {
+			sharded := MustNewForRules(rel, sigma, WithShards(p), WithBuildWorkers(3))
+			if sharded.Shards() != p {
+				t.Fatalf("seed %d: Shards() = %d, want %d", seed, sharded.Shards(), p)
+			}
+			probe := make(relation.Tuple, sigma.Schema().Arity())
+			for trial := 0; trial < 4; trial++ {
+				for i := range probe {
+					if rng.Intn(7) == 0 {
+						probe[i] = relation.String("zz") // never interned
+					} else {
+						probe[i] = relation.String(vals[rng.Intn(len(vals))])
+					}
+				}
+				zSet := relation.NewAttrSet(rng.Perm(len(probe))[:rng.Intn(len(probe)+1)]...)
+				checkProbeEquality(t, fmt.Sprintf("seed %d P=%d trial %d", seed, p, trial), sharded, oracle, sigma, probe, zSet)
+			}
+			// Stored tuples probe as guaranteed hits; project them into
+			// input-schema shape where arities align.
+			if rel.Len() > 0 && sigma.Schema().Arity() == rel.Schema().Arity() {
+				tm := rel.Tuple(rng.Intn(rel.Len()))
+				zSet := relation.NewAttrSet(rng.Perm(len(tm))[:rng.Intn(len(tm)+1)]...)
+				checkProbeEquality(t, fmt.Sprintf("seed %d P=%d stored", seed, p), sharded, oracle, sigma, tm, zSet)
+			}
+		}
+	}
+}
+
+// TestShardedDeltaEquivalence drives randomized delta chains at every
+// shard count, long enough that shard overlays cross the flatten-at-1/4
+// compaction threshold, checking every intermediate snapshot against the
+// same-P rebuild oracle (checkEquiv) and the P=1 oracle's probe answers.
+func TestShardedDeltaEquivalence(t *testing.T) {
+	for _, p := range shardSweep {
+		p := p
+		t.Run(fmt.Sprintf("P=%d", p), func(t *testing.T) {
+			for seed := 0; seed < 12; seed++ {
+				rng := rand.New(rand.NewSource(int64(61_000_000 + seed)))
+				rel, sigma, vals := randomShardInstance(rng)
+				cur := MustNewForRules(rel, sigma, WithShards(p), WithBuildWorkers(2))
+				orc := MustNewForRules(rel.Clone(), sigma, WithShards(1), WithBuildWorkers(1))
+				probe := make(relation.Tuple, sigma.Schema().Arity())
+				// 24 deltas on a ≤ 26-tuple relation: overlays repeatedly
+				// exceed a quarter of their shard's base, forcing the
+				// compaction path of layered.fork on every shard.
+				for step := 0; step < 24; step++ {
+					adds, deletes := randomDelta(rng, cur.Len(), rel.Schema().Arity(), vals)
+					next, err := cur.ApplyDelta(adds, deletes)
+					if err != nil {
+						t.Fatalf("seed %d step %d: %v", seed, step, err)
+					}
+					nextOrc, err := orc.ApplyDelta(adds, deletes)
+					if err != nil {
+						t.Fatalf("seed %d step %d (oracle): %v", seed, step, err)
+					}
+					ctx := fmt.Sprintf("seed %d step %d P=%d", seed, step, p)
+					checkEquiv(t, ctx, next, sigma)
+					for trial := 0; trial < 3; trial++ {
+						for i := range probe {
+							probe[i] = relation.String(vals[rng.Intn(len(vals))])
+						}
+						zSet := relation.NewAttrSet(rng.Perm(len(probe))[:rng.Intn(len(probe)+1)]...)
+						checkProbeEquality(t, ctx, next, nextOrc, sigma, probe, zSet)
+					}
+					cur, orc = next, nextOrc
+				}
+			}
+		})
+	}
+}
+
+// TestShardedForcedCollision injects a foreign tuple id into EVERY
+// shard's bucket for a probe's hash — simulating uint64 collisions in the
+// sharded layout — and checks the fan-out probe filters them all while
+// still merging true matches across shards in ascending-id order.
+func TestShardedForcedCollision(t *testing.T) {
+	r := relation.StringSchema("R", "K", "V")
+	rm := relation.StringSchema("Rm", "K", "V")
+	ru := rule.MustNew("kv", r, rm, []int{0}, []int{0}, 1, 1, pattern.Empty())
+	sigma := rule.MustNewSet(r, rm, ru)
+	rel := relation.NewRelation(rm)
+	// Many tuples sharing key "k": full-tuple routing spreads them across
+	// shards (the V column differs), so the probe exercises the
+	// multi-shard merge.
+	for i := 0; i < 12; i++ {
+		rel.MustAppend(relation.StringTuple("k", fmt.Sprintf("v%d", i)))
+	}
+	rel.MustAppend(relation.StringTuple("other", "x")) // id 12: the injected collision
+	dm := MustNewForRules(rel, sigma, WithShards(7), WithBuildWorkers(2))
+
+	probe := relation.StringTuple("k", "dirty")
+	h, ok := dm.hasher.HashTuple(probe, ru.LHSRef())
+	if !ok {
+		t.Fatal("probe must hash")
+	}
+	idx := dm.plans[ru]
+	spread := 0
+	for s := range idx.shards {
+		if len(idx.shards[s].get(h)) > 0 {
+			spread++
+		}
+	}
+	if spread < 2 {
+		t.Fatalf("fixture broken: key \"k\" occupies %d shards, want >= 2", spread)
+	}
+
+	want := make([]int, 12)
+	for i := range want {
+		want[i] = i
+	}
+	if got := dm.MatchIDs(ru, probe); !eqInts(got, want) {
+		t.Fatalf("pre-collision MatchIDs = %v, want %v", got, want)
+	}
+
+	// Inject id 12 (projection "other") into every shard's bucket for h.
+	for s := range idx.shards {
+		bucket := append([]int(nil), idx.shards[s].get(h)...)
+		idx.shards[s].base[h] = append(bucket, 12)
+		delete(idx.shards[s].over, h)
+	}
+	if got := dm.MatchIDs(ru, probe); !eqInts(got, want) {
+		t.Fatalf("MatchIDs after injected collisions = %v, want %v", got, want)
+	}
+	if dm.HasMatch(ru, relation.StringTuple("nope", "")) {
+		t.Fatal("foreign key must not match")
+	}
+	if got := dm.Lookup([]int{0}, []relation.Value{relation.String("k")}); !eqInts(got, want) {
+		t.Fatalf("Lookup after injected collisions = %v, want %v", got, want)
+	}
+}
+
+// TestShardedProbeZeroAllocSingleMatch pins the fan-out guarantee: a
+// single-match hit — the overwhelmingly common probe against key-like
+// master projections — allocates nothing even when P > 1, as do both
+// miss shapes.
+func TestShardedProbeZeroAllocSingleMatch(t *testing.T) {
+	r := relation.StringSchema("R", "K", "V", "W")
+	rm := relation.StringSchema("Rm", "K", "V", "W")
+	ru := rule.MustNew("kv", r, rm, []int{0}, []int{0}, 1, 1, pattern.Empty())
+	sigma := rule.MustNewSet(r, rm, ru)
+	rel := relation.NewRelation(rm)
+	for i := 0; i < 64; i++ {
+		rel.MustAppend(relation.StringTuple(fmt.Sprintf("k%d", i), fmt.Sprintf("v%d", i), "w"))
+	}
+	dm := MustNewForRules(rel, sigma, WithShards(8), WithBuildWorkers(2))
+
+	hit := relation.StringTuple("k17", "dirty", "x")
+	missUninterned := relation.StringTuple("nope", "dirty", "x")
+	allocs := testing.AllocsPerRun(1000, func() {
+		if ids := dm.MatchIDs(ru, hit); len(ids) != 1 {
+			t.Fatal("hit must match once")
+		}
+		if ids := dm.MatchIDs(ru, missUninterned); len(ids) != 0 {
+			t.Fatal("miss must not match")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("sharded single-match probe allocates %.1f objects per run; want 0", allocs)
+	}
+}
+
+// TestBuildErrorContext pins the typed build-failure contract: schema
+// mismatches and bad tuples surface *BuildError matching ErrMasterBuild,
+// with the failing tuple's shard, id and key context in the message.
+func TestBuildErrorContext(t *testing.T) {
+	r := relation.StringSchema("R", "A", "B")
+	rm, err := relation.NewSchema("Rm",
+		relation.Attribute{Name: "MA", Type: relation.TypeString},
+		relation.Attribute{Name: "MB", Type: relation.TypeInt},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ru := rule.MustNew("r1", r, rm, []int{0}, []int{0}, 1, 1, pattern.Empty())
+	sigma := rule.MustNewSet(r, rm, ru)
+
+	rel := relation.NewRelation(rm)
+	rel.MustAppend(relation.Tuple{relation.String("ok"), relation.Int(1)})
+	rel.MustAppend(relation.Tuple{relation.String("bad"), relation.String("not-an-int")})
+	_, err = NewForRules(rel, sigma, WithShards(4), WithBuildWorkers(2))
+	if err == nil {
+		t.Fatal("type-violating tuple must fail the build")
+	}
+	if !errors.Is(err, ErrMasterBuild) {
+		t.Fatalf("build failure must match ErrMasterBuild, got %v", err)
+	}
+	var be *BuildError
+	if !errors.As(err, &be) {
+		t.Fatalf("build failure must be a *BuildError, got %T", err)
+	}
+	if be.TupleID != 1 || be.Shard < 0 || be.Shard >= 4 {
+		t.Fatalf("BuildError context = tuple %d shard %d, want tuple 1 shard in [0,4)", be.TupleID, be.Shard)
+	}
+	if !strings.Contains(be.Key, "bad") {
+		t.Fatalf("BuildError key %q must carry the tuple's content", be.Key)
+	}
+	if !strings.Contains(err.Error(), "shard") || !strings.Contains(err.Error(), "key") {
+		t.Fatalf("error message %q must name shard and key", err)
+	}
+
+	// Schema mismatch: tuple-independent context.
+	wrong := relation.NewRelation(relation.StringSchema("Other", "X"))
+	_, err = NewForRules(wrong, sigma)
+	if !errors.Is(err, ErrMasterBuild) {
+		t.Fatalf("schema mismatch must match ErrMasterBuild, got %v", err)
+	}
+
+	// Delta validation carries the same context.
+	good := relation.NewRelation(rm)
+	good.MustAppend(relation.Tuple{relation.String("ok"), relation.Int(1)})
+	dm := MustNewForRules(good, sigma, WithShards(2))
+	_, err = dm.ApplyDelta([]relation.Tuple{{relation.Int(9), relation.Int(9)}}, nil)
+	if !errors.Is(err, ErrMasterBuild) {
+		t.Fatalf("delta add type violation must match ErrMasterBuild, got %v", err)
+	}
+	_, err = dm.ApplyDelta(nil, []int{5})
+	if !errors.Is(err, ErrMasterBuild) {
+		t.Fatalf("delta delete out of range must match ErrMasterBuild, got %v", err)
+	}
+}
+
+// TestIndexOnDerivedSnapshotDoesNotCorruptSibling pins the needCols
+// copy-on-write contract: registering a new index on a delta-derived
+// snapshot must not rewrite the shared needCols view of its ancestors,
+// whose later deltas would otherwise skip interning for the lost column
+// and silently drop index entries.
+func TestIndexOnDerivedSnapshotDoesNotCorruptSibling(t *testing.T) {
+	rm := relation.StringSchema("Rm", "MA", "MB", "MC")
+	rel := relation.NewRelation(rm)
+	rel.MustAppend(relation.StringTuple("a0", "b0", "c0"))
+	d0 := New(rel, WithShards(2))
+	d0.Index([]int{0})
+	d0.Index([]int{2})
+
+	d1, err := d0.ApplyDelta([]relation.Tuple{relation.StringTuple("a1", "b1", "c1")}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Registering an index over a new column on the child grows ITS
+	// needCols; the parent chain's view must be unchanged.
+	d1.Index([]int{1})
+
+	d2, err := d1.ApplyDelta([]relation.Tuple{relation.StringTuple("a2", "b2", "c2")}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []struct {
+		xm  []int
+		val string
+		id  int
+	}{{[]int{0}, "a2", 2}, {[]int{1}, "b2", 2}, {[]int{2}, "c2", 2}} {
+		ids := d2.Lookup(want.xm, []relation.Value{relation.String(want.val)})
+		if len(ids) != 1 || ids[0] != want.id {
+			t.Fatalf("child chain Lookup(%v, %s) = %v, want [%d]", want.xm, want.val, ids, want.id)
+		}
+	}
+	// A sibling delta from the ORIGINAL snapshot (pre-child-Index) must
+	// still index its added tuples on every column it knows about.
+	sib, err := d0.ApplyDelta([]relation.Tuple{relation.StringTuple("a9", "b9", "c9")}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ids := sib.Lookup([]int{2}, []relation.Value{relation.String("c9")}); len(ids) != 1 || ids[0] != 1 {
+		t.Fatalf("sibling Lookup on col 2 = %v, want [1] (needCols corrupted?)", ids)
+	}
+	if ids := sib.Lookup([]int{0}, []relation.Value{relation.String("a9")}); len(ids) != 1 || ids[0] != 1 {
+		t.Fatalf("sibling Lookup on col 0 = %v, want [1]", ids)
+	}
+}

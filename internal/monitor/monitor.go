@@ -100,6 +100,25 @@ func New(sigma *rule.Set, dm *master.Data, cfg Config) (*Monitor, error) {
 	return build(suggest.NewDeriver(sigma, dm), sigma, cfg)
 }
 
+// NewForRules builds the sharded master data for (Σ, rel) — threading
+// master build options such as master.WithShards, the knob batch
+// deployments tune alongside BatchOptions.Workers — wraps it in a
+// Versioned handle and returns a monitor over it plus the handle for
+// publishing master deltas. Shard count never changes fix results; it
+// buys parallel builds and shard-local maintenance at large |Dm|.
+func NewForRules(sigma *rule.Set, rel *relation.Relation, cfg Config, opts ...master.BuildOption) (*Monitor, *master.Versioned, error) {
+	dm, err := master.NewForRules(rel, sigma, opts...)
+	if err != nil {
+		return nil, nil, err
+	}
+	ver := master.NewVersioned(dm)
+	m, err := NewVersioned(sigma, ver, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return m, ver, nil
+}
+
 // NewVersioned builds a monitor over versioned master data: each new
 // session (one per tuple, including FixBatch/FixStream items) pins the
 // master snapshot current at its start, so in-flight sessions keep a

@@ -1,0 +1,44 @@
+package suggest_test
+
+import (
+	"testing"
+
+	"repro/internal/master"
+	"repro/internal/paperex"
+	"repro/internal/relation"
+	"repro/internal/suggest"
+)
+
+// TestNewDeriverForRulesSharded: the one-step constructor builds a
+// sharded master and suggests identically to a deriver over the
+// unsharded build.
+func TestNewDeriverForRulesSharded(t *testing.T) {
+	sigma := paperex.Sigma0()
+	rel := paperex.MasterRelation()
+	d, err := suggest.NewDeriverForRules(sigma, rel, master.WithShards(4), master.WithBuildWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Master().Shards(); got != 4 {
+		t.Fatalf("Shards() = %d, want 4", got)
+	}
+	plain := suggest.NewDeriver(sigma, master.MustNewForRules(rel, sigma, master.WithShards(1)))
+	r := sigma.Schema()
+	t1 := paperex.InputT1()
+	for _, z := range [][]int{
+		r.MustPosList("zip"),
+		r.MustPosList("zip", "phn"),
+		r.MustPosList("zip", "AC", "str", "city"),
+	} {
+		zSet := relation.NewAttrSet(z...)
+		a, b := d.Suggest(t1, zSet), plain.Suggest(t1, zSet)
+		if len(a.S) != len(b.S) {
+			t.Fatalf("z=%v: sharded S=%v, unsharded S=%v", z, a.S, b.S)
+		}
+		for i := range a.S {
+			if a.S[i] != b.S[i] {
+				t.Fatalf("z=%v: sharded S=%v, unsharded S=%v", z, a.S, b.S)
+			}
+		}
+	}
+}

@@ -96,6 +96,19 @@ func NewDeriverVersioned(sigma *rule.Set, ver *master.Versioned) *Deriver {
 	return d
 }
 
+// NewDeriverForRules builds the sharded master data for (Σ, rel) and a
+// static deriver over it in one step — the convenience constructor that
+// threads master build options (master.WithShards, master.WithBuildWorkers)
+// to callers that would otherwise call master.NewForRules themselves.
+// The deriver's own per-epoch engines are O(|Σ|) and need no sharding.
+func NewDeriverForRules(sigma *rule.Set, rel *relation.Relation, opts ...master.BuildOption) (*Deriver, error) {
+	dm, err := master.NewForRules(rel, sigma, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return NewDeriver(sigma, dm), nil
+}
+
 func newHandle(sigma *rule.Set) *Deriver {
 	return &Deriver{
 		sigma:     sigma,

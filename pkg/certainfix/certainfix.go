@@ -214,7 +214,7 @@ func New(rules *Rules, masterRel *Relation, opts ...Option) (*System, error) {
 	for _, o := range opts {
 		o.apply(&cfg)
 	}
-	dm, err := master.NewForRules(masterRel, rules)
+	dm, err := master.NewForRules(masterRel, rules, master.WithShards(cfg.Shards))
 	if err != nil {
 		return nil, err
 	}

@@ -26,6 +26,11 @@ var (
 	// failures are *ConflictError values carrying the disputed attribute
 	// and candidate values; errors.Is(err, ErrInconsistent) matches them.
 	ErrInconsistent = fix.ErrInconsistent
+	// ErrMasterBuild reports that master-data construction (New) or a
+	// delta (UpdateMaster) rejected the data. Concrete failures are
+	// *MasterBuildError values carrying the failing tuple's shard, id and
+	// key context.
+	ErrMasterBuild = master.ErrMasterBuild
 )
 
 // ConflictError carries the witness of an inconsistency: the attribute
@@ -33,3 +38,9 @@ var (
 // values. Retrieve it with errors.As; it matches ErrInconsistent under
 // errors.Is.
 type ConflictError = fix.ConflictError
+
+// MasterBuildError carries the context of a master build or delta
+// failure: the failing tuple's shard, its id, and a bounded rendering of
+// its key. Retrieve it with errors.As; it matches ErrMasterBuild under
+// errors.Is.
+type MasterBuildError = master.BuildError

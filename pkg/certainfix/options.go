@@ -36,6 +36,9 @@ type Options struct {
 	// session re-pins its original epoch only while that epoch is
 	// retained; see System.Resume.
 	MasterHistory int
+	// Shards partitions the master indexes into that many hash shards,
+	// built in parallel (0 = one per CPU; see WithShards).
+	Shards int
 }
 
 // apply implements Option: the whole struct replaces the accumulated
@@ -72,4 +75,16 @@ func WithMaxRounds(n int) Option {
 // cost per epoch is the delta overlays, not a copy of Dm.
 func WithMasterHistory(n int) Option {
 	return optionFunc(func(o *Options) { o.MasterHistory = n })
+}
+
+// WithShards partitions the master data's indexes, posting lists and
+// copy-on-write overlays into p hash shards, built in parallel at New
+// time and maintained shard-locally by UpdateMaster (p <= 0 restores the
+// default, one shard per CPU; p is clamped to the master package's
+// MaxShards). The shard count is invisible to results — probe answers
+// and fixes are byte-identical for every p — it trades a few empty map
+// probes per lookup for parallel builds and shard-local maintenance on
+// multi-million-tuple masters.
+func WithShards(p int) Option {
+	return optionFunc(func(o *Options) { o.Shards = p })
 }
