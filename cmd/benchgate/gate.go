@@ -153,6 +153,7 @@ type Verdict struct {
 	Base     BaselineEntry
 	Current  Measurement
 	Missing  bool    // in the baseline, absent from the input
+	New      bool    // in the input, absent from the baseline
 	NsDelta  float64 // (cur-base)/base
 	NsFail   bool
 	AllocsUp bool
@@ -162,10 +163,11 @@ type Verdict struct {
 // tolerance (a fraction, e.g. 0.30) in either direction — only slowdowns
 // beyond it fail — and allocs/op must not increase at all (the
 // any-allocs-increase threshold; a 0-alloc benchmark that starts
-// allocating always fails). Benchmarks absent from the baseline are
-// ignored (new benchmarks gate only once recorded); baseline entries
-// absent from the input are reported Missing and fail only in strict
-// mode (the caller's choice).
+// allocating always fails). Benchmarks in the input but absent from the
+// baseline are reported New — Report fails them unless allowNew, so an
+// unrecorded benchmark cannot slip past the gate silently; baseline
+// entries absent from the input are reported Missing and fail only in
+// strict mode (the caller's choice).
 func Gate(baseline map[string]BaselineEntry, current map[string]Measurement, tolerance float64) []Verdict {
 	names := make([]string, 0, len(baseline))
 	for name := range baseline {
@@ -190,12 +192,23 @@ func Gate(baseline map[string]BaselineEntry, current map[string]Measurement, tol
 		v.AllocsUp = cur.HasAllocs && cur.AllocsOp > base.AllocsOp
 		verdicts = append(verdicts, v)
 	}
+	extras := make([]string, 0)
+	for name := range current {
+		if _, known := baseline[name]; !known {
+			extras = append(extras, name)
+		}
+	}
+	sort.Strings(extras)
+	for _, name := range extras {
+		verdicts = append(verdicts, Verdict{Name: name, New: true, Current: current[name]})
+	}
 	return verdicts
 }
 
 // Report renders the verdicts and returns whether the gate passes.
-// strict makes missing benchmarks fail.
-func Report(w io.Writer, verdicts []Verdict, tolerance float64, strict bool) bool {
+// strict makes missing benchmarks fail; allowNew lets benchmarks without
+// a baseline entry through (report-only) instead of failing them.
+func Report(w io.Writer, verdicts []Verdict, tolerance float64, strict, allowNew bool) bool {
 	pass := true
 	for _, v := range verdicts {
 		switch {
@@ -206,6 +219,14 @@ func Report(w io.Writer, verdicts []Verdict, tolerance float64, strict bool) boo
 				pass = false
 			}
 			fmt.Fprintf(w, "%-4s %-55s not in bench output\n", status, v.Name)
+		case v.New:
+			status := "NEW"
+			if !allowNew {
+				status = "FAIL"
+				pass = false
+			}
+			fmt.Fprintf(w, "%-4s %-55s %9.1f ns/op, allocs %g — not in baseline (record it, or pass -allow-new)\n",
+				status, v.Name, v.Current.NsOp, v.Current.AllocsOp)
 		case v.NsFail && v.AllocsUp:
 			pass = false
 			fmt.Fprintf(w, "FAIL %-55s %9.1f ns/op vs %9.1f (%+.0f%% > ±%.0f%%), allocs %g vs %g\n",

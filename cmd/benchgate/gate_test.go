@@ -101,12 +101,44 @@ func TestGateAnyAllocIncreaseFails(t *testing.T) {
 func TestGateMissingAndStrict(t *testing.T) {
 	verdicts := Gate(map[string]BaselineEntry{"BenchmarkGone": {NsOp: 10}}, map[string]Measurement{}, 0.3)
 	var buf bytes.Buffer
-	if !Report(&buf, verdicts, 0.3, false) {
+	if !Report(&buf, verdicts, 0.3, false, false) {
 		t.Fatalf("missing benchmark must pass without -strict:\n%s", buf.String())
 	}
 	buf.Reset()
-	if Report(&buf, verdicts, 0.3, true) {
+	if Report(&buf, verdicts, 0.3, true, false) {
 		t.Fatalf("missing benchmark must fail with -strict:\n%s", buf.String())
+	}
+}
+
+func TestGateNewBenchmarkAndAllowNew(t *testing.T) {
+	// One gated benchmark plus one the baseline has never seen: the new
+	// one must fail the gate by default (it would otherwise never gate at
+	// all) and pass — reported, not scored — under -allow-new.
+	baseline := map[string]BaselineEntry{"BenchmarkX/y": {NsOp: 100}}
+	meas, err := ParseBenchOutput(strings.NewReader(
+		"BenchmarkX/y-4 100 99.0 ns/op 0 B/op 0 allocs/op\n" +
+			"BenchmarkColdStartArena/Dm=100000-4 10 7000000 ns/op 0 B/op 9 allocs/op\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	verdicts := Gate(baseline, meas, 0.3)
+	if len(verdicts) != 2 {
+		t.Fatalf("got %d verdicts, want 2 (gated + new): %+v", len(verdicts), verdicts)
+	}
+	nv := verdicts[1]
+	if !nv.New || nv.Name != "BenchmarkColdStartArena/Dm=100000" {
+		t.Fatalf("new-benchmark verdict = %+v", nv)
+	}
+	var buf bytes.Buffer
+	if Report(&buf, verdicts, 0.3, false, false) {
+		t.Fatalf("unrecorded benchmark must fail without -allow-new:\n%s", buf.String())
+	}
+	buf.Reset()
+	if !Report(&buf, verdicts, 0.3, false, true) {
+		t.Fatalf("-allow-new must pass:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), "NEW") {
+		t.Fatalf("-allow-new must still report the benchmark:\n%s", buf.String())
 	}
 }
 
@@ -128,7 +160,7 @@ func TestBaselineRoundTrip(t *testing.T) {
 	}
 	verdicts := Gate(base, meas, 0.0)
 	var buf bytes.Buffer
-	if !Report(&buf, verdicts, 0.0, true) {
+	if !Report(&buf, verdicts, 0.0, true, false) {
 		t.Fatalf("identical data must gate clean at zero tolerance:\n%s", buf.String())
 	}
 }

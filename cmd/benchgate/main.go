@@ -15,10 +15,11 @@
 //
 // With no file arguments, bench output is read from stdin. Benchmarks in
 // the baseline but absent from the input are skipped unless -strict;
-// benchmarks in the input but not the baseline never gate (record them
-// first). ns/op gating is one-sided — getting faster never fails — with
-// the band sized by -tolerance (default ±30%, sized for -benchtime=3x
-// noise on shared CI runners).
+// benchmarks in the input but not the baseline fail the gate unless
+// -allow-new, which reports them without failing (record them into a
+// baseline soon after). ns/op gating is one-sided — getting faster never
+// fails — with the band sized by -tolerance (default ±30%, sized for
+// -benchtime=3x noise on shared CI runners).
 package main
 
 import (
@@ -34,6 +35,7 @@ func main() {
 		baselinePath = flag.String("baseline", "", "BENCH_*.json baseline to gate against")
 		tolerance    = flag.Float64("tolerance", 0.30, "allowed fractional ns/op regression (0.30 = +30%)")
 		strict       = flag.Bool("strict", false, "fail when a baseline benchmark is missing from the input")
+		allowNew     = flag.Bool("allow-new", false, "report benchmarks absent from the baseline without failing the gate")
 		recordPath   = flag.String("record", "", "write a new baseline JSON from the input instead of gating")
 		title        = flag.String("title", "", "baseline title metadata (record mode)")
 		pr           = flag.Int("pr", 0, "baseline PR number metadata (record mode)")
@@ -65,7 +67,7 @@ func main() {
 		fatalf("%v", err)
 	}
 	verdicts := Gate(baseline, meas, *tolerance)
-	if !Report(os.Stdout, verdicts, *tolerance, *strict) {
+	if !Report(os.Stdout, verdicts, *tolerance, *strict, *allowNew) {
 		fmt.Fprintln(os.Stderr, "benchgate: FAIL")
 		os.Exit(1)
 	}

@@ -18,6 +18,11 @@
 //
 //	certainfix -rules hosp.rules -master hosp_master.csv \
 //	           -input hosp_input.csv -validated id,mCode -out fixed.csv
+//
+// With -master-snapshot the tool reuses a columnar arena image across
+// runs: an existing image is loaded (mmap + validate) instead of
+// rebuilding master indexes from CSV; a missing one is built from
+// -master and saved for the next run.
 package main
 
 import (
@@ -46,17 +51,17 @@ func main() {
 		workers     = flag.Int("workers", 0, "concurrent repair workers (0 = all CPUs)")
 		shards      = flag.Int("shards", 0, "master index shards, built in parallel (0 = one per CPU)")
 		masterDelta = flag.String("master-delta", "", "master-delta replay file applied before fixing (lines 'add,<cells...>' / 'del,<id>'; '---' publishes a batch)")
+		snapshot    = flag.String("master-snapshot", "", "columnar master arena: load it when the file exists, else build from -master and save it")
 	)
 	flag.Parse()
-	if *rulesPath == "" || *masterPath == "" || *inputPath == "" {
-		fatalf("-rules, -master and -input are required")
+	if *rulesPath == "" || *inputPath == "" {
+		fatalf("-rules and -input are required")
+	}
+	if *masterPath == "" && *snapshot == "" {
+		fatalf("-master is required (or -master-snapshot naming an existing image)")
 	}
 
 	r, rm, rules, err := loadRules(*rulesPath)
-	if err != nil {
-		fatalf("%v", err)
-	}
-	masterRel, err := loadCSV(rm, *masterPath)
 	if err != nil {
 		fatalf("%v", err)
 	}
@@ -64,7 +69,7 @@ func main() {
 	if err != nil {
 		fatalf("%v", err)
 	}
-	sys, err := certainfix.New(rules, masterRel, certainfix.WithShards(*shards))
+	sys, err := buildSystem(rules, rm, *masterPath, *snapshot, *shards)
 	if err != nil {
 		fatalf("%v", err)
 	}
@@ -141,6 +146,41 @@ func main() {
 		fatalf("%v", err)
 	}
 	fmt.Fprintf(os.Stderr, "certainfix: repaired %d cells across %d tuples\n", totalFixed, inputs.Len())
+}
+
+// buildSystem constructs the System: from the columnar arena image when
+// snapshot names an existing file, otherwise from the master CSV — saving
+// the freshly built snapshot to the snapshot path, if given, so the next
+// run cold-starts by page-in instead of rebuild.
+func buildSystem(rules *certainfix.Rules, rm *certainfix.Schema, masterPath, snapshot string, shards int) (*certainfix.System, error) {
+	if snapshot != "" {
+		if _, err := os.Stat(snapshot); err == nil {
+			sys, err := certainfix.NewFromArena(rules, snapshot)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", snapshot, err)
+			}
+			fmt.Fprintf(os.Stderr, "certainfix: master loaded from arena %s\n", snapshot)
+			return sys, nil
+		}
+	}
+	if masterPath == "" {
+		return nil, fmt.Errorf("-master is required when %s does not exist yet", snapshot)
+	}
+	masterRel, err := loadCSV(rm, masterPath)
+	if err != nil {
+		return nil, err
+	}
+	sys, err := certainfix.New(rules, masterRel, certainfix.WithShards(shards))
+	if err != nil {
+		return nil, err
+	}
+	if snapshot != "" {
+		if err := sys.SaveMasterArena(snapshot); err != nil {
+			return nil, fmt.Errorf("save %s: %w", snapshot, err)
+		}
+		fmt.Fprintf(os.Stderr, "certainfix: master arena saved to %s\n", snapshot)
+	}
+	return sys, nil
 }
 
 // replayMasterDeltas applies a master-delta file against the running

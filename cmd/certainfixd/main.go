@@ -13,7 +13,9 @@
 //	POST /v1/result         {"token": {...}}               final (or interim) result
 //	POST /v1/update-master  {"adds": [[...]], "deletes": [..]}
 //	                        publish a master-data delta (new epoch)
-//	GET  /healthz
+//	GET  /healthz           liveness plus the master's memory accounting
+//	                        ("master": heap vs arena residency, see
+//	                        certainfix.MasterMemStats)
 //
 // begin/suggest/answer reply with {"token", "suggested",
 // "suggestedAttrs", "tuple", "rounds", "done", "completed", "epoch"};
@@ -32,6 +34,11 @@
 //
 // The rules file uses the schema-header format of cmd/certainfix
 // (schema R: ... / master Rm: ... / rule ... lines).
+//
+// With -master-snapshot the daemon cold-starts from a columnar arena
+// image: when the file exists it is loaded (mmap + validate) instead of
+// rebuilding indexes from the CSV; when it does not exist yet, the master
+// is built from -master and the image is saved for the next start.
 package main
 
 import (
@@ -58,13 +65,17 @@ func main() {
 		maxRounds  = flag.Int("max-rounds", 0, "cap interaction rounds per session (0 = arity + 1)")
 		history    = flag.Int("history", 0, "master snapshot ring size for session resume (0 = default)")
 		shards     = flag.Int("shards", 0, "master index shards, built in parallel (0 = one per CPU)")
+		snapshot   = flag.String("master-snapshot", "", "columnar master arena: load it when the file exists, else build from -master and save it")
 	)
 	flag.Parse()
-	if *rulesPath == "" || *masterPath == "" {
-		fatalf("-rules and -master are required")
+	if *rulesPath == "" {
+		fatalf("-rules is required")
+	}
+	if *masterPath == "" && *snapshot == "" {
+		fatalf("-master is required (or -master-snapshot naming an existing image)")
 	}
 
-	sys, err := buildSystem(*rulesPath, *masterPath, *useCache, *maxRounds, *history, *shards)
+	sys, err := buildSystem(*rulesPath, *masterPath, *snapshot, *useCache, *maxRounds, *history, *shards)
 	if err != nil {
 		// *certainfix.MasterBuildError renders the failing tuple's
 		// shard/id/key itself; the sentinel check names the subsystem.
@@ -101,9 +112,12 @@ func main() {
 	fmt.Fprintln(os.Stderr, "certainfixd: drained, bye")
 }
 
-// buildSystem loads the rules file (schema headers + DSL) and the master
-// CSV, then constructs the System with the flag-selected options.
-func buildSystem(rulesPath, masterPath string, useCache bool, maxRounds, history, shards int) (*certainfix.System, error) {
+// buildSystem loads the rules file (schema headers + DSL) and constructs
+// the System: from the columnar arena image when snapshot names an
+// existing file (cold start by page-in), otherwise from the master CSV —
+// saving the freshly built snapshot to the snapshot path, if given, so
+// the next start takes the fast path.
+func buildSystem(rulesPath, masterPath, snapshot string, useCache bool, maxRounds, history, shards int) (*certainfix.System, error) {
 	src, err := os.ReadFile(rulesPath)
 	if err != nil {
 		return nil, err
@@ -111,15 +125,6 @@ func buildSystem(rulesPath, masterPath string, useCache bool, maxRounds, history
 	_, rm, rules, err := certainfix.ParseRulesWithSchemas(string(src))
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", rulesPath, err)
-	}
-	f, err := os.Open(masterPath)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	masterRel, err := certainfix.ReadCSV(rm, bufio.NewReader(f))
-	if err != nil {
-		return nil, fmt.Errorf("%s: %w", masterPath, err)
 	}
 	var opts []certainfix.Option
 	if useCache {
@@ -131,10 +136,42 @@ func buildSystem(rulesPath, masterPath string, useCache bool, maxRounds, history
 	if history > 0 {
 		opts = append(opts, certainfix.WithMasterHistory(history))
 	}
+	if snapshot != "" {
+		if _, statErr := os.Stat(snapshot); statErr == nil {
+			sys, err := certainfix.NewFromArena(rules, snapshot, opts...)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", snapshot, err)
+			}
+			fmt.Fprintf(os.Stderr, "certainfixd: master loaded from arena %s\n", snapshot)
+			return sys, nil
+		}
+	}
+	if masterPath == "" {
+		return nil, fmt.Errorf("-master is required when %s does not exist yet", snapshot)
+	}
+	f, err := os.Open(masterPath)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	masterRel, err := certainfix.ReadCSV(rm, bufio.NewReader(f))
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", masterPath, err)
+	}
 	if shards > 0 {
 		opts = append(opts, certainfix.WithShards(shards))
 	}
-	return certainfix.New(rules, masterRel, opts...)
+	sys, err := certainfix.New(rules, masterRel, opts...)
+	if err != nil {
+		return nil, err
+	}
+	if snapshot != "" {
+		if err := sys.SaveMasterArena(snapshot); err != nil {
+			return nil, fmt.Errorf("save %s: %w", snapshot, err)
+		}
+		fmt.Fprintf(os.Stderr, "certainfixd: master arena saved to %s\n", snapshot)
+	}
+	return sys, nil
 }
 
 func fatalf(format string, args ...any) {

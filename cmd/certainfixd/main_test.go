@@ -279,7 +279,7 @@ func TestBuildSystemFromFiles(t *testing.T) {
 	if err := os.WriteFile(masterCSV, []byte("K,V\nk1,v1\nk2,v2\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	sys, err := buildSystem(rules, masterCSV, false, 3, 4, 2)
+	sys, err := buildSystem(rules, masterCSV, "", false, 3, 4, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -287,7 +287,30 @@ func TestBuildSystemFromFiles(t *testing.T) {
 	if err != nil || len(changed) != 1 || fixed[1].Str() != "v1" {
 		t.Fatalf("fixed=%v changed=%v err=%v", fixed, changed, err)
 	}
-	if _, err := buildSystem(filepath.Join(dir, "missing.rules"), masterCSV, false, 0, 0, 0); err == nil {
+	if _, err := buildSystem(filepath.Join(dir, "missing.rules"), masterCSV, "", false, 0, 0, 0); err == nil {
 		t.Fatal("missing rules file must error")
+	}
+
+	// -master-snapshot round trip: first start builds from CSV and saves
+	// the arena; second start loads it — without the CSV — and fixes
+	// identically. Stats must report the arena backing.
+	arena := filepath.Join(dir, "master.arena")
+	if _, err := buildSystem(rules, masterCSV, arena, false, 0, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	sys2, err := buildSystem(rules, "", arena, false, 0, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixed, _, changed, err = sys2.RepairOnce(certainfix.StringTuple("k2", "wrong"), []int{0})
+	if err != nil || len(changed) != 1 || fixed[1].Str() != "v2" {
+		t.Fatalf("arena-loaded fix: fixed=%v changed=%v err=%v", fixed, changed, err)
+	}
+	if ms := sys2.MasterMemStats(); !ms.ArenaBacked {
+		t.Fatalf("arena-loaded system reports no arena backing: %+v", ms)
+	}
+	// Snapshot path given but file absent and no CSV either: a clear error.
+	if _, err := buildSystem(rules, "", filepath.Join(dir, "absent.arena"), false, 0, 0, 0); err == nil {
+		t.Fatal("missing master and missing snapshot must error")
 	}
 }

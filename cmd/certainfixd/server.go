@@ -32,7 +32,14 @@ func newHandler(sys *certainfix.System) http.Handler {
 	mux.HandleFunc("POST /v1/result", s.handleResult)
 	mux.HandleFunc("POST /v1/update-master", s.handleUpdateMaster)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]any{"ok": true, "epoch": sys.MasterEpoch(), "masterSize": sys.MasterLen()})
+		writeJSON(w, http.StatusOK, map[string]any{
+			"ok":         true,
+			"epoch":      sys.MasterEpoch(),
+			"masterSize": sys.MasterLen(),
+			// Where the master's lookup structures live (heap vs arena)
+			// and what they weigh — the observable side of -master-snapshot.
+			"master": sys.MasterMemStats(),
+		})
 	})
 	return mux
 }

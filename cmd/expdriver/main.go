@@ -7,7 +7,12 @@
 //
 //	expdriver [-experiment all|exp1|exp2|fig9|fig10|fig11|fig12|fixdump]
 //	          [-dataset hosp|dblp|both] [-master N] [-tuples N] [-seed N]
-//	          [-workers N] [-shards P] [-out FILE]
+//	          [-workers N] [-shards P] [-out FILE] [-master-snapshot FILE]
+//
+// -master-snapshot reuses a columnar master arena image across runs: an
+// existing image is loaded instead of rebuilding the master indexes, a
+// missing one is saved after the build. Fix outputs are byte-identical
+// either way; the CI scale smoke diffs rebuilt vs arena-loaded fixdumps.
 //
 // The defaults run a laptop-scale pass (|Dm| = 2000, |D| = 500) in a few
 // seconds; raise -master/-tuples to approach the paper's 10K/10K setting.
@@ -39,6 +44,7 @@ func main() {
 		workers    = flag.Int("workers", 1, "batch-fix workers for accuracy experiments (fig12 latency always runs sequentially)")
 		shards     = flag.Int("shards", 0, "master index shards, built in parallel (0 = one per CPU)")
 		outPath    = flag.String("out", "", "output file for fixdump (default stdout)")
+		snapshot   = flag.String("master-snapshot", "", "columnar master arena: load it when the file exists, else build and save it (fix results are identical either way)")
 	)
 	flag.Parse()
 
@@ -64,7 +70,7 @@ func main() {
 			fatalf("fixdump writes one relation; pick -dataset hosp or -dataset dblp")
 		}
 		ds := datasets[0]
-		p := experiments.Params{Dataset: ds, Seed: *seed, MasterSize: *masterSize, Tuples: *tuples, Workers: *workers, Shards: *shards}
+		p := experiments.Params{Dataset: ds, Seed: *seed, MasterSize: *masterSize, Tuples: *tuples, Workers: *workers, Shards: *shards, MasterSnapshot: *snapshot}
 		rel, err := experiments.FixedOutputs(p)
 		checkErr(err)
 		out := os.Stdout
@@ -83,7 +89,7 @@ func main() {
 	}
 
 	for _, ds := range datasets {
-		p := experiments.Params{Dataset: ds, Seed: *seed, MasterSize: *masterSize, Tuples: *tuples, Workers: *workers, Shards: *shards}
+		p := experiments.Params{Dataset: ds, Seed: *seed, MasterSize: *masterSize, Tuples: *tuples, Workers: *workers, Shards: *shards, MasterSnapshot: *snapshot}
 
 		if run("exp2") {
 			t, err := experiments.Exp2InitialSuggestion(p)

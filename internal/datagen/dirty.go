@@ -3,6 +3,7 @@ package datagen
 import (
 	"fmt"
 	"math/rand"
+	"os"
 
 	"repro/internal/master"
 	"repro/internal/relation"
@@ -30,6 +31,13 @@ type Config struct {
 	// built in parallel (0 = one per CPU; see master.WithShards). Fix
 	// results are byte-identical for every shard count.
 	Shards int
+	// MasterArena, when non-empty, names a columnar master arena image:
+	// an existing image is loaded (master.LoadArena) instead of building
+	// indexes over the generated master relation, and a missing one is
+	// saved after the build so the next run with the same parameters
+	// cold-starts by page-in. The image must have been saved for the same
+	// (Σ, generation parameters); rule signatures are validated at load.
+	MasterArena string
 }
 
 func (c Config) withDefaults() Config {
@@ -79,6 +87,27 @@ func (d *Dataset) ErroneousCells() int {
 	return n
 }
 
+// buildMaster turns the generated master relation into index-backed
+// master data, through the configured arena image when one is set: load
+// it if it exists, otherwise build from the relation and save it.
+func buildMaster(rel *relation.Relation, sigma *rule.Set, cfg Config) (*master.Data, error) {
+	if cfg.MasterArena != "" {
+		if _, err := os.Stat(cfg.MasterArena); err == nil {
+			return master.LoadArena(cfg.MasterArena, sigma)
+		}
+	}
+	dm, err := master.NewForRules(rel, sigma, master.WithShards(cfg.Shards))
+	if err != nil {
+		return nil, err
+	}
+	if cfg.MasterArena != "" {
+		if err := dm.SaveArenaFile(cfg.MasterArena, sigma); err != nil {
+			return nil, fmt.Errorf("save master arena: %w", err)
+		}
+	}
+	return dm, nil
+}
+
 // Hosp generates the HOSP dataset.
 func Hosp(cfg Config) (*Dataset, error) {
 	cfg = cfg.withDefaults()
@@ -91,7 +120,7 @@ func Hosp(cfg Config) (*Dataset, error) {
 		h, m := w.masterPair(k)
 		rel.MustAppend(w.row(rel.Schema(), h, m))
 	}
-	dm, err := master.NewForRules(rel, sigma, master.WithShards(cfg.Shards))
+	dm, err := buildMaster(rel, sigma, cfg)
 	if err != nil {
 		return nil, fmt.Errorf("datagen: hosp: %w", err)
 	}
@@ -170,7 +199,7 @@ func Dblp(cfg Config) (*Dataset, error) {
 	for p := 0; p < cfg.MasterSize; p++ {
 		rel.MustAppend(w.row(rel.Schema(), p))
 	}
-	dm, err := master.NewForRules(rel, sigma, master.WithShards(cfg.Shards))
+	dm, err := buildMaster(rel, sigma, cfg)
 	if err != nil {
 		return nil, fmt.Errorf("datagen: dblp: %w", err)
 	}

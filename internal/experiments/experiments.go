@@ -36,6 +36,13 @@ type Params struct {
 	// byte-identical for every shard count — TestFixOutputShardInvariance
 	// and the CI scale smoke pin this.
 	Shards int
+	// MasterSnapshot, when non-empty, names a columnar master arena image
+	// (datagen.Config.MasterArena): an existing image replaces the master
+	// index build, a missing one is saved after building, so repeated runs
+	// over the same generated master cold-start by page-in. Fix results
+	// are byte-identical either way — the CI scale smoke diffs a rebuilt
+	// run against an arena-loaded one to pin exactly that.
+	MasterSnapshot string
 }
 
 // WithDefaults fills unset fields with the §6 defaults.
@@ -71,12 +78,13 @@ func (p Params) WithDefaults() Params {
 // generate builds the dataset for the parameters.
 func generate(p Params) (*datagen.Dataset, error) {
 	cfg := datagen.Config{
-		Seed:       p.Seed,
-		MasterSize: p.MasterSize,
-		Tuples:     p.Tuples,
-		DupRate:    p.DupRate,
-		NoiseRate:  p.NoiseRate,
-		Shards:     p.Shards,
+		Seed:        p.Seed,
+		MasterSize:  p.MasterSize,
+		Tuples:      p.Tuples,
+		DupRate:     p.DupRate,
+		NoiseRate:   p.NoiseRate,
+		Shards:      p.Shards,
+		MasterArena: p.MasterSnapshot,
 	}
 	switch p.Dataset {
 	case "hosp":

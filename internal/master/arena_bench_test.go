@@ -1,0 +1,117 @@
+package master
+
+// Cold-start benchmarks for the arena tentpole (ISSUE 6): process boot as
+// a NewForRules rebuild versus loading the saved columnar image, at the
+// acceptance scale of |Dm| = 100k (plus a 10k point for trend). The
+// acceptance bar is arena ≥ 5x faster at 100k. BenchmarkProbeArena and
+// its heap twin pin that the flat bucket tables do not regress the hot
+// probe path (bar: within ±30%).
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/relation"
+	"repro/internal/rule"
+)
+
+// BenchmarkColdStartRebuild is today's boot path: a full parallel
+// NewForRules over the row-oriented relation.
+func BenchmarkColdStartRebuild(b *testing.B) {
+	for _, n := range []int{10_000, 100_000} {
+		rel, sigma := benchMasterRelation(n)
+		b.Run(fmt.Sprintf("Dm=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := NewForRules(rel, sigma); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkColdStartArena is the boot path this PR adds: open the saved
+// image, map it, validate, and materialize the snapshot. File pages are
+// warm (saved in the same process), which matches a service restarting on
+// the machine that holds its snapshot.
+func BenchmarkColdStartArena(b *testing.B) {
+	for _, n := range []int{10_000, 100_000} {
+		rel, sigma := benchMasterRelation(n)
+		d, err := NewForRules(rel, sigma)
+		if err != nil {
+			b.Fatal(err)
+		}
+		path := filepath.Join(b.TempDir(), "master.arena")
+		if err := d.SaveArenaFile(path, sigma); err != nil {
+			b.Fatal(err)
+		}
+		fi, err := os.Stat(path)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("Dm=%d", n), func(b *testing.B) {
+			b.SetBytes(fi.Size())
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := LoadArena(path, sigma); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// benchProbe is the shared single-snapshot probe body: indexed MatchIDs
+// plus the fully-validated CompatibleExists path against real zip
+// projections — the same shape as BenchmarkProbeUnderUpdate minus the
+// delta churn, so heap and arena are compared on identical work.
+func benchProbe(b *testing.B, d *Data, rel *relation.Relation, arity, n int, ru *rule.Rule) {
+	probes := make([]relation.Tuple, 256)
+	for i := range probes {
+		t := make(relation.Tuple, arity)
+		for j := range t {
+			t[j] = relation.String("x")
+		}
+		t[7] = rel.Tuple(i * (n / len(probes)))[7] // a real zip: indexed hit
+		probes[i] = t
+	}
+	zSet := relation.NewAttrSet(7)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t := probes[i%len(probes)]
+		if len(d.MatchIDs(ru, t)) == 0 {
+			b.Fatal("probe missed: bench fixture broken")
+		}
+		_ = d.CompatibleExists(ru, t, zSet)
+	}
+}
+
+// BenchmarkProbeHeap measures the probe loop against a heap-built
+// snapshot — the PR-5 baseline shape.
+func BenchmarkProbeHeap(b *testing.B) {
+	const n = 60_000
+	rel, sigma := benchMasterRelation(n)
+	d := MustNewForRules(rel, sigma)
+	benchProbe(b, d, rel, sigma.Schema().Arity(), n, sigma.Rules()[0])
+}
+
+// BenchmarkProbeArena measures the identical loop against the same master
+// loaded from its arena image: flat bucket tables, mmap-backed values.
+func BenchmarkProbeArena(b *testing.B) {
+	const n = 60_000
+	rel, sigma := benchMasterRelation(n)
+	d := MustNewForRules(rel, sigma)
+	path := filepath.Join(b.TempDir(), "master.arena")
+	if err := d.SaveArenaFile(path, sigma); err != nil {
+		b.Fatal(err)
+	}
+	loaded, err := LoadArena(path, sigma)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchProbe(b, loaded, rel, sigma.Schema().Arity(), n, sigma.Rules()[0])
+}

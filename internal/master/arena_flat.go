@@ -1,0 +1,164 @@
+package master
+
+// This file implements the read-only bucket tables a loaded arena plugs
+// into the layered maps as their flat layer (see overlay.go): open-
+// addressing hash tables whose slot arrays and id arrays are views into
+// the arena bytes, decoded without copying. The tables are frozen — the
+// save side builds them with a power-of-two slot count at ≤ 1/2 load
+// factor and inserts keys in ascending order with linear probing, so the
+// layout is deterministic and every lookup terminates at an empty slot.
+//
+// Index shards (uint64 projection hash → []int) use 16-byte slots: the
+// key, then the bucket's span packed as off<<32 | count into the shard's
+// id array. Posting shards (uint32 value id → []int32) use 12-byte slots
+// (key, off, count as uint32). In both, count == 0 marks an empty slot —
+// empty buckets are never stored, so every live bucket has count ≥ 1.
+
+import (
+	"math/bits"
+	"unsafe"
+)
+
+// arenaBuckets is the flat layer of one index shard.
+type arenaBuckets struct {
+	// slots holds nslots packed (key, off<<32|count) pairs; len = 2·nslots.
+	slots []uint64
+	mask  uint64
+	ids   []int
+	nkeys int
+}
+
+var _ flatSource[uint64, int] = (*arenaBuckets)(nil)
+
+func (a *arenaBuckets) get(k uint64) []int {
+	slot := k & a.mask
+	for {
+		packed := a.slots[2*slot+1]
+		if packed == 0 {
+			return nil
+		}
+		if a.slots[2*slot] == k {
+			off := packed >> 32
+			return a.ids[off : off+packed&0xffffffff]
+		}
+		slot = (slot + 1) & a.mask
+	}
+}
+
+func (a *arenaBuckets) each(fn func(k uint64, ids []int)) {
+	for slot := 0; 2*slot < len(a.slots); slot++ {
+		packed := a.slots[2*slot+1]
+		if packed == 0 {
+			continue
+		}
+		off := packed >> 32
+		fn(a.slots[2*slot], a.ids[off:off+packed&0xffffffff])
+	}
+}
+
+func (a *arenaBuckets) entries() int { return a.nkeys }
+func (a *arenaBuckets) idCount() int { return len(a.ids) }
+
+// arenaPostings is the flat layer of one posting-list shard.
+type arenaPostings struct {
+	// slots holds nslots (key, off, count) triples; len = 3·nslots.
+	slots []uint32
+	mask  uint32
+	ids   []int32
+	nkeys int
+}
+
+var _ flatSource[uint32, int32] = (*arenaPostings)(nil)
+
+func (a *arenaPostings) get(k uint32) []int32 {
+	slot := k & a.mask
+	for {
+		cnt := a.slots[3*slot+2]
+		if cnt == 0 {
+			return nil
+		}
+		if a.slots[3*slot] == k {
+			off := a.slots[3*slot+1]
+			return a.ids[off : off+cnt]
+		}
+		slot = (slot + 1) & a.mask
+	}
+}
+
+func (a *arenaPostings) each(fn func(k uint32, ids []int32)) {
+	for slot := 0; 3*slot < len(a.slots); slot++ {
+		cnt := a.slots[3*slot+2]
+		if cnt == 0 {
+			continue
+		}
+		off := a.slots[3*slot+1]
+		fn(a.slots[3*slot], a.ids[off:off+cnt])
+	}
+}
+
+func (a *arenaPostings) entries() int { return a.nkeys }
+func (a *arenaPostings) idCount() int { return len(a.ids) }
+
+// flatSlots returns the slot count for nkeys entries: the smallest power
+// of two holding them at ≤ 1/2 load (minimum 2, so the probe loop always
+// has an empty slot to terminate on).
+func flatSlots(nkeys int) int {
+	if nkeys == 0 {
+		return 2
+	}
+	return 1 << bits.Len(uint(2*nkeys-1))
+}
+
+// The view helpers reinterpret arena bytes as typed slices without
+// copying. Callers guarantee alignment (sections are 8-aligned and the
+// loader realigns unaligned backing buffers up front) and length
+// divisibility (validated during decode).
+
+func viewU64(b []byte) []uint64 {
+	if len(b) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*uint64)(unsafe.Pointer(&b[0])), len(b)/8)
+}
+
+func viewU32(b []byte) []uint32 {
+	if len(b) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*uint32)(unsafe.Pointer(&b[0])), len(b)/4)
+}
+
+func viewI32(b []byte) []int32 {
+	if len(b) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*int32)(unsafe.Pointer(&b[0])), len(b)/4)
+}
+
+// viewInt reinterprets 8-byte little-endian ids as []int on 64-bit
+// platforms; on 32-bit platforms it materializes a copy (ids were
+// validated < ntuples, which fits int32 there).
+func viewInt(b []byte) []int {
+	if len(b) == 0 {
+		return nil
+	}
+	if unsafe.Sizeof(int(0)) == 8 {
+		return unsafe.Slice((*int)(unsafe.Pointer(&b[0])), len(b)/8)
+	}
+	u := viewU64(b)
+	out := make([]int, len(u))
+	for i, v := range u {
+		out[i] = int(v)
+	}
+	return out
+}
+
+// viewString wraps arena bytes as a string without copying. The string
+// aliases the arena: it stays valid exactly as long as the arena mapping
+// (which the Data snapshots derived from it keep alive).
+func viewString(b []byte) string {
+	if len(b) == 0 {
+		return ""
+	}
+	return unsafe.String(&b[0], len(b))
+}

@@ -1,0 +1,13 @@
+//go:build !linux && !darwin
+
+package master
+
+import "os"
+
+// mmapArena always declines on platforms without the syscall mmap shim;
+// LoadArena falls back to reading the file into memory.
+func mmapArena(f *os.File, size int) ([]byte, bool) {
+	return nil, false
+}
+
+func munmapArena(b []byte) {}

@@ -1,0 +1,29 @@
+//go:build linux || darwin
+
+package master
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapArena maps size bytes of f read-only. A nil slice (any reason:
+// empty file, mmap refusal) tells the caller to fall back to reading the
+// file into memory — loading must succeed wherever the file is readable.
+func mmapArena(f *os.File, size int) ([]byte, bool) {
+	if size <= 0 {
+		return nil, false
+	}
+	b, err := syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, false
+	}
+	return b, true
+}
+
+// munmapArena releases a mapping obtained from mmapArena (load-error
+// paths only: a mapping referenced by a loaded snapshot lives with the
+// process, since tuple cells alias it).
+func munmapArena(b []byte) {
+	_ = syscall.Munmap(b)
+}

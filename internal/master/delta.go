@@ -126,6 +126,7 @@ func (d *Data) ApplyDelta(adds []relation.Tuple, deletes []int) (*Data, error) {
 		// never mutating the shared array in place.
 		needCols: d.needCols,
 		syms:     d.syms.Fork(),
+		arena:    d.arena,
 	}
 	nd.hasher = relation.NewHasher(nd.syms)
 	remapIdx := make(map[*index]*index, len(d.indexes))

@@ -45,6 +45,39 @@ func (e *BuildError) Error() string {
 // cause through errors.Is/As.
 func (e *BuildError) Unwrap() []error { return []error{ErrMasterBuild, e.Err} }
 
+// ErrBadSnapshot is the sentinel matched (errors.Is) by every arena
+// decode failure: truncated files, bad magic or version, out-of-range
+// offsets, corrupt tables, and snapshots saved for a different Σ or
+// schema. The concrete error is a *SnapshotError locating the corruption.
+// The decoder validates eagerly at LoadArena time — a snapshot that loads
+// without error is fully bounds-checked, so probes run with no per-access
+// validation — and never panics or reads past the file on hostile input
+// (FuzzLoadArena pins this).
+var ErrBadSnapshot = errors.New("master: bad snapshot")
+
+// SnapshotError reports an arena decode failure with the file section and
+// byte offset where decoding stopped.
+type SnapshotError struct {
+	// Section names the arena section being decoded ("header", "schema",
+	// "symbols", "columns", "indexes", "postings", "rules").
+	Section string
+	// Offset is the absolute byte offset at which decoding failed (-1 when
+	// the failure is not tied to one position, e.g. a Σ mismatch).
+	Offset int
+	// Msg describes the corruption.
+	Msg string
+}
+
+func (e *SnapshotError) Error() string {
+	if e.Offset < 0 {
+		return fmt.Sprintf("master: snapshot: %s: %s", e.Section, e.Msg)
+	}
+	return fmt.Sprintf("master: snapshot: %s at offset %d: %s", e.Section, e.Offset, e.Msg)
+}
+
+// Unwrap makes the error match ErrBadSnapshot through errors.Is.
+func (e *SnapshotError) Unwrap() error { return ErrBadSnapshot }
+
 // maxKeyContext bounds the tuple-key rendering embedded in errors, so a
 // pathological row cannot flood logs.
 const maxKeyContext = 128

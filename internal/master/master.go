@@ -121,6 +121,11 @@ type Data struct {
 	// require interned (sorted); ApplyDelta interns added tuples' cells on
 	// exactly these columns.
 	needCols []int
+	// arena pins the backing bytes of an arena-loaded snapshot (nil for
+	// heap-built ones). Propagated through ApplyDelta derivations: tuple
+	// cells and flat index layers alias the bytes for the snapshot chain's
+	// whole lifetime. See arena.go / arena_load.go.
+	arena *arenaRef
 }
 
 // New wraps a master relation. Indexes are added with Index or NewForRules.

@@ -1,0 +1,91 @@
+package master
+
+import "repro/internal/relation"
+
+// MemStats is a snapshot's memory accounting: where the bytes of the
+// lookup structures live, split so the heap-vs-arena tradeoff is
+// observable in production (certainfixd exposes this on /healthz), not
+// just in benchmarks. Counts are logical (entries and ids), byte figures
+// are the dominant payloads — map headers, slice headers and allocator
+// overhead are not modeled.
+type MemStats struct {
+	// Epoch and Tuples identify the snapshot.
+	Epoch  uint64 `json:"epoch"`
+	Tuples int    `json:"tuples"`
+	Shards int    `json:"shards"`
+
+	// Symbols is the interning table: distinct values and their string
+	// payload bytes.
+	Symbols     int   `json:"symbols"`
+	SymbolBytes int64 `json:"symbol_bytes"`
+
+	// IndexKeys/IndexIDs count hash-index bucket keys and bucket entries
+	// across all indexes and shards; IndexBytes is their payload (16 bytes
+	// per key, 8 per id).
+	IndexKeys  int   `json:"index_keys"`
+	IndexIDs   int   `json:"index_ids"`
+	IndexBytes int64 `json:"index_bytes"`
+
+	// PostingKeys/PostingIDs count posting-list keys and entries;
+	// PostingBytes is their payload (12 bytes per key, 4 per id).
+	PostingKeys  int   `json:"posting_keys"`
+	PostingIDs   int   `json:"posting_ids"`
+	PostingBytes int64 `json:"posting_bytes"`
+
+	// BitmapBytes is the pattern-support bitmaps across all rules.
+	BitmapBytes int64 `json:"bitmap_bytes"`
+
+	// ArenaBacked reports whether the snapshot chain is rooted in a loaded
+	// columnar arena; ArenaBytes is the backing image size and ArenaMapped
+	// whether it is an mmap (pages shared, evictable) rather than a heap
+	// copy. For an arena-backed snapshot the index/posting/bitmap payloads
+	// largely live INSIDE the arena bytes, not on the Go heap.
+	ArenaBacked bool  `json:"arena_backed"`
+	ArenaMapped bool  `json:"arena_mapped"`
+	ArenaBytes  int64 `json:"arena_bytes"`
+}
+
+// MemStats walks the snapshot's structures and returns their accounting.
+// Cost is O(structures), not O(|Dm|·arity): symbol payloads come from the
+// interning table, index and posting sizes from the layered maps' merged
+// views. Safe on any snapshot, concurrently with probes.
+func (d *Data) MemStats() MemStats {
+	ms := MemStats{
+		Epoch:  d.epoch,
+		Tuples: d.rel.Len(),
+		Shards: d.nshards,
+	}
+	ms.Symbols = d.syms.Len()
+	for _, v := range d.syms.Export() {
+		if v.Kind() == relation.KindString {
+			ms.SymbolBytes += int64(len(v.Str()))
+		}
+	}
+	for _, idx := range d.indexes {
+		for s := range idx.shards {
+			idx.shards[s].each(func(_ uint64, ids []int) {
+				ms.IndexKeys++
+				ms.IndexIDs += len(ids)
+			})
+		}
+	}
+	ms.IndexBytes = 16*int64(ms.IndexKeys) + 8*int64(ms.IndexIDs)
+	for _, ps := range d.postings {
+		for s := range ps.shards {
+			ps.shards[s].each(func(_ uint32, ids []int32) {
+				ms.PostingKeys++
+				ms.PostingIDs += len(ids)
+			})
+		}
+	}
+	ms.PostingBytes = 12*int64(ms.PostingKeys) + 4*int64(ms.PostingIDs)
+	for _, cp := range d.compat {
+		ms.BitmapBytes += 8 * int64(len(cp.patBits))
+	}
+	if d.arena != nil {
+		ms.ArenaBacked = true
+		ms.ArenaMapped = d.arena.mapped
+		ms.ArenaBytes = int64(len(d.arena.data))
+	}
+	return ms
+}

@@ -1,23 +1,55 @@
 package master
 
-// layered is the two-layer copy-on-write map shared by the hash indexes
-// (uint64 projection hash → tuple ids) and the posting lists (interned
-// value id → tuple ids): base is the immutable layer shared between
-// snapshots, over is this snapshot's delta overlay — a key present in
-// over shadows base, including with an empty slice.
+// layered is the copy-on-write map shared by the hash indexes (uint64
+// projection hash → tuple ids) and the posting lists (interned value id →
+// tuple ids). It stacks up to three layers, youngest first:
+//
+//	over — this snapshot's delta overlay (a key present here shadows the
+//	       layers below, including with an empty slice);
+//	base — the immutable map layer shared between snapshots;
+//	flat — an optional frozen arena table (see arena.go): buckets decoded
+//	       in place from a loaded columnar snapshot, shared by every
+//	       descendant of the loaded snapshot and never written.
+//
+// A heap-built snapshot has no flat layer, so its reads cost exactly what
+// the two-layer design did. An arena-loaded snapshot starts as a bare
+// flat layer; ApplyDelta forks it like any other snapshot, accumulating
+// overlays until compaction flattens all three layers into a fresh map
+// base (at which point the shard no longer references the arena).
 type layered[K comparable, ID int | int32] struct {
 	base map[K][]ID
 	over map[K][]ID
+	flat flatSource[K, ID]
 }
 
-// get resolves k's id slice through the overlay.
+// flatSource is a frozen bucket table decoded from an arena: the bottom
+// layer of a layered map. Implementations are read-only and safe for
+// concurrent use (arenaBuckets and arenaPostings in arena.go).
+type flatSource[K comparable, ID int | int32] interface {
+	// get resolves k's id slice; nil when absent.
+	get(k K) []ID
+	// each calls fn for every stored (key, ids) pair, in table order.
+	each(fn func(k K, ids []ID))
+	// entries returns the number of stored keys.
+	entries() int
+	// idCount returns the total number of stored ids.
+	idCount() int
+}
+
+// get resolves k's id slice through the layers.
 func (l *layered[K, ID]) get(k K) []ID {
 	if l.over != nil {
 		if v, ok := l.over[k]; ok {
 			return v
 		}
 	}
-	return l.base[k]
+	if v, ok := l.base[k]; ok {
+		return v
+	}
+	if l.flat != nil {
+		return l.flat.get(k)
+	}
+	return nil
 }
 
 // set shadows k's slice in this snapshot's overlay. The slice must be
@@ -29,21 +61,37 @@ func (l *layered[K, ID]) set(k K, v []ID) {
 	l.over[k] = v
 }
 
-// fork derives the next snapshot's view: base shared, overlay copied, or
-// the two layers flattened once the overlay has grown past a quarter of
-// the base (amortizing compaction cost over the deltas that built it).
+// baseLen is the key count of the immutable layers (sizing the
+// flatten-at-1/4 compaction policy; keys present in both layers are
+// counted twice, which only makes compaction marginally earlier).
+func (l *layered[K, ID]) baseLen() int {
+	n := len(l.base)
+	if l.flat != nil {
+		n += l.flat.entries()
+	}
+	return n
+}
+
+// fork derives the next snapshot's view: immutable layers shared, overlay
+// copied, or all layers flattened once the overlay has grown past a
+// quarter of the immutable key count (amortizing compaction cost over the
+// deltas that built it). Flattening drops the flat layer — the forked
+// shard stops referencing the arena.
 func (l *layered[K, ID]) fork() layered[K, ID] {
 	if len(l.over) == 0 {
-		return layered[K, ID]{base: l.base}
+		return layered[K, ID]{base: l.base, flat: l.flat}
 	}
-	if len(l.over)*4 <= len(l.base)+16 {
+	if len(l.over)*4 <= l.baseLen()+16 {
 		over := make(map[K][]ID, len(l.over)+4)
 		for k, v := range l.over {
 			over[k] = v
 		}
-		return layered[K, ID]{base: l.base, over: over}
+		return layered[K, ID]{base: l.base, over: over, flat: l.flat}
 	}
-	merged := make(map[K][]ID, len(l.base)+len(l.over))
+	merged := make(map[K][]ID, l.baseLen()+len(l.over))
+	if l.flat != nil {
+		l.flat.each(func(k K, v []ID) { merged[k] = v })
+	}
 	for k, v := range l.base {
 		merged[k] = v
 	}
@@ -60,6 +108,14 @@ func (l *layered[K, ID]) fork() layered[K, ID] {
 // size returns the total number of ids across all keys (tests, stats).
 func (l *layered[K, ID]) size() int {
 	n := 0
+	if l.flat != nil {
+		l.flat.each(func(k K, v []ID) {
+			if l.shadowed(k) {
+				return
+			}
+			n += len(v)
+		})
+	}
 	for k, v := range l.base {
 		if l.over != nil {
 			if _, shadowed := l.over[k]; shadowed {
@@ -72,6 +128,43 @@ func (l *layered[K, ID]) size() int {
 		n += len(v)
 	}
 	return n
+}
+
+// shadowed reports whether a flat-layer key is hidden by a younger layer.
+func (l *layered[K, ID]) shadowed(k K) bool {
+	if l.over != nil {
+		if _, ok := l.over[k]; ok {
+			return true
+		}
+	}
+	_, ok := l.base[k]
+	return ok
+}
+
+// each calls fn for every live (key, ids) pair resolved through the
+// layers, skipping tombstones — the merged view arena serialization and
+// compaction iterate. Order is unspecified.
+func (l *layered[K, ID]) each(fn func(k K, ids []ID)) {
+	if l.flat != nil {
+		l.flat.each(func(k K, v []ID) {
+			if !l.shadowed(k) {
+				fn(k, v)
+			}
+		})
+	}
+	for k, v := range l.base {
+		if l.over != nil {
+			if _, shadowed := l.over[k]; shadowed {
+				continue
+			}
+		}
+		fn(k, v)
+	}
+	for k, v := range l.over {
+		if len(v) > 0 {
+			fn(k, v)
+		}
+	}
 }
 
 // The slice helpers always allocate: the slices are shared across

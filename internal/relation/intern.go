@@ -13,6 +13,8 @@ package relation
 // key is a hash, so index buckets must verify candidates against the stored
 // tuples (see internal/master).
 
+import "fmt"
+
 // Symbols interns values into dense uint32 ids. Ids are assigned in
 // first-seen order starting at 0. Interning is not safe for concurrent use;
 // populate the table while building indexes, then only read (ID, Hasher
@@ -32,6 +34,45 @@ type Symbols struct {
 	base map[Value]uint32
 	// ids is the owned writable layer.
 	ids map[Value]uint32
+	// flat is the frozen bottom layer built by SymbolsFromValues (nil for
+	// map-only tables): ids [0, len(flat.vals)) resolve through an
+	// open-addressing probe instead of a Go map. It is immutable and shared
+	// by every fork, so a table imported from a columnar arena never pays
+	// map construction over the frozen symbols.
+	flat *symbolsFlat
+}
+
+// symbolsFlat is the frozen layer: id-ordered values plus an open-addressing
+// slot table (frozenEmpty marks a free slot) keyed by the process-stable
+// HashValue hash, at most half full so probes terminate at an empty slot.
+type symbolsFlat struct {
+	vals  []Value
+	slots []uint32
+	mask  uint32
+}
+
+// frozenEmpty is the empty-slot sentinel; symbol ids stay below it because
+// a table of 1<<32 values could not have been built.
+const frozenEmpty = ^uint32(0)
+
+func (f *symbolsFlat) lookup(v Value) (uint32, bool) {
+	h := uint32(HashValue(fnvOffset64, v))
+	for j := h & f.mask; ; j = (j + 1) & f.mask {
+		id := f.slots[j]
+		if id == frozenEmpty {
+			return 0, false
+		}
+		if f.vals[id] == v {
+			return id, true
+		}
+	}
+}
+
+func (f *symbolsFlat) len() int {
+	if f == nil {
+		return 0
+	}
+	return len(f.vals)
 }
 
 // NewSymbols creates an empty symbol table.
@@ -52,16 +93,19 @@ const symbolsFlattenDiv = 4
 // value across a chain of forks.
 func (s *Symbols) Fork() *Symbols {
 	if s.base == nil {
-		// Root table: freeze its map as the shared base.
-		return &Symbols{base: s.ids, ids: make(map[Value]uint32)}
+		// Root (or freshly imported) table: freeze its map as the shared
+		// base; the flat layer is immutable and shared as-is.
+		return &Symbols{base: s.ids, flat: s.flat, ids: make(map[Value]uint32)}
 	}
-	if len(s.ids)*symbolsFlattenDiv <= len(s.base) {
+	if len(s.ids)*symbolsFlattenDiv <= len(s.base)+s.flat.len() {
 		child := make(map[Value]uint32, len(s.ids)+4)
 		for v, id := range s.ids {
 			child[v] = id
 		}
-		return &Symbols{base: s.base, ids: child}
+		return &Symbols{base: s.base, flat: s.flat, ids: child}
 	}
+	// Merge the two map layers; the flat layer never merges — probing it
+	// costs no more than the map it would become.
 	merged := make(map[Value]uint32, len(s.base)+len(s.ids))
 	for v, id := range s.base {
 		merged[v] = id
@@ -69,10 +113,10 @@ func (s *Symbols) Fork() *Symbols {
 	for v, id := range s.ids {
 		merged[v] = id
 	}
-	return &Symbols{base: merged, ids: make(map[Value]uint32)}
+	return &Symbols{base: merged, flat: s.flat, ids: make(map[Value]uint32)}
 }
 
-// lookup resolves v across both layers (the layers are disjoint).
+// lookup resolves v across the layers (the layers are disjoint).
 func (s *Symbols) lookup(v Value) (uint32, bool) {
 	if id, ok := s.ids[v]; ok {
 		return id, true
@@ -82,6 +126,9 @@ func (s *Symbols) lookup(v Value) (uint32, bool) {
 			return id, true
 		}
 	}
+	if s.flat != nil {
+		return s.flat.lookup(v)
+	}
 	return 0, false
 }
 
@@ -90,7 +137,7 @@ func (s *Symbols) Intern(v Value) uint32 {
 	if id, ok := s.lookup(v); ok {
 		return id
 	}
-	id := uint32(len(s.base) + len(s.ids))
+	id := uint32(s.Len())
 	s.ids[v] = id
 	return id
 }
@@ -102,7 +149,66 @@ func (s *Symbols) ID(v Value) (uint32, bool) {
 }
 
 // Len returns the number of distinct interned values.
-func (s *Symbols) Len() int { return len(s.base) + len(s.ids) }
+func (s *Symbols) Len() int { return len(s.base) + len(s.ids) + s.flat.len() }
+
+// Export returns the interned values in id order (vals[id] is the value
+// whose Intern returned id). This is the serialization side of the stable-
+// id contract: a table rebuilt with SymbolsFromValues over the exported
+// slice assigns every value its original id, so hash keys computed against
+// the original table stay valid against the import — what the columnar
+// master arena (internal/master) relies on to freeze index buckets keyed
+// on interned-id hashes.
+func (s *Symbols) Export() []Value {
+	vals := make([]Value, s.Len())
+	if s.flat != nil {
+		copy(vals, s.flat.vals)
+	}
+	for v, id := range s.base {
+		vals[id] = v
+	}
+	for v, id := range s.ids {
+		vals[id] = v
+	}
+	return vals
+}
+
+// SymbolsFromValues builds a table interning vals in order, so vals[i]
+// gets id i — the import side of Export. Duplicate values are an error:
+// they would silently remap ids and invalidate every hash computed against
+// the exported table.
+//
+// The table is built as a frozen flat layer, not a Go map: inserting a few
+// hundred thousand string-bearing struct keys into a map dominated arena
+// cold start, while filling an open-addressing uint32 slot array is a
+// fraction of that. The slice is retained; callers must not mutate it.
+func SymbolsFromValues(vals []Value) (*Symbols, error) {
+	nslots := 2
+	for nslots < 2*len(vals) {
+		nslots <<= 1
+	}
+	slots := make([]uint32, nslots)
+	for i := range slots {
+		slots[i] = frozenEmpty
+	}
+	mask := uint32(nslots - 1)
+	for i, v := range vals {
+		h := uint32(HashValue(fnvOffset64, v))
+		for j := h & mask; ; j = (j + 1) & mask {
+			id := slots[j]
+			if id == frozenEmpty {
+				slots[j] = uint32(i)
+				break
+			}
+			if vals[id] == v {
+				return nil, fmt.Errorf("relation: symbol import: value %v duplicated at ids %d and %d", v, id, i)
+			}
+		}
+	}
+	return &Symbols{
+		ids:  make(map[Value]uint32),
+		flat: &symbolsFlat{vals: vals, slots: slots, mask: mask},
+	}, nil
+}
 
 // FNV-1a constants (64-bit).
 const (

@@ -1,0 +1,83 @@
+package certainfix
+
+// Columnar master snapshots: the cold-start path of the public API. A
+// System built once can freeze its master snapshot — tuples, interning
+// table, hash indexes, posting lists and pattern-support bitmaps — into a
+// single flat arena file; a later process loads the file by mapping it
+// into memory and wrapping the bytes in read-only index views, instead of
+// re-interning and re-hashing |Dm| tuples. Fix results are byte-identical
+// either way; only startup cost changes (see DESIGN.md, "Columnar arena
+// format").
+
+import (
+	"repro/internal/master"
+	"repro/internal/monitor"
+)
+
+// ErrBadSnapshot reports an arena image that failed validation: wrong
+// magic, truncated or corrupt sections, or a snapshot saved for a
+// different Σ. Concrete failures are *SnapshotError values; errors.Is
+// matches them against this sentinel.
+var ErrBadSnapshot = master.ErrBadSnapshot
+
+// SnapshotError locates an arena validation failure (section and byte
+// offset). Retrieve it with errors.As; it matches ErrBadSnapshot under
+// errors.Is.
+type SnapshotError = master.SnapshotError
+
+// MasterMemStats is the memory accounting of a master snapshot: where the
+// lookup structures live (Go heap versus a loaded arena image) and how big
+// they are. cmd/certainfixd exposes it on /healthz.
+type MasterMemStats = master.MemStats
+
+// NewFromArena builds a System whose initial master snapshot is loaded
+// from an arena image saved by SaveMasterArena. rules must be equivalent
+// to the Σ the image was saved for (same master schema, same rules in the
+// same order) — validated against per-rule signatures in the image.
+//
+// WithShards is ignored here: the shard layout is frozen into the image.
+// Every other option applies as in New. UpdateMaster works unchanged on
+// the loaded system; deltas land in copy-on-write overlays above the
+// read-only arena.
+func NewFromArena(rules *Rules, arenaPath string, opts ...Option) (*System, error) {
+	var cfg Options
+	for _, o := range opts {
+		o.apply(&cfg)
+	}
+	dm, err := master.LoadArena(arenaPath, rules)
+	if err != nil {
+		return nil, err
+	}
+	ver := master.NewVersioned(dm)
+	if cfg.MasterHistory > 0 {
+		ver.SetHistory(cfg.MasterHistory)
+	}
+	mon, err := monitor.NewVersioned(rules, ver, monitor.Config{
+		UseBDD:        cfg.UseSuggestionCache,
+		InitialRegion: cfg.InitialRegion,
+		MaxRounds:     cfg.MaxRounds,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &System{
+		sigma: rules,
+		ver:   ver,
+		mon:   mon,
+	}, nil
+}
+
+// SaveMasterArena freezes the currently published master snapshot into an
+// arena image at path (written to a temporary file in the same directory
+// and renamed, so a crash never leaves a partial image under path). The
+// image captures the snapshot as of this call; later UpdateMaster
+// publishes are not reflected until it is saved again.
+func (s *System) SaveMasterArena(path string) error {
+	return s.ver.Current().SaveArenaFile(path, s.sigma)
+}
+
+// MasterMemStats returns the memory accounting of the currently published
+// master snapshot.
+func (s *System) MasterMemStats() MasterMemStats {
+	return s.ver.Current().MemStats()
+}
