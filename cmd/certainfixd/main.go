@@ -39,6 +39,17 @@
 // image: when the file exists it is loaded (mmap + validate) instead of
 // rebuilding indexes from the CSV; when it does not exist yet, the master
 // is built from -master and the image is saved for the next start.
+//
+// With -wal-dir the master lineage is durable: every /v1/update-master is
+// written to a segmented write-ahead log before it is acknowledged, arena
+// checkpoints roll every -checkpoint-every deltas, and a restart recovers
+// checkpoint + log tail instead of rewinding to the CSV. On the first
+// start the directory is seeded from -master (or -master-snapshot); on
+// later starts the directory alone is authoritative and -master may be
+// omitted. -fsync picks the sync policy (always | interval | off);
+// "always" — the default — makes an acknowledged update crash-proof.
+// /healthz gains a "durability" block, and SIGINT/SIGTERM flush and close
+// the log before exit.
 package main
 
 import (
@@ -66,16 +77,34 @@ func main() {
 		history    = flag.Int("history", 0, "master snapshot ring size for session resume (0 = default)")
 		shards     = flag.Int("shards", 0, "master index shards, built in parallel (0 = one per CPU)")
 		snapshot   = flag.String("master-snapshot", "", "columnar master arena: load it when the file exists, else build from -master and save it")
+		walDir     = flag.String("wal-dir", "", "durable lineage directory (write-ahead log + checkpoints); recovered on start")
+		fsync      = flag.String("fsync", "always", "WAL fsync policy: always | interval | off")
+		ckptEvery  = flag.Int("checkpoint-every", 0, "arena checkpoint every N deltas (0 = default, <0 = never)")
 	)
 	flag.Parse()
 	if *rulesPath == "" {
 		fatalf("-rules is required")
 	}
-	if *masterPath == "" && *snapshot == "" {
-		fatalf("-master is required (or -master-snapshot naming an existing image)")
+	if *masterPath == "" && *snapshot == "" && *walDir == "" {
+		fatalf("-master is required (or -master-snapshot naming an existing image, or -wal-dir holding a recovered lineage)")
+	}
+	fsyncPolicy, err := certainfix.ParseFsyncPolicy(*fsync)
+	if err != nil {
+		fatalf("%v", err)
 	}
 
-	sys, err := buildSystem(*rulesPath, *masterPath, *snapshot, *useCache, *maxRounds, *history, *shards)
+	sys, err := buildSystem(serverConfig{
+		rulesPath:       *rulesPath,
+		masterPath:      *masterPath,
+		snapshot:        *snapshot,
+		useCache:        *useCache,
+		maxRounds:       *maxRounds,
+		history:         *history,
+		shards:          *shards,
+		walDir:          *walDir,
+		fsync:           fsyncPolicy,
+		checkpointEvery: *ckptEvery,
+	})
 	if err != nil {
 		// *certainfix.MasterBuildError renders the failing tuple's
 		// shard/id/key itself; the sentinel check names the subsystem.
@@ -96,6 +125,11 @@ func main() {
 	go func() { errCh <- srv.ListenAndServe() }()
 	fmt.Fprintf(os.Stderr, "certainfixd: serving on %s (|Dm| = %d, epoch %d)\n",
 		*addr, sys.MasterLen(), sys.MasterEpoch())
+	if st, ok := sys.Durability(); ok {
+		fmt.Fprintf(os.Stderr,
+			"certainfixd: durable lineage %s (checkpoint epoch %d, replayed %d, torn bytes %d)\n",
+			*walDir, st.Recovery.BaseEpoch, st.Recovery.Replayed, st.Recovery.TornBytes)
+	}
 
 	select {
 	case err := <-errCh:
@@ -109,67 +143,95 @@ func main() {
 	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fatalf("shutdown: %v", err)
 	}
+	// Only after the last handler has returned: flush and close the WAL,
+	// so every acknowledged update is on disk regardless of -fsync.
+	if err := sys.Close(); err != nil {
+		fatalf("close lineage: %v", err)
+	}
 	fmt.Fprintln(os.Stderr, "certainfixd: drained, bye")
+}
+
+// serverConfig carries the flag values into buildSystem.
+type serverConfig struct {
+	rulesPath, masterPath, snapshot string
+	useCache                        bool
+	maxRounds, history, shards      int
+	walDir                          string
+	fsync                           certainfix.FsyncPolicy
+	checkpointEvery                 int
 }
 
 // buildSystem loads the rules file (schema headers + DSL) and constructs
 // the System: from the columnar arena image when snapshot names an
 // existing file (cold start by page-in), otherwise from the master CSV —
 // saving the freshly built snapshot to the snapshot path, if given, so
-// the next start takes the fast path.
-func buildSystem(rulesPath, masterPath, snapshot string, useCache bool, maxRounds, history, shards int) (*certainfix.System, error) {
-	src, err := os.ReadFile(rulesPath)
+// the next start takes the fast path. With walDir set the lineage is
+// durable: the directory's checkpoint + WAL win over both sources once
+// they exist, and a recovered start needs neither CSV nor arena.
+func buildSystem(cfg serverConfig) (*certainfix.System, error) {
+	src, err := os.ReadFile(cfg.rulesPath)
 	if err != nil {
 		return nil, err
 	}
 	_, rm, rules, err := certainfix.ParseRulesWithSchemas(string(src))
 	if err != nil {
-		return nil, fmt.Errorf("%s: %w", rulesPath, err)
+		return nil, fmt.Errorf("%s: %w", cfg.rulesPath, err)
 	}
 	var opts []certainfix.Option
-	if useCache {
+	if cfg.useCache {
 		opts = append(opts, certainfix.WithSuggestionCache())
 	}
-	if maxRounds > 0 {
-		opts = append(opts, certainfix.WithMaxRounds(maxRounds))
+	if cfg.maxRounds > 0 {
+		opts = append(opts, certainfix.WithMaxRounds(cfg.maxRounds))
 	}
-	if history > 0 {
-		opts = append(opts, certainfix.WithMasterHistory(history))
+	if cfg.history > 0 {
+		opts = append(opts, certainfix.WithMasterHistory(cfg.history))
 	}
-	if snapshot != "" {
-		if _, statErr := os.Stat(snapshot); statErr == nil {
-			sys, err := certainfix.NewFromArena(rules, snapshot, opts...)
+	if cfg.walDir != "" {
+		opts = append(opts,
+			certainfix.WithWAL(cfg.walDir),
+			certainfix.WithFsync(cfg.fsync),
+			certainfix.WithCheckpointEvery(cfg.checkpointEvery))
+	}
+	if cfg.snapshot != "" {
+		if _, statErr := os.Stat(cfg.snapshot); statErr == nil {
+			sys, err := certainfix.NewFromArena(rules, cfg.snapshot, opts...)
 			if err != nil {
-				return nil, fmt.Errorf("%s: %w", snapshot, err)
+				return nil, fmt.Errorf("%s: %w", cfg.snapshot, err)
 			}
-			fmt.Fprintf(os.Stderr, "certainfixd: master loaded from arena %s\n", snapshot)
+			fmt.Fprintf(os.Stderr, "certainfixd: master loaded from arena %s\n", cfg.snapshot)
 			return sys, nil
 		}
 	}
-	if masterPath == "" {
-		return nil, fmt.Errorf("-master is required when %s does not exist yet", snapshot)
+	if cfg.masterPath == "" {
+		if cfg.walDir != "" {
+			// Recovery-only boot: the WAL directory must hold a
+			// checkpoint; certainfix.New reports it cleanly when not.
+			return certainfix.New(rules, nil, opts...)
+		}
+		return nil, fmt.Errorf("-master is required when %s does not exist yet", cfg.snapshot)
 	}
-	f, err := os.Open(masterPath)
+	f, err := os.Open(cfg.masterPath)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
 	masterRel, err := certainfix.ReadCSV(rm, bufio.NewReader(f))
 	if err != nil {
-		return nil, fmt.Errorf("%s: %w", masterPath, err)
+		return nil, fmt.Errorf("%s: %w", cfg.masterPath, err)
 	}
-	if shards > 0 {
-		opts = append(opts, certainfix.WithShards(shards))
+	if cfg.shards > 0 {
+		opts = append(opts, certainfix.WithShards(cfg.shards))
 	}
 	sys, err := certainfix.New(rules, masterRel, opts...)
 	if err != nil {
 		return nil, err
 	}
-	if snapshot != "" {
-		if err := sys.SaveMasterArena(snapshot); err != nil {
-			return nil, fmt.Errorf("save %s: %w", snapshot, err)
+	if cfg.snapshot != "" {
+		if err := sys.SaveMasterArena(cfg.snapshot); err != nil {
+			return nil, fmt.Errorf("save %s: %w", cfg.snapshot, err)
 		}
-		fmt.Fprintf(os.Stderr, "certainfixd: master arena saved to %s\n", snapshot)
+		fmt.Fprintf(os.Stderr, "certainfixd: master arena saved to %s\n", cfg.snapshot)
 	}
 	return sys, nil
 }

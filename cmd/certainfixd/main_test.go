@@ -279,7 +279,7 @@ func TestBuildSystemFromFiles(t *testing.T) {
 	if err := os.WriteFile(masterCSV, []byte("K,V\nk1,v1\nk2,v2\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	sys, err := buildSystem(rules, masterCSV, "", false, 3, 4, 2)
+	sys, err := buildSystem(serverConfig{rulesPath: rules, masterPath: masterCSV, maxRounds: 3, history: 4, shards: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -287,7 +287,7 @@ func TestBuildSystemFromFiles(t *testing.T) {
 	if err != nil || len(changed) != 1 || fixed[1].Str() != "v1" {
 		t.Fatalf("fixed=%v changed=%v err=%v", fixed, changed, err)
 	}
-	if _, err := buildSystem(filepath.Join(dir, "missing.rules"), masterCSV, "", false, 0, 0, 0); err == nil {
+	if _, err := buildSystem(serverConfig{rulesPath: filepath.Join(dir, "missing.rules"), masterPath: masterCSV}); err == nil {
 		t.Fatal("missing rules file must error")
 	}
 
@@ -295,10 +295,10 @@ func TestBuildSystemFromFiles(t *testing.T) {
 	// the arena; second start loads it — without the CSV — and fixes
 	// identically. Stats must report the arena backing.
 	arena := filepath.Join(dir, "master.arena")
-	if _, err := buildSystem(rules, masterCSV, arena, false, 0, 0, 0); err != nil {
+	if _, err := buildSystem(serverConfig{rulesPath: rules, masterPath: masterCSV, snapshot: arena}); err != nil {
 		t.Fatal(err)
 	}
-	sys2, err := buildSystem(rules, "", arena, false, 0, 0, 0)
+	sys2, err := buildSystem(serverConfig{rulesPath: rules, snapshot: arena})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -310,7 +310,7 @@ func TestBuildSystemFromFiles(t *testing.T) {
 		t.Fatalf("arena-loaded system reports no arena backing: %+v", ms)
 	}
 	// Snapshot path given but file absent and no CSV either: a clear error.
-	if _, err := buildSystem(rules, "", filepath.Join(dir, "absent.arena"), false, 0, 0, 0); err == nil {
+	if _, err := buildSystem(serverConfig{rulesPath: rules, snapshot: filepath.Join(dir, "absent.arena")}); err == nil {
 		t.Fatal("missing master and missing snapshot must error")
 	}
 }

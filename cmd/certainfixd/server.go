@@ -32,14 +32,20 @@ func newHandler(sys *certainfix.System) http.Handler {
 	mux.HandleFunc("POST /v1/result", s.handleResult)
 	mux.HandleFunc("POST /v1/update-master", s.handleUpdateMaster)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]any{
+		body := map[string]any{
 			"ok":         true,
 			"epoch":      sys.MasterEpoch(),
 			"masterSize": sys.MasterLen(),
 			// Where the master's lookup structures live (heap vs arena)
 			// and what they weigh — the observable side of -master-snapshot.
 			"master": sys.MasterMemStats(),
-		})
+		}
+		// The durable lineage, when running with -wal-dir: checkpoint
+		// epoch, log shape, and what recovery found on the last start.
+		if st, ok := sys.Durability(); ok {
+			body["durability"] = st
+		}
+		writeJSON(w, http.StatusOK, body)
 	})
 	return mux
 }

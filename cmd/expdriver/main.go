@@ -8,6 +8,13 @@
 //	expdriver [-experiment all|exp1|exp2|fig9|fig10|fig11|fig12|fixdump]
 //	          [-dataset hosp|dblp|both] [-master N] [-tuples N] [-seed N]
 //	          [-workers N] [-shards P] [-out FILE] [-master-snapshot FILE]
+//	          [-update-batches N] [-wal-dir DIR]
+//
+// -update-batches evolves the generated master through N deterministic
+// delta batches before fixing; with -wal-dir the batches run through the
+// durable WAL + checkpoint lineage at that directory — the production
+// write path — and the fixdump must be byte-identical to a memory-only
+// run, which the CI scale smoke diffs.
 //
 // -master-snapshot reuses a columnar master arena image across runs: an
 // existing image is loaded instead of rebuilding the master indexes, a
@@ -45,6 +52,8 @@ func main() {
 		shards     = flag.Int("shards", 0, "master index shards, built in parallel (0 = one per CPU)")
 		outPath    = flag.String("out", "", "output file for fixdump (default stdout)")
 		snapshot   = flag.String("master-snapshot", "", "columnar master arena: load it when the file exists, else build and save it (fix results are identical either way)")
+		updates    = flag.Int("update-batches", 0, "fixdump only: evolve the master through N deterministic delta batches before fixing")
+		walDir     = flag.String("wal-dir", "", "fixdump only: apply the update batches through the durable WAL+checkpoint lineage at this directory")
 	)
 	flag.Parse()
 
@@ -70,7 +79,7 @@ func main() {
 			fatalf("fixdump writes one relation; pick -dataset hosp or -dataset dblp")
 		}
 		ds := datasets[0]
-		p := experiments.Params{Dataset: ds, Seed: *seed, MasterSize: *masterSize, Tuples: *tuples, Workers: *workers, Shards: *shards, MasterSnapshot: *snapshot}
+		p := experiments.Params{Dataset: ds, Seed: *seed, MasterSize: *masterSize, Tuples: *tuples, Workers: *workers, Shards: *shards, MasterSnapshot: *snapshot, UpdateBatches: *updates, WALDir: *walDir}
 		rel, err := experiments.FixedOutputs(p)
 		checkErr(err)
 		out := os.Stdout

@@ -43,6 +43,20 @@ type Params struct {
 	// are byte-identical either way — the CI scale smoke diffs a rebuilt
 	// run against an arena-loaded one to pin exactly that.
 	MasterSnapshot string
+	// UpdateBatches evolves the generated master through that many
+	// deterministic delta batches (datagen.UpdateStorm, seeded from Seed)
+	// before fixing — the "master data changes under the monitor"
+	// workload. Only FixedOutputs honors it.
+	UpdateBatches int
+	// WALDir, when non-empty, routes the update batches through the
+	// durable master lineage rooted there (master.DurableVersioned):
+	// every batch is logged and checkpointed exactly as in production.
+	// Fix outputs are byte-identical with or without it for a fresh
+	// directory — the CI scale smoke diffs exactly that — since the WAL
+	// only adds durability, never changes delta semantics. A directory
+	// holding an earlier lineage is recovered first, so the storm then
+	// extends that lineage instead of the freshly generated master.
+	WALDir string
 }
 
 // WithDefaults fills unset fields with the §6 defaults.

@@ -43,3 +43,37 @@ func TestFixOutputShardInvariance(t *testing.T) {
 		}
 	}
 }
+
+// TestFixOutputWALInvariance pins the durable-lineage counterpart: a
+// fixdump over a storm-evolved master is byte-identical whether the
+// batches ran in memory or through the WAL + checkpoint lineage (the
+// test-scale version of the CI smoke's -wal-dir diff).
+func TestFixOutputWALInvariance(t *testing.T) {
+	base := experiments.Params{Dataset: "hosp", Seed: 7, MasterSize: 300, Tuples: 40, UpdateBatches: 6}
+	want, err := experiments.FixedOutputs(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wantCSV bytes.Buffer
+	if err := want.WriteCSV(&wantCSV); err != nil {
+		t.Fatal(err)
+	}
+	p := base
+	p.WALDir = t.TempDir()
+	got, err := experiments.FixedOutputs(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gotCSV bytes.Buffer
+	if err := got.WriteCSV(&gotCSV); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gotCSV.Bytes(), wantCSV.Bytes()) {
+		t.Fatal("fixed output differs between in-memory and WAL-logged update batches")
+	}
+	// The lineage the storm left behind is recoverable: reopening the
+	// directory alone restores the evolved epoch.
+	if _, err := experiments.FixedOutputs(p); err != nil {
+		t.Fatalf("second run over the recovered lineage: %v", err)
+	}
+}

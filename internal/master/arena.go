@@ -275,8 +275,11 @@ func (d *Data) SaveArena(w io.Writer, sigma *rule.Set) error {
 	return err
 }
 
-// SaveArenaFile writes the arena to path via a temp file + rename, so a
-// crash mid-save never leaves a truncated snapshot behind.
+// SaveArenaFile writes the arena to path atomically AND durably: temp
+// file in the target directory, fsync the file, rename over path, fsync
+// the directory. A crash at any point leaves either the old file or the
+// complete new one — never a truncated snapshot, and never a rename
+// that a power cut can undo.
 func (d *Data) SaveArenaFile(path string, sigma *rule.Set) error {
 	tmp, err := os.CreateTemp(dirOf(path), ".arena-*")
 	if err != nil {
@@ -292,10 +295,22 @@ func (d *Data) SaveArenaFile(path string, sigma *rule.Set) error {
 		tmp.Close()
 		return fmt.Errorf("master: save arena: %w", err)
 	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("master: save arena: %w", err)
+	}
 	if err := tmp.Close(); err != nil {
 		return fmt.Errorf("master: save arena: %w", err)
 	}
 	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("master: save arena: %w", err)
+	}
+	dir, err := os.Open(dirOf(path))
+	if err != nil {
+		return fmt.Errorf("master: save arena: %w", err)
+	}
+	defer dir.Close()
+	if err := dir.Sync(); err != nil {
 		return fmt.Errorf("master: save arena: %w", err)
 	}
 	return nil

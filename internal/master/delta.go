@@ -398,6 +398,23 @@ func (v *Versioned) Apply(adds []relation.Tuple, deletes []int) (*Data, error) {
 	return next, nil
 }
 
+// publishDerived publishes a snapshot already derived from the current
+// head via ApplyDelta. It is the seam DurableVersioned needs to make a
+// delta durable between derivation and visibility: derive, append the
+// record to the WAL, then publish. The snapshot must extend the head by
+// exactly one epoch — anything else means a second writer raced past the
+// durability layer, which is a programming error, not a runtime state.
+func (v *Versioned) publishDerived(next *Data) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if cur := v.cur.Load(); next.epoch != cur.epoch+1 {
+		panic(fmt.Sprintf("master: publishDerived epoch %d over head %d", next.epoch, cur.epoch))
+	}
+	v.cur.Store(next)
+	v.hist = append(v.hist, next)
+	v.trimLocked()
+}
+
 // trimLocked evicts the oldest snapshots beyond histCap; v.mu held.
 func (v *Versioned) trimLocked() {
 	if drop := len(v.hist) - v.histCap; drop > 0 {

@@ -1,0 +1,350 @@
+package master
+
+// DurableVersioned puts the snapshot lineage on disk. A plain Versioned
+// is process memory: a certainfixd restart silently loses every
+// ApplyDelta since boot, and with it the paper's premise that fixes are
+// certain relative to a KNOWN master state. DurableVersioned wraps the
+// same ring behind a write-ahead log and periodic arena checkpoints:
+//
+//	Apply     derive the next snapshot (an invalid delta is rejected
+//	          before it ever reaches the log), append the delta as one
+//	          epoch-stamped WAL record, THEN publish the head. Under
+//	          wal.SyncAlways an Apply that returned is durable.
+//	OpenDurable
+//	          load the newest arena checkpoint (or build the base
+//	          snapshot on first open), replay the WAL tail on top of
+//	          it, and continue the lineage exactly where the previous
+//	          process — cleanly shut down or power-cut — left it.
+//
+// Every CheckpointEvery deltas the current head is checkpointed: the
+// arena is written atomically+durably through the same FS seam as the
+// log, and the WAL segments it covers are truncated. A checkpoint
+// failure is counted, not fatal — the delta that triggered it is
+// already in the log, so durability never regresses; the log just keeps
+// more tail than it would like until a checkpoint succeeds.
+//
+// The recovery contract — the recovered head is probe-for-probe and
+// epoch-for-epoch identical to the pre-crash lineage at every possible
+// crash point — is proven by the walfault sweep in durable_test.go.
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"repro/internal/relation"
+	"repro/internal/rule"
+	"repro/internal/wal"
+)
+
+// CheckpointFile is the name of the arena checkpoint inside a WAL
+// directory.
+const CheckpointFile = "checkpoint.arena"
+
+// DefaultCheckpointEvery is the delta threshold between automatic arena
+// checkpoints when DurableOptions.CheckpointEvery is zero.
+const DefaultCheckpointEvery = 256
+
+// DurableOptions configures OpenDurable.
+type DurableOptions struct {
+	// Sync is the WAL fsync policy (default wal.SyncAlways).
+	Sync wal.SyncPolicy
+	// SyncInterval is the wal.SyncInterval cadence (default
+	// wal.DefaultSyncInterval).
+	SyncInterval time.Duration
+	// SegmentBytes rolls WAL segments (default wal.DefaultSegmentBytes).
+	SegmentBytes int64
+	// CheckpointEvery is how many deltas accumulate before the head is
+	// checkpointed and the covered WAL truncated (default
+	// DefaultCheckpointEvery; <0 disables automatic checkpoints).
+	CheckpointEvery int
+	// History bounds the snapshot ring (default DefaultHistory).
+	History int
+	// FS overrides the filesystem for the WAL and the checkpoint
+	// (default wal.OS); the crash-injection harness hooks in here.
+	FS wal.FS
+}
+
+// RecoveryStats describes what OpenDurable found on disk.
+type RecoveryStats struct {
+	// UsedCheckpoint is true when the base snapshot came from
+	// checkpoint.arena rather than the caller's base builder.
+	UsedCheckpoint bool
+	// BaseEpoch is the epoch of that base snapshot.
+	BaseEpoch uint64
+	// Replayed is how many WAL records were applied on top of it.
+	Replayed int
+	// TornBytes is what the WAL open truncated from a torn tail.
+	TornBytes int64
+}
+
+// DurabilityStats is the observable durability state, served on the
+// daemon's /healthz.
+type DurabilityStats struct {
+	// Epoch is the current head epoch.
+	Epoch uint64
+	// CheckpointEpoch is the epoch of the newest durable checkpoint.
+	CheckpointEpoch uint64
+	// SinceCheckpoint is how many deltas the WAL holds past it.
+	SinceCheckpoint int
+	// CheckpointFailures counts checkpoints that failed (durability is
+	// unaffected — the WAL retains the tail — but disk usage grows).
+	CheckpointFailures int
+	// WAL is the log's own shape.
+	WAL wal.Stats
+	// Recovery is what the open found.
+	Recovery RecoveryStats
+}
+
+// DurableVersioned is a Versioned whose lineage survives the process.
+// Writers must go through its Apply; readers may use the embedded
+// Versioned (Current, At, sessions) freely.
+type DurableVersioned struct {
+	ver   *Versioned
+	log   *wal.Log
+	sigma *rule.Set
+	fsys  wal.FS
+	dir   string
+	every int
+
+	// dmu serializes Apply/Checkpoint/Close (it is never held while
+	// ver.mu is wanted by readers — publishes go through ver's own lock).
+	dmu       sync.Mutex
+	ckptEpoch uint64
+	ckptFails int
+	recovery  RecoveryStats
+	closed    bool
+}
+
+// OpenDurable opens (or initialises) the durable lineage rooted at dir.
+// When dir holds a checkpoint it is loaded and the WAL tail replayed on
+// top; otherwise base() builds the initial snapshot, which is
+// checkpointed immediately so the directory is self-contained from the
+// first open. Corruption anywhere — checkpoint or log — surfaces as the
+// typed errors of the respective layer (*SnapshotError/ErrBadSnapshot,
+// *wal.CorruptError/wal.ErrWALCorrupt), never a panic.
+func OpenDurable(dir string, base func() (*Data, error), sigma *rule.Set, opts DurableOptions) (*DurableVersioned, error) {
+	fsys := opts.FS
+	if fsys == nil {
+		fsys = wal.OS
+	}
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("master: open durable %s: %w", dir, err)
+	}
+	every := opts.CheckpointEvery
+	switch {
+	case every == 0:
+		every = DefaultCheckpointEvery
+	case every < 0:
+		every = 0 // disabled
+	}
+
+	ckptPath := filepath.Join(dir, CheckpointFile)
+	var (
+		d        *Data
+		usedCkpt bool
+		err      error
+	)
+	load := func() (*Data, error) {
+		if fsys == wal.OS {
+			return LoadArena(ckptPath, sigma) // mmap: shares page cache
+		}
+		raw, err := fsys.ReadFile(ckptPath)
+		if err != nil {
+			return nil, err
+		}
+		return LoadArenaBytes(raw, sigma)
+	}
+	switch d, err = load(); {
+	case err == nil:
+		usedCkpt = true
+	case errors.Is(err, fs.ErrNotExist):
+		d, err = base()
+		if err != nil {
+			return nil, fmt.Errorf("master: open durable %s: base snapshot: %w", dir, err)
+		}
+	default:
+		return nil, fmt.Errorf("master: open durable %s: %w", dir, err)
+	}
+
+	lg, err := wal.Open(dir, wal.Options{
+		Sync:         opts.Sync,
+		Interval:     opts.SyncInterval,
+		SegmentBytes: opts.SegmentBytes,
+		FS:           fsys,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	ver := NewVersioned(d)
+	if opts.History > 0 {
+		ver.SetHistory(opts.History)
+	}
+	baseEpoch := d.Epoch()
+	replayed, err := lg.Replay(baseEpoch, func(rec wal.Record) error {
+		next, aerr := ver.Current().ApplyDelta(rec.Adds, rec.Deletes)
+		if aerr != nil {
+			return fmt.Errorf("master: replay epoch %d: %w", rec.Epoch, aerr)
+		}
+		if next.Epoch() != rec.Epoch {
+			return fmt.Errorf("master: replay produced epoch %d for record %d", next.Epoch(), rec.Epoch)
+		}
+		ver.publishDerived(next)
+		return nil
+	})
+	if err != nil {
+		lg.Close()
+		return nil, err
+	}
+
+	dv := &DurableVersioned{
+		ver:   ver,
+		log:   lg,
+		sigma: sigma,
+		fsys:  fsys,
+		dir:   dir,
+		every: every,
+		recovery: RecoveryStats{
+			UsedCheckpoint: usedCkpt,
+			BaseEpoch:      baseEpoch,
+			Replayed:       replayed,
+			TornBytes:      lg.Stats().TornBytes,
+		},
+	}
+	if usedCkpt {
+		dv.ckptEpoch = baseEpoch
+	} else {
+		// First open of this directory: checkpoint the base snapshot now
+		// so recovery never depends on the caller's base() being
+		// reproducible (the CSV may move; the checkpoint does not).
+		if err := dv.checkpointLocked(ver.Current()); err != nil {
+			lg.Close()
+			return nil, fmt.Errorf("master: open durable %s: initial checkpoint: %w", dir, err)
+		}
+	}
+	return dv, nil
+}
+
+// Versioned exposes the snapshot ring for readers: Current, At, Epoch,
+// monitor sessions. Do NOT call its Apply — deltas that bypass the log
+// are exactly the data loss this type exists to prevent (and will
+// desynchronise the epoch sequence, which Apply detects and refuses).
+func (dv *DurableVersioned) Versioned() *Versioned { return dv.ver }
+
+// Current returns the latest published snapshot.
+func (dv *DurableVersioned) Current() *Data { return dv.ver.Current() }
+
+// Epoch returns the latest published epoch.
+func (dv *DurableVersioned) Epoch() uint64 { return dv.ver.Epoch() }
+
+// At returns the retained snapshot at epoch (see Versioned.At).
+func (dv *DurableVersioned) At(epoch uint64) (*Data, error) { return dv.ver.At(epoch) }
+
+// Apply logs the delta and publishes the snapshot it derives, in that
+// order: the record is in the WAL (fsynced, under wal.SyncAlways) before
+// any reader can observe the new head. On error nothing is published and
+// nothing invalid is logged.
+func (dv *DurableVersioned) Apply(adds []relation.Tuple, deletes []int) (*Data, error) {
+	dv.dmu.Lock()
+	defer dv.dmu.Unlock()
+	if dv.closed {
+		return nil, fmt.Errorf("master: durable lineage closed")
+	}
+	next, err := dv.ver.Current().ApplyDelta(adds, deletes)
+	if err != nil {
+		return nil, err
+	}
+	if err := dv.log.Append(wal.Record{Epoch: next.Epoch(), Adds: adds, Deletes: deletes}); err != nil {
+		return nil, err
+	}
+	dv.ver.publishDerived(next)
+	if dv.every > 0 && next.Epoch()-dv.ckptEpoch >= uint64(dv.every) {
+		// The delta is already durable in the log; a checkpoint failure
+		// costs disk, not data.
+		if err := dv.checkpointLocked(next); err != nil {
+			dv.ckptFails++
+		}
+	}
+	return next, nil
+}
+
+// Checkpoint forces an arena checkpoint of the current head and
+// truncates the WAL it covers.
+func (dv *DurableVersioned) Checkpoint() error {
+	dv.dmu.Lock()
+	defer dv.dmu.Unlock()
+	if dv.closed {
+		return fmt.Errorf("master: durable lineage closed")
+	}
+	if err := dv.checkpointLocked(dv.ver.Current()); err != nil {
+		dv.ckptFails++
+		return err
+	}
+	return nil
+}
+
+// checkpointLocked writes head's arena atomically+durably through the FS
+// seam, then truncates the WAL through head's epoch. Caller holds dv.dmu.
+func (dv *DurableVersioned) checkpointLocked(head *Data) error {
+	ckptPath := filepath.Join(dv.dir, CheckpointFile)
+	tmpPath := ckptPath + ".tmp"
+	f, err := dv.fsys.OpenFile(tmpPath, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("master: checkpoint: %w", err)
+	}
+	if err := head.SaveArena(f, dv.sigma); err != nil {
+		f.Close()
+		dv.fsys.Remove(tmpPath)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		dv.fsys.Remove(tmpPath)
+		return fmt.Errorf("master: checkpoint: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		dv.fsys.Remove(tmpPath)
+		return fmt.Errorf("master: checkpoint: %w", err)
+	}
+	if err := dv.fsys.Rename(tmpPath, ckptPath); err != nil {
+		dv.fsys.Remove(tmpPath)
+		return fmt.Errorf("master: checkpoint: %w", err)
+	}
+	if err := dv.fsys.SyncDir(dv.dir); err != nil {
+		return fmt.Errorf("master: checkpoint: %w", err)
+	}
+	dv.ckptEpoch = head.Epoch()
+	return dv.log.TruncateThrough(head.Epoch())
+}
+
+// Close flushes and closes the WAL. The snapshot ring stays readable;
+// further Applies fail.
+func (dv *DurableVersioned) Close() error {
+	dv.dmu.Lock()
+	defer dv.dmu.Unlock()
+	if dv.closed {
+		return nil
+	}
+	dv.closed = true
+	return dv.log.Close()
+}
+
+// Durability reports the current durability state.
+func (dv *DurableVersioned) Durability() DurabilityStats {
+	dv.dmu.Lock()
+	defer dv.dmu.Unlock()
+	head := dv.ver.Epoch()
+	return DurabilityStats{
+		Epoch:              head,
+		CheckpointEpoch:    dv.ckptEpoch,
+		SinceCheckpoint:    int(head - dv.ckptEpoch),
+		CheckpointFailures: dv.ckptFails,
+		WAL:                dv.log.Stats(),
+		Recovery:           dv.recovery,
+	}
+}

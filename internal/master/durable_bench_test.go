@@ -1,0 +1,53 @@
+package master
+
+// Recovery cost at paper scale: open a durable lineage whose checkpoint
+// holds a 100k-tuple master and whose WAL retains a 64-delta tail — the
+// cold-start price certainfixd pays after a crash or deploy. The arena
+// half rides the mmap loader benchmarked in arena_bench_test.go; the
+// delta tail adds one ApplyDelta per retained record.
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/relation"
+	"repro/internal/wal"
+)
+
+func BenchmarkRecovery(b *testing.B) {
+	const n = 100_000
+	const tail = 64
+	rel, sigma := benchMasterRelation(n)
+	dir := b.TempDir()
+	dv, err := OpenDurable(dir, func() (*Data, error) { return NewForRules(rel, sigma) }, sigma,
+		DurableOptions{Sync: wal.SyncNever, CheckpointEvery: -1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < tail; i++ {
+		add := []relation.Tuple{benchMasterTuple(rng, n+i)}
+		if _, err := dv.Apply(add, []int{rng.Intn(n)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := dv.Close(); err != nil {
+		b.Fatal(err)
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dv, err := OpenDurable(dir, func() (*Data, error) {
+			b.Fatal("recovery fell back to a rebuild")
+			return nil, nil
+		}, sigma, DurableOptions{Sync: wal.SyncNever, CheckpointEvery: -1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if dv.Epoch() != tail {
+			b.Fatalf("recovered epoch %d", dv.Epoch())
+		}
+		dv.Close()
+	}
+}

@@ -1,0 +1,67 @@
+package wal
+
+import (
+	"testing"
+	"time"
+)
+
+// benchmarkAppend measures one ApplyDelta-sized record per op under the
+// given fsync policy. "always" is bound by the device's fsync latency —
+// the price of per-batch durability the paper-facing daemon defaults to;
+// "interval" and "off" show what amortised and deferred flushing buy.
+func benchmarkAppend(b *testing.B, p SyncPolicy) {
+	l, err := Open(b.TempDir(), Options{Sync: p, Interval: 10 * time.Millisecond})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer l.Close()
+	rec := testRecord(1)
+	var buf []byte
+	if buf, err = appendRecord(nil, rec); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(buf)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec.Epoch = uint64(i + 1)
+		if err := l.Append(rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWALAppendAlways(b *testing.B)   { benchmarkAppend(b, SyncAlways) }
+func BenchmarkWALAppendInterval(b *testing.B) { benchmarkAppend(b, SyncInterval) }
+func BenchmarkWALAppendOff(b *testing.B)      { benchmarkAppend(b, SyncNever) }
+
+// BenchmarkWALReplay measures decoding throughput of a 10k-record log —
+// the WAL half of recovery cost (the arena load is benchmarked in
+// internal/master).
+func BenchmarkWALReplay(b *testing.B) {
+	dir := b.TempDir()
+	l, err := Open(dir, Options{Sync: SyncNever})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for e := uint64(1); e <= 10_000; e++ {
+		if err := l.Append(testRecord(e)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	l.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l, err := Open(dir, Options{Sync: SyncNever})
+		if err != nil {
+			b.Fatal(err)
+		}
+		n := 0
+		if _, err := l.Replay(0, func(Record) error { n++; return nil }); err != nil {
+			b.Fatal(err)
+		}
+		if n != 10_000 {
+			b.Fatalf("replayed %d", n)
+		}
+		l.Close()
+	}
+}

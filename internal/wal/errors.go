@@ -1,0 +1,40 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrWALCorrupt is the sentinel matched (errors.Is) by every log decode
+// failure that recovery cannot repair on its own: a bad frame in the
+// middle of the log (truncating there would silently drop the records
+// behind it), an epoch gap or regression between records, and a frame
+// whose checksum verifies but whose payload does not decode. A torn or
+// corrupt TAIL — the last frames of the last segment, the only place a
+// crash can leave one — is NOT an error: Open truncates it and reports
+// the repair in Stats.
+var ErrWALCorrupt = errors.New("wal: log corrupt")
+
+// CorruptError locates an unrecoverable log corruption: the segment file,
+// the byte offset decoding stopped at, and what was found there. It
+// matches ErrWALCorrupt through errors.Is.
+type CorruptError struct {
+	// Path is the segment file being decoded.
+	Path string
+	// Offset is the byte offset within the segment at which decoding
+	// failed (-1 when the failure is not tied to one position, e.g. an
+	// epoch gap between segments).
+	Offset int64
+	// Msg describes the corruption.
+	Msg string
+}
+
+func (e *CorruptError) Error() string {
+	if e.Offset < 0 {
+		return fmt.Sprintf("wal: %s: %s", e.Path, e.Msg)
+	}
+	return fmt.Sprintf("wal: %s at offset %d: %s", e.Path, e.Offset, e.Msg)
+}
+
+// Unwrap makes the error match ErrWALCorrupt through errors.Is.
+func (e *CorruptError) Unwrap() error { return ErrWALCorrupt }

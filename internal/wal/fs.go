@@ -1,0 +1,77 @@
+package wal
+
+// The filesystem seam of the WAL. Every byte the log persists — segment
+// appends, fsyncs, segment creation and removal, checkpoint temp files —
+// flows through the FS interface, so the crash-injection harness
+// (walfault) can cut power at any byte or sync without patching the log
+// itself. Production code uses OS, the passthrough implementation.
+
+import (
+	"io"
+	"os"
+)
+
+// File is the mutable-file surface the log needs: append writes, explicit
+// durability, tail truncation (torn-record repair) and close.
+type File interface {
+	io.Writer
+	// Sync forces everything written so far to stable storage. A record
+	// is durable — guaranteed to survive a crash — only after the Sync
+	// covering it returns.
+	Sync() error
+	// Truncate cuts the file to size bytes (tail repair at open).
+	Truncate(size int64) error
+	Close() error
+}
+
+// FS is the directory surface: segment and checkpoint file lifecycle. All
+// paths are absolute or relative exactly as the caller passes them; the
+// implementation must not rewrite them.
+type FS interface {
+	// OpenFile opens name with os.OpenFile semantics.
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	// ReadFile returns the full content of name.
+	ReadFile(name string) ([]byte, error)
+	// ReadDir lists the directory, sorted by filename.
+	ReadDir(name string) ([]os.DirEntry, error)
+	// Rename atomically replaces newname with oldname.
+	Rename(oldname, newname string) error
+	// Remove deletes name.
+	Remove(name string) error
+	// MkdirAll creates the directory and its parents.
+	MkdirAll(name string, perm os.FileMode) error
+	// SyncDir fsyncs the directory itself, making created, renamed and
+	// removed entries durable (a file's own Sync does not cover its
+	// directory entry).
+	SyncDir(name string) error
+}
+
+// OS is the production FS: a passthrough to the os package.
+var OS FS = osFS{}
+
+type osFS struct{}
+
+func (osFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	f, err := os.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (osFS) ReadFile(name string) ([]byte, error)       { return os.ReadFile(name) }
+func (osFS) ReadDir(name string) ([]os.DirEntry, error) { return os.ReadDir(name) }
+func (osFS) Rename(oldname, newname string) error       { return os.Rename(oldname, newname) }
+func (osFS) Remove(name string) error                   { return os.Remove(name) }
+func (osFS) MkdirAll(name string, perm os.FileMode) error {
+	return os.MkdirAll(name, perm)
+}
+
+func (osFS) SyncDir(name string) error {
+	d, err := os.Open(name)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}

@@ -1,0 +1,218 @@
+package wal
+
+// One log record per ApplyDelta batch. The payload is self-describing —
+// cells carry their kind, so decoding needs no schema — and framed as
+//
+//	u32 payload length | u32 CRC-32C of payload | payload
+//
+// payload:
+//
+//	uvarint epoch          the epoch this delta PRODUCES (parent + 1)
+//	uvarint len(deletes)   then each delete id as a uvarint
+//	uvarint len(adds)      then each added tuple:
+//	    uvarint arity, then per cell:
+//	        0x00                     null
+//	        0x01 uvarint len, bytes  string
+//	        0x02 varint              int64
+//
+// The frame CRC is what tells a torn tail from a valid record; the fixed
+// little-endian length prefix is what lets the scanner skip a record
+// without decoding it. Everything inside the payload is varint-coded: a
+// typical correction batch is a handful of short strings, and the paper's
+// update streams are dominated by single-tuple deltas, so frames are tens
+// of bytes.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+
+	"repro/internal/relation"
+)
+
+// Record is one logged master-delta batch: the epoch the delta produces
+// and the exact adds/deletes handed to ApplyDelta. Replaying records in
+// epoch order over the snapshot the log covers reproduces the lineage
+// byte-for-byte (master's delta semantics are deterministic).
+type Record struct {
+	Epoch   uint64
+	Adds    []relation.Tuple
+	Deletes []int
+}
+
+const (
+	cellNull   = 0x00
+	cellString = 0x01
+	cellInt    = 0x02
+
+	frameHeaderSize = 8
+	// maxRecordBytes bounds one frame's payload: a length prefix beyond
+	// it is treated as corruption (or a torn tail), never as an
+	// allocation request.
+	maxRecordBytes = 1 << 28
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// appendRecord appends the framed record to buf and returns it.
+func appendRecord(buf []byte, r Record) ([]byte, error) {
+	start := len(buf)
+	buf = append(buf, 0, 0, 0, 0, 0, 0, 0, 0) // frame header, patched below
+	buf = binary.AppendUvarint(buf, r.Epoch)
+	buf = binary.AppendUvarint(buf, uint64(len(r.Deletes)))
+	for _, id := range r.Deletes {
+		if id < 0 {
+			return nil, fmt.Errorf("wal: record: negative delete id %d", id)
+		}
+		buf = binary.AppendUvarint(buf, uint64(id))
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(r.Adds)))
+	for _, t := range r.Adds {
+		buf = binary.AppendUvarint(buf, uint64(len(t)))
+		for _, v := range t {
+			switch v.Kind() {
+			case relation.KindNull:
+				buf = append(buf, cellNull)
+			case relation.KindString:
+				buf = append(buf, cellString)
+				buf = binary.AppendUvarint(buf, uint64(len(v.Str())))
+				buf = append(buf, v.Str()...)
+			case relation.KindInt:
+				buf = append(buf, cellInt)
+				buf = binary.AppendVarint(buf, v.Int64())
+			default:
+				return nil, fmt.Errorf("wal: record: unknown value kind %v", v.Kind())
+			}
+		}
+	}
+	payload := buf[start+frameHeaderSize:]
+	if len(payload) > maxRecordBytes {
+		return nil, fmt.Errorf("wal: record: payload %d bytes exceeds limit %d", len(payload), maxRecordBytes)
+	}
+	binary.LittleEndian.PutUint32(buf[start:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[start+4:], crc32.Checksum(payload, crcTable))
+	return buf, nil
+}
+
+// decodePayload decodes one CRC-verified payload. Failures here mean the
+// bytes on disk are exactly what some writer produced yet do not parse —
+// an encoder/decoder version skew or a checksum collision — so the caller
+// reports them as corruption, never as a torn tail.
+func decodePayload(b []byte) (Record, error) {
+	d := pdecoder{b: b}
+	var r Record
+	r.Epoch = d.uvarint("epoch")
+	nDel := d.length("delete count")
+	if nDel > 0 {
+		r.Deletes = make([]int, nDel)
+		for i := range r.Deletes {
+			id := d.uvarint("delete id")
+			if id > math.MaxInt32 {
+				d.fail("delete id %d exceeds int32", id)
+			}
+			r.Deletes[i] = int(id)
+		}
+	}
+	nAdd := d.length("add count")
+	if nAdd > 0 {
+		r.Adds = make([]relation.Tuple, nAdd)
+		for i := range r.Adds {
+			arity := d.length("arity")
+			t := make(relation.Tuple, arity)
+			for c := range t {
+				switch kind := d.u8("cell kind"); kind {
+				case cellNull:
+					t[c] = relation.Null
+				case cellString:
+					n := d.length("string length")
+					t[c] = relation.String(string(d.take(n, "string bytes")))
+				case cellInt:
+					t[c] = relation.Int(d.varint("int cell"))
+				default:
+					d.fail("unknown cell kind 0x%02x", kind)
+				}
+			}
+			r.Adds[i] = t
+		}
+	}
+	if d.err == nil && d.off != len(d.b) {
+		d.fail("%d trailing bytes after record", len(d.b)-d.off)
+	}
+	return r, d.err
+}
+
+// pdecoder is a sticky-error cursor over one payload (the areader idiom
+// of the arena loader, sized down to varint framing).
+type pdecoder struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (d *pdecoder) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf("payload offset %d: %s", d.off, fmt.Sprintf(format, args...))
+	}
+}
+
+func (d *pdecoder) take(n int, what string) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if n < 0 || n > len(d.b)-d.off {
+		d.fail("truncated %s: need %d bytes, %d remain", what, n, len(d.b)-d.off)
+		return nil
+	}
+	p := d.b[d.off : d.off+n]
+	d.off += n
+	return p
+}
+
+func (d *pdecoder) u8(what string) uint8 {
+	if p := d.take(1, what); p != nil {
+		return p[0]
+	}
+	return 0
+}
+
+func (d *pdecoder) uvarint(what string) uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.b[d.off:])
+	if n <= 0 {
+		d.fail("bad uvarint %s", what)
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+func (d *pdecoder) varint(what string) int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.b[d.off:])
+	if n <= 0 {
+		d.fail("bad varint %s", what)
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+// length reads a uvarint that sizes an allocation, bounding it by the
+// payload bytes that remain: every element costs at least one byte, so a
+// count beyond the remainder is corruption, not a big allocation.
+func (d *pdecoder) length(what string) int {
+	v := d.uvarint(what)
+	if d.err != nil {
+		return 0
+	}
+	if v > uint64(len(d.b)-d.off) {
+		d.fail("%s %d exceeds remaining %d bytes", what, v, len(d.b)-d.off)
+		return 0
+	}
+	return int(v)
+}

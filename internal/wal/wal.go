@@ -1,0 +1,636 @@
+// Package wal is a segmented, CRC-framed write-ahead log for master-delta
+// batches: the durability layer under master.DurableVersioned. Every
+// ApplyDelta batch is appended as one epoch-stamped record BEFORE the new
+// snapshot head is published, so a process that crashes and restarts can
+// reconstruct the exact lineage by loading the last arena checkpoint and
+// replaying the log tail.
+//
+// The log is a directory of segment files named %020d.wal after the epoch
+// of their first record. Records never span segments; a segment seals
+// when it crosses Options.SegmentBytes and the next record opens a new
+// one. Once an arena checkpoint covers an epoch, TruncateThrough removes
+// the segments it makes redundant — oldest first, so a crash mid-removal
+// always leaves a contiguous epoch suffix.
+//
+// Durability is governed by Options.Sync:
+//
+//   - SyncAlways: fsync after every Append — an Append that returned is
+//     durable. The per-batch policy of the paper-facing daemon.
+//   - SyncInterval: a background goroutine fsyncs every Interval; a crash
+//     loses at most the records appended since the last tick.
+//   - SyncNever: leave flushing to the OS (benchmarks, bulk loads).
+//
+// Open validates every frame of every segment eagerly (CRC, length
+// bounds, epoch contiguity — the areader discipline of the arena loader).
+// The one repairable failure is a torn TAIL: trailing bytes of the LAST
+// segment that do not parse as complete, checksum-valid frames are
+// exactly what a crash mid-write leaves behind, and Open truncates them
+// (reported in Stats, never an error). Every other failure — a bad frame
+// in the middle of the log, an epoch gap, a checksum-valid record that
+// does not decode — is a typed *CorruptError matching ErrWALCorrupt:
+// truncating there would silently drop acknowledged records, so the log
+// refuses to guess.
+//
+// All file I/O flows through the FS seam (fs.go), which is how the
+// crash-injection harness (walfault) proves the recovery contract at
+// every byte and sync boundary.
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// SyncPolicy selects when appended records are fsynced.
+type SyncPolicy int
+
+const (
+	// SyncAlways fsyncs after every Append (durable once Append returns).
+	SyncAlways SyncPolicy = iota
+	// SyncInterval fsyncs on a background timer (Options.Interval).
+	SyncInterval
+	// SyncNever never fsyncs explicitly; the OS flushes when it pleases.
+	SyncNever
+)
+
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncAlways:
+		return "always"
+	case SyncInterval:
+		return "interval"
+	case SyncNever:
+		return "off"
+	}
+	return fmt.Sprintf("SyncPolicy(%d)", int(p))
+}
+
+// ParseSyncPolicy parses the flag spelling of a policy: "always" (or
+// "batch"), "interval", "off" (or "never", "none").
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "always", "batch", "":
+		return SyncAlways, nil
+	case "interval":
+		return SyncInterval, nil
+	case "off", "never", "none":
+		return SyncNever, nil
+	}
+	return 0, fmt.Errorf("wal: unknown fsync policy %q (want always, interval or off)", s)
+}
+
+const (
+	// DefaultSegmentBytes is the roll threshold when Options.SegmentBytes
+	// is zero.
+	DefaultSegmentBytes = 64 << 20
+	// DefaultSyncInterval is the SyncInterval cadence when
+	// Options.Interval is zero.
+	DefaultSyncInterval = 100 * time.Millisecond
+
+	segmentSuffix = ".wal"
+)
+
+// Options configures Open.
+type Options struct {
+	// Sync is the fsync policy (default SyncAlways).
+	Sync SyncPolicy
+	// Interval is the SyncInterval cadence (default DefaultSyncInterval).
+	Interval time.Duration
+	// SegmentBytes rolls the active segment when it would grow past this
+	// size (default DefaultSegmentBytes).
+	SegmentBytes int64
+	// FS overrides the filesystem (default OS). The crash-injection
+	// harness threads walfault.FS through here.
+	FS FS
+}
+
+func (o Options) withDefaults() Options {
+	if o.Interval <= 0 {
+		o.Interval = DefaultSyncInterval
+	}
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = DefaultSegmentBytes
+	}
+	if o.FS == nil {
+		o.FS = OS
+	}
+	return o
+}
+
+// segmentName is the filename of the segment whose first record is epoch.
+func segmentName(epoch uint64) string {
+	return fmt.Sprintf("%020d%s", epoch, segmentSuffix)
+}
+
+// segment is one validated segment file.
+type segment struct {
+	path  string
+	start uint64 // epoch of the first record (== the filename number)
+	last  uint64 // epoch of the last record
+	size  int64  // bytes after tail repair
+}
+
+// Stats is the observable state of a log: served on certainfixd /healthz
+// and asserted by the recovery tests.
+type Stats struct {
+	// Dir is the log directory.
+	Dir string
+	// Policy is the fsync policy string ("always", "interval", "off").
+	Policy string
+	// Segments is the number of live segment files (including the active
+	// one).
+	Segments int
+	// Bytes is the total size of the live segments.
+	Bytes int64
+	// FirstEpoch/LastEpoch bound the records currently in the log (both
+	// zero when the log holds no records).
+	FirstEpoch, LastEpoch uint64
+	// SyncedEpoch is the newest epoch known to be on stable storage.
+	SyncedEpoch uint64
+	// TornBytes is how many trailing bytes Open truncated from the last
+	// segment (0 for a clean open) — the crash-repair breadcrumb.
+	TornBytes int64
+}
+
+// Log is an open write-ahead log. Append/Sync/TruncateThrough/Close are
+// safe for concurrent use; Replay must complete before the first Append
+// (the recovery sequence master.OpenDurable follows).
+type Log struct {
+	dir  string
+	opts Options
+
+	mu       sync.Mutex
+	sealed   []segment // ascending start epochs
+	active   File      // nil until the first append after open/truncate
+	activeAt segment   // metadata of the active segment
+	haveAny  bool      // any record in the log (sealed or active)
+	first    uint64    // first epoch in the log (valid when haveAny)
+	last     uint64    // last epoch in the log (valid when haveAny)
+	synced   uint64    // last epoch covered by a completed fsync
+	dirty    bool      // active segment has unsynced writes
+	torn     int64     // bytes truncated at Open
+	encBuf   []byte
+	failed   error // sticky: a failed write leaves a partial frame behind
+	closed   bool
+	stopSync chan struct{}
+}
+
+// Open validates the log in dir (creating the directory if needed),
+// repairs a torn tail, and returns a Log positioned to append. Corruption
+// anywhere but the tail fails with a *CorruptError matching ErrWALCorrupt.
+func Open(dir string, opts Options) (*Log, error) {
+	opts = opts.withDefaults()
+	fs := opts.FS
+	if err := fs.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: open %s: %w", dir, err)
+	}
+	entries, err := fs.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("wal: open %s: %w", dir, err)
+	}
+	var segs []segment
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, segmentSuffix) {
+			continue
+		}
+		start, err := strconv.ParseUint(strings.TrimSuffix(name, segmentSuffix), 10, 64)
+		if err != nil {
+			continue // not a segment file
+		}
+		segs = append(segs, segment{path: filepath.Join(dir, name), start: start})
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].start < segs[j].start })
+
+	l := &Log{dir: dir, opts: opts}
+	prevLast := uint64(0)
+	havePrev := false
+	for i := range segs {
+		isLast := i == len(segs)-1
+		s, removed, err := l.scanSegment(&segs[i], isLast, havePrev, prevLast)
+		if err != nil {
+			return nil, err
+		}
+		if removed {
+			continue // empty after tail repair: the file is gone
+		}
+		l.sealed = append(l.sealed, s)
+		if !l.haveAny {
+			l.first = s.start
+			l.haveAny = true
+		}
+		l.last = s.last
+		prevLast, havePrev = s.last, true
+	}
+	// Everything that survived validation is on disk; nothing newer exists.
+	l.synced = l.last
+	if opts.Sync == SyncInterval {
+		l.stopSync = make(chan struct{})
+		go l.syncLoop()
+	}
+	return l, nil
+}
+
+// scanSegment validates every frame of one segment, repairing (or, when
+// the repair leaves nothing, removing) a torn tail on the last segment.
+func (l *Log) scanSegment(s *segment, isLast, havePrev bool, prevLast uint64) (segment, bool, error) {
+	fs := l.opts.FS
+	b, err := fs.ReadFile(s.path)
+	if err != nil {
+		return segment{}, false, fmt.Errorf("wal: open: %w", err)
+	}
+	corrupt := func(off int64, format string, args ...any) error {
+		return &CorruptError{Path: s.path, Offset: off, Msg: fmt.Sprintf(format, args...)}
+	}
+
+	off := int64(0)
+	validEnd := int64(0)
+	expect := s.start
+	nrec := 0
+	tornAt := int64(-1) // first torn byte, when the tail needs repair
+	tornWhy := ""
+	for off < int64(len(b)) {
+		rem := int64(len(b)) - off
+		if rem < frameHeaderSize {
+			tornAt, tornWhy = off, fmt.Sprintf("%d trailing bytes, frame header needs %d", rem, frameHeaderSize)
+			break
+		}
+		plen := int64(binary.LittleEndian.Uint32(b[off:]))
+		sum := binary.LittleEndian.Uint32(b[off+4:])
+		if plen > maxRecordBytes {
+			tornAt, tornWhy = off, fmt.Sprintf("frame length %d exceeds limit %d", plen, maxRecordBytes)
+			break
+		}
+		if rem-frameHeaderSize < plen {
+			tornAt, tornWhy = off, fmt.Sprintf("frame needs %d payload bytes, %d remain", plen, rem-frameHeaderSize)
+			break
+		}
+		payload := b[off+frameHeaderSize : off+frameHeaderSize+plen]
+		if crc32.Checksum(payload, crcTable) != sum {
+			tornAt, tornWhy = off, "frame checksum mismatch"
+			break
+		}
+		// The frame is intact on disk: from here on, failures are logic
+		// corruption, never a torn write.
+		epoch, n := binary.Uvarint(payload)
+		if n <= 0 {
+			return segment{}, false, corrupt(off, "checksum-valid record with undecodable epoch")
+		}
+		if epoch != expect {
+			return segment{}, false, corrupt(off, "epoch %d where %d was expected", epoch, expect)
+		}
+		expect++
+		nrec++
+		off += frameHeaderSize + plen
+		validEnd = off
+	}
+
+	if tornAt >= 0 && !isLast {
+		// A torn frame can only exist where a crash stopped the writer:
+		// the end of the newest segment. Anywhere else, truncating would
+		// drop the records behind it.
+		return segment{}, false, corrupt(tornAt, "bad frame inside a sealed segment (%s)", tornWhy)
+	}
+	if nrec == 0 {
+		if !isLast {
+			// The writer seals a segment only after a record lands in it.
+			return segment{}, false, corrupt(-1, "segment holds no records")
+		}
+		// Nothing valid survived — the file is empty (crash between
+		// create and first write) or all torn: drop it; the epoch it was
+		// going to hold will be re-appended under the same name.
+		l.torn += int64(len(b))
+		if err := fs.Remove(s.path); err != nil {
+			return segment{}, false, fmt.Errorf("wal: repair %s: %w", s.path, err)
+		}
+		if err := fs.SyncDir(l.dir); err != nil {
+			return segment{}, false, fmt.Errorf("wal: repair %s: %w", l.dir, err)
+		}
+		return segment{}, true, nil
+	}
+	if tornAt >= 0 {
+		l.torn += int64(len(b)) - validEnd
+		f, err := fs.OpenFile(s.path, os.O_WRONLY, 0o644)
+		if err != nil {
+			return segment{}, false, fmt.Errorf("wal: repair %s: %w", s.path, err)
+		}
+		if err := f.Truncate(validEnd); err != nil {
+			f.Close()
+			return segment{}, false, fmt.Errorf("wal: repair %s: %w", s.path, err)
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return segment{}, false, fmt.Errorf("wal: repair %s: %w", s.path, err)
+		}
+		if err := f.Close(); err != nil {
+			return segment{}, false, fmt.Errorf("wal: repair %s: %w", s.path, err)
+		}
+	}
+	if nrec == 0 {
+		// A sealed zero-record segment cannot be produced by the writer.
+		return segment{}, false, corrupt(-1, "segment holds no records")
+	}
+	if havePrev && s.start != prevLast+1 {
+		return segment{}, false, corrupt(-1, "segment starts at epoch %d, previous segment ended at %d", s.start, prevLast)
+	}
+	s.last = expect - 1
+	s.size = validEnd
+	return *s, false, nil
+}
+
+// Replay streams every record with epoch > after to fn, in epoch order,
+// verifying the stream starts at after+1 and stays contiguous. It returns
+// the number of records replayed. Recovery calls it once, before the
+// first Append; it also reads records appended in this process, provided
+// the FS makes unsynced writes readable (the real OS does).
+func (l *Log) Replay(after uint64, fn func(Record) error) (int, error) {
+	l.mu.Lock()
+	segs := append([]segment(nil), l.sealed...)
+	if l.active != nil && l.activeAt.size > 0 {
+		segs = append(segs, l.activeAt)
+	}
+	l.mu.Unlock()
+	replayed := 0
+	expect := after + 1
+	for _, s := range segs {
+		if s.last <= after {
+			continue // fully covered by the checkpoint
+		}
+		b, err := l.opts.FS.ReadFile(s.path)
+		if err != nil {
+			return replayed, fmt.Errorf("wal: replay: %w", err)
+		}
+		off := int64(0)
+		for off < int64(len(b)) {
+			plen := int64(binary.LittleEndian.Uint32(b[off:]))
+			payload := b[off+frameHeaderSize : off+frameHeaderSize+plen]
+			off += frameHeaderSize + plen
+			rec, err := decodePayload(payload)
+			if err != nil {
+				return replayed, &CorruptError{Path: s.path, Offset: off - plen - frameHeaderSize,
+					Msg: fmt.Sprintf("checksum-valid record does not decode: %v", err)}
+			}
+			if rec.Epoch <= after {
+				continue
+			}
+			if rec.Epoch != expect {
+				return replayed, &CorruptError{Path: s.path, Offset: -1,
+					Msg: fmt.Sprintf("epoch gap: log resumes at %d, checkpoint covers through %d", rec.Epoch, expect-1)}
+			}
+			if err := fn(rec); err != nil {
+				return replayed, err
+			}
+			expect++
+			replayed++
+		}
+	}
+	return replayed, nil
+}
+
+// Append logs one record. The record's epoch must extend the log by
+// exactly one (the first record after a checkpoint may start anywhere).
+// Under SyncAlways the record is durable when Append returns; under the
+// other policies it is durable after the next Sync covering it.
+func (l *Log) Append(r Record) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return fmt.Errorf("wal: append: log closed")
+	}
+	if l.failed != nil {
+		return fmt.Errorf("wal: append after failed write (reopen to recover): %w", l.failed)
+	}
+	if l.haveAny && r.Epoch != l.last+1 {
+		return fmt.Errorf("wal: append epoch %d does not extend log at epoch %d", r.Epoch, l.last)
+	}
+	buf, err := appendRecord(l.encBuf[:0], r)
+	if err != nil {
+		return err
+	}
+	l.encBuf = buf
+
+	if l.active != nil && l.activeAt.size+int64(len(buf)) > l.opts.SegmentBytes && l.activeAt.size > 0 {
+		if err := l.sealActiveLocked(); err != nil {
+			return err
+		}
+	}
+	if l.active == nil {
+		if err := l.openActiveLocked(r.Epoch); err != nil {
+			return err
+		}
+	}
+	if _, err := l.active.Write(buf); err != nil {
+		l.failed = err
+		return fmt.Errorf("wal: append: %w", err)
+	}
+	l.activeAt.last = r.Epoch
+	l.activeAt.size += int64(len(buf))
+	if !l.haveAny {
+		l.first = r.Epoch
+		l.haveAny = true
+	}
+	l.last = r.Epoch
+	l.dirty = true
+	if l.opts.Sync == SyncAlways {
+		return l.syncLocked()
+	}
+	return nil
+}
+
+// openActiveLocked creates the segment that will hold epoch as its first
+// record, making its directory entry durable before any record lands in
+// it (a synced record in an unlinked file would not survive the crash).
+func (l *Log) openActiveLocked(epoch uint64) error {
+	path := filepath.Join(l.dir, segmentName(epoch))
+	f, err := l.opts.FS.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		l.failed = err
+		return fmt.Errorf("wal: create segment: %w", err)
+	}
+	if err := l.opts.FS.SyncDir(l.dir); err != nil {
+		f.Close()
+		l.failed = err
+		return fmt.Errorf("wal: create segment: %w", err)
+	}
+	l.active = f
+	l.activeAt = segment{path: path, start: epoch, last: epoch - 1}
+	return nil
+}
+
+// sealActiveLocked syncs, closes and retires the active segment.
+func (l *Log) sealActiveLocked() error {
+	if err := l.syncLocked(); err != nil {
+		return err
+	}
+	if err := l.active.Close(); err != nil {
+		l.failed = err
+		return fmt.Errorf("wal: seal segment: %w", err)
+	}
+	l.sealed = append(l.sealed, l.activeAt)
+	l.active = nil
+	l.activeAt = segment{}
+	return nil
+}
+
+// Sync forces every appended record to stable storage.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.syncLocked()
+}
+
+func (l *Log) syncLocked() error {
+	if l.failed != nil {
+		return fmt.Errorf("wal: sync after failed write: %w", l.failed)
+	}
+	if l.active == nil || !l.dirty {
+		l.synced = l.last
+		return nil
+	}
+	if err := l.active.Sync(); err != nil {
+		l.failed = err
+		return fmt.Errorf("wal: sync: %w", err)
+	}
+	l.dirty = false
+	l.synced = l.last
+	return nil
+}
+
+func (l *Log) syncLoop() {
+	t := time.NewTicker(l.opts.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			l.mu.Lock()
+			// Best effort: a sync failure is sticky and surfaces on the
+			// next Append, which is where the caller can act on it.
+			_ = l.syncLocked()
+			l.mu.Unlock()
+		case <-l.stopSync:
+			return
+		}
+	}
+}
+
+// TruncateThrough removes every segment whose records are all covered by
+// a checkpoint at epoch (the caller guarantees a checkpoint at least that
+// new is durable). Segments are removed oldest-first, so a crash mid-way
+// always leaves a contiguous epoch suffix behind the checkpoint. The
+// active segment is sealed first when the checkpoint covers it entirely.
+func (l *Log) TruncateThrough(epoch uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return fmt.Errorf("wal: truncate: log closed")
+	}
+	if l.failed != nil {
+		return fmt.Errorf("wal: truncate after failed write: %w", l.failed)
+	}
+	if l.active != nil && l.activeAt.last <= epoch && l.activeAt.size > 0 {
+		if err := l.sealActiveLocked(); err != nil {
+			return err
+		}
+	}
+	removed := 0
+	for _, s := range l.sealed {
+		if s.last > epoch {
+			break
+		}
+		if err := l.opts.FS.Remove(s.path); err != nil {
+			l.failed = err
+			return fmt.Errorf("wal: truncate: %w", err)
+		}
+		removed++
+	}
+	if removed == 0 {
+		return nil
+	}
+	l.sealed = append(l.sealed[:0], l.sealed[removed:]...)
+	if err := l.opts.FS.SyncDir(l.dir); err != nil {
+		l.failed = err
+		return fmt.Errorf("wal: truncate: %w", err)
+	}
+	switch {
+	case len(l.sealed) > 0:
+		l.first = l.sealed[0].start
+	case l.active != nil && l.activeAt.size > 0:
+		l.first = l.activeAt.start
+	default:
+		l.haveAny = l.last > epoch // all records removed ⇒ empty log
+		if !l.haveAny {
+			l.first, l.last = 0, 0
+			l.synced = 0
+		}
+	}
+	return nil
+}
+
+// Close flushes, syncs and closes the log. Safe to call once; the log is
+// unusable afterwards.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	if l.stopSync != nil {
+		close(l.stopSync)
+	}
+	var firstErr error
+	if l.active != nil {
+		if l.failed == nil {
+			if err := l.syncLocked(); err != nil {
+				firstErr = err
+			}
+		}
+		if err := l.active.Close(); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("wal: close: %w", err)
+		}
+		l.active = nil
+	}
+	return firstErr
+}
+
+// Stats reports the log's current shape (see Stats).
+func (l *Log) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	st := Stats{
+		Dir:         l.dir,
+		Policy:      l.opts.Sync.String(),
+		SyncedEpoch: l.synced,
+		TornBytes:   l.torn,
+	}
+	if l.haveAny {
+		st.FirstEpoch, st.LastEpoch = l.first, l.last
+	}
+	for _, s := range l.sealed {
+		st.Segments++
+		st.Bytes += s.size
+	}
+	if l.active != nil {
+		st.Segments++
+		st.Bytes += l.activeAt.size
+	}
+	return st
+}
+
+// LastEpoch returns the newest epoch in the log (0 when empty).
+func (l *Log) LastEpoch() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if !l.haveAny {
+		return 0
+	}
+	return l.last
+}

@@ -38,11 +38,18 @@ type MasterMemStats = master.MemStats
 // WithShards is ignored here: the shard layout is frozen into the image.
 // Every other option applies as in New. UpdateMaster works unchanged on
 // the loaded system; deltas land in copy-on-write overlays above the
-// read-only arena.
+// read-only arena. Under WithWAL the arena seeds the lineage only on the
+// first open of the WAL directory — afterwards the directory's own
+// checkpoint and log are authoritative, as in New.
 func NewFromArena(rules *Rules, arenaPath string, opts ...Option) (*System, error) {
 	var cfg Options
 	for _, o := range opts {
 		o.apply(&cfg)
+	}
+	if cfg.WALDir != "" {
+		return newDurableSystem(rules, func() (*master.Data, error) {
+			return master.LoadArena(arenaPath, rules)
+		}, cfg)
 	}
 	dm, err := master.LoadArena(arenaPath, rules)
 	if err != nil {

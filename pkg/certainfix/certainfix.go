@@ -199,6 +199,7 @@ type System struct {
 	sigma *rule.Set
 	ver   *master.Versioned
 	mon   *monitor.Monitor
+	dur   *master.DurableVersioned // non-nil under WithWAL
 }
 
 // New builds a System. The master relation must be an instance of Σ's
@@ -209,10 +210,23 @@ type System struct {
 //
 //	sys, err := certainfix.New(rules, masterRel,
 //	    certainfix.WithSuggestionCache(), certainfix.WithMaxRounds(4))
+//
+// Under WithWAL, masterRel seeds the lineage only on the first open of
+// the WAL directory; afterwards the directory itself is authoritative
+// and masterRel may even be nil — recovery restores the exact master
+// the previous process last published.
 func New(rules *Rules, masterRel *Relation, opts ...Option) (*System, error) {
 	var cfg Options
 	for _, o := range opts {
 		o.apply(&cfg)
+	}
+	if cfg.WALDir != "" {
+		return newDurableSystem(rules, func() (*master.Data, error) {
+			if masterRel == nil {
+				return nil, fmt.Errorf("certainfix: WAL directory holds no checkpoint and no master relation was given")
+			}
+			return master.NewForRules(masterRel, rules, master.WithShards(cfg.Shards))
+		}, cfg)
 	}
 	dm, err := master.NewForRules(masterRel, rules, master.WithShards(cfg.Shards))
 	if err != nil {
@@ -246,8 +260,19 @@ func New(rules *Rules, masterRel *Relation, opts ...Option) (*System, error) {
 // Suggest and Repair calls never block and never observe a half-applied
 // delta. In-flight sessions finish on the snapshot they pinned at start;
 // fixes beginning after UpdateMaster returns see the new epoch.
+// Under WithWAL the delta is written to the log before the snapshot is
+// published — with FsyncAlways, an UpdateMaster that returned survives a
+// crash.
 func (s *System) UpdateMaster(adds []Tuple, deletes []int) (uint64, error) {
-	snap, err := s.ver.Apply(adds, deletes)
+	var (
+		snap *master.Data
+		err  error
+	)
+	if s.dur != nil {
+		snap, err = s.dur.Apply(adds, deletes)
+	} else {
+		snap, err = s.ver.Apply(adds, deletes)
+	}
 	if err != nil {
 		return 0, err
 	}

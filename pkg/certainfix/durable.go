@@ -1,0 +1,101 @@
+package certainfix
+
+// Durable master lineage: the WithWAL face of the public API. Without it
+// the snapshot chain — every UpdateMaster since boot, and the epochs
+// suspended sessions are pinned to — is process memory, and a restart
+// silently rewinds the master to its construction state, breaking the
+// certain-fix guarantee's premise of a known Dm. With it the chain lives
+// in a directory: a write-ahead log of deltas plus periodic arena
+// checkpoints, recovered on construction (see internal/master's
+// DurableVersioned and DESIGN.md, "Durability: WAL + checkpoints").
+
+import (
+	"repro/internal/master"
+	"repro/internal/monitor"
+	"repro/internal/wal"
+)
+
+// FsyncPolicy selects when the write-ahead log fsyncs (see WithFsync).
+type FsyncPolicy = wal.SyncPolicy
+
+// WAL fsync policies.
+const (
+	// FsyncAlways syncs after every UpdateMaster: an update that
+	// returned is durable. The default under WithWAL.
+	FsyncAlways = wal.SyncAlways
+	// FsyncInterval syncs on a background timer: a crash loses at most
+	// the updates since the last tick.
+	FsyncInterval = wal.SyncInterval
+	// FsyncOff never syncs explicitly; the OS flushes when it pleases.
+	FsyncOff = wal.SyncNever
+)
+
+// ParseFsyncPolicy parses the flag spelling of a policy: "always",
+// "interval" or "off".
+func ParseFsyncPolicy(s string) (FsyncPolicy, error) { return wal.ParseSyncPolicy(s) }
+
+// DurabilityStats is the durability state of a System built WithWAL:
+// head and checkpoint epochs, log shape, and what recovery found on
+// startup. cmd/certainfixd exposes it on /healthz.
+type DurabilityStats = master.DurabilityStats
+
+// newDurableSystem opens (or recovers) the durable lineage at
+// cfg.WALDir, building the base snapshot with base only when the
+// directory holds no checkpoint yet.
+func newDurableSystem(rules *Rules, base func() (*master.Data, error), cfg Options) (*System, error) {
+	dur, err := master.OpenDurable(cfg.WALDir, base, rules, master.DurableOptions{
+		Sync:            cfg.Fsync,
+		CheckpointEvery: cfg.CheckpointEvery,
+		History:         cfg.MasterHistory,
+	})
+	if err != nil {
+		return nil, err
+	}
+	mon, err := monitor.NewVersioned(rules, dur.Versioned(), monitor.Config{
+		UseBDD:        cfg.UseSuggestionCache,
+		InitialRegion: cfg.InitialRegion,
+		MaxRounds:     cfg.MaxRounds,
+	})
+	if err != nil {
+		dur.Close()
+		return nil, err
+	}
+	return &System{
+		sigma: rules,
+		ver:   dur.Versioned(),
+		mon:   mon,
+		dur:   dur,
+	}, nil
+}
+
+// Durability reports the durability state of a System built WithWAL; ok
+// is false for a memory-only System.
+func (s *System) Durability() (stats DurabilityStats, ok bool) {
+	if s.dur == nil {
+		return DurabilityStats{}, false
+	}
+	return s.dur.Durability(), true
+}
+
+// Checkpoint forces an arena checkpoint of the current master head and
+// truncates the write-ahead log it covers. It is a no-op without
+// WithWAL. Routine operation does not need it — checkpoints roll
+// automatically every WithCheckpointEvery deltas — but it is useful
+// before backups or to bound recovery time explicitly.
+func (s *System) Checkpoint() error {
+	if s.dur == nil {
+		return nil
+	}
+	return s.dur.Checkpoint()
+}
+
+// Close flushes and closes the write-ahead log. In-flight reads and
+// sessions keep working against their pinned snapshots; further
+// UpdateMaster calls fail. A memory-only System (no WithWAL) has nothing
+// to release and Close is a no-op. Safe to call more than once.
+func (s *System) Close() error {
+	if s.dur == nil {
+		return nil
+	}
+	return s.dur.Close()
+}

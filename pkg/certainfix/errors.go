@@ -4,6 +4,7 @@ import (
 	"repro/internal/fix"
 	"repro/internal/master"
 	"repro/internal/monitor"
+	"repro/internal/wal"
 )
 
 // Typed error sentinels, for errors.Is. All System entry points wrap
@@ -31,6 +32,13 @@ var (
 	// *MasterBuildError values carrying the failing tuple's shard, id and
 	// key context.
 	ErrMasterBuild = master.ErrMasterBuild
+	// ErrWALCorrupt reports unrecoverable write-ahead-log corruption
+	// found while recovering a WithWAL system: a bad frame in the middle
+	// of the log, an epoch gap, or a checksum-valid record that does not
+	// decode. (A torn tail — what a crash mid-write leaves — is repaired
+	// silently and reported in DurabilityStats, never as an error.)
+	// Concrete failures are *WALCorruptError values.
+	ErrWALCorrupt = wal.ErrWALCorrupt
 )
 
 // ConflictError carries the witness of an inconsistency: the attribute
@@ -44,3 +52,8 @@ type ConflictError = fix.ConflictError
 // its key. Retrieve it with errors.As; it matches ErrMasterBuild under
 // errors.Is.
 type MasterBuildError = master.BuildError
+
+// WALCorruptError locates write-ahead-log corruption: the segment file,
+// the byte offset, and what was found there. Retrieve it with errors.As;
+// it matches ErrWALCorrupt under errors.Is.
+type WALCorruptError = wal.CorruptError

@@ -39,6 +39,18 @@ type Options struct {
 	// Shards partitions the master indexes into that many hash shards,
 	// built in parallel (0 = one per CPU; see WithShards).
 	Shards int
+	// WALDir enables durable master lineage: every UpdateMaster is
+	// written to a write-ahead log in this directory before it becomes
+	// visible, periodic arena checkpoints bound the log, and New recovers
+	// the lineage from the directory on startup (see WithWAL).
+	WALDir string
+	// Fsync is the WAL fsync policy when WALDir is set (default
+	// FsyncAlways: an UpdateMaster that returned survives a crash).
+	Fsync FsyncPolicy
+	// CheckpointEvery is how many deltas accumulate between automatic
+	// arena checkpoints when WALDir is set (0 = the master package
+	// default; < 0 disables automatic checkpoints).
+	CheckpointEvery int
 }
 
 // apply implements Option: the whole struct replaces the accumulated
@@ -75,6 +87,35 @@ func WithMaxRounds(n int) Option {
 // cost per epoch is the delta overlays, not a copy of Dm.
 func WithMasterHistory(n int) Option {
 	return optionFunc(func(o *Options) { o.MasterHistory = n })
+}
+
+// WithWAL makes the master lineage durable, rooted at dir. Every
+// UpdateMaster is appended to a segmented, CRC-framed write-ahead log
+// before the new snapshot is published; every few deltas the head is
+// checkpointed as an arena image and the covered log truncated; and when
+// dir already holds state, New/NewFromArena recover from it — checkpoint
+// plus log tail — instead of building from the given master relation,
+// continuing the epoch lineage exactly where the previous process (clean
+// shutdown or crash) left it. A torn log tail from a crash is repaired
+// silently; real corruption fails construction with ErrWALCorrupt or
+// ErrBadSnapshot. Call System.Close to flush the log on shutdown.
+func WithWAL(dir string) Option {
+	return optionFunc(func(o *Options) { o.WALDir = dir })
+}
+
+// WithFsync selects the WAL durability/latency trade (only meaningful
+// with WithWAL): FsyncAlways syncs per UpdateMaster, FsyncInterval syncs
+// on a background timer, FsyncOff leaves flushing to the OS.
+func WithFsync(p FsyncPolicy) Option {
+	return optionFunc(func(o *Options) { o.Fsync = p })
+}
+
+// WithCheckpointEvery sets how many deltas accumulate between automatic
+// arena checkpoints under WithWAL (n == 0 restores the default; n < 0
+// disables automatic checkpoints — the log then grows until
+// System.Close or an explicit save).
+func WithCheckpointEvery(n int) Option {
+	return optionFunc(func(o *Options) { o.CheckpointEvery = n })
 }
 
 // WithShards partitions the master data's indexes, posting lists and
