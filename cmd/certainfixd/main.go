@@ -13,6 +13,11 @@
 //	POST /v1/result         {"token": {...}}               final (or interim) result
 //	POST /v1/update-master  {"adds": [[...]], "deletes": [..]}
 //	                        publish a master-data delta (new epoch)
+//	GET  /v1/wal?after=E    stream acknowledged WAL records past epoch E
+//	                        (raw frames; 409 "wal_truncated" when E is
+//	                        behind the checkpoint; needs -wal-dir)
+//	GET  /v1/checkpoint     the newest arena checkpoint image, epoch in
+//	                        X-Checkpoint-Epoch (needs -wal-dir)
 //	GET  /healthz           liveness plus the master's memory accounting
 //	                        ("master": heap vs arena residency, see
 //	                        certainfix.MasterMemStats)
@@ -50,6 +55,16 @@
 // "always" — the default — makes an acknowledged update crash-proof.
 // /healthz gains a "durability" block, and SIGINT/SIGTERM flush and close
 // the log before exit.
+//
+// With -follow the daemon is a read-only replica of another certainfixd:
+// it bootstraps from the leader's GET /v1/checkpoint, tails GET /v1/wal,
+// and serves every read endpoint against the replicated lineage —
+// session tokens minted on the leader (or any sibling replica) resume
+// here, because epoch shipping makes the lineages identical.
+// /v1/update-master answers 403 {"code": "read_only_replica"}; /healthz
+// gains a "replication" block with the leader, lag and shipping state.
+// -follow is mutually exclusive with -master, -master-snapshot and
+// -wal-dir (a replica owns no lineage of its own).
 package main
 
 import (
@@ -80,13 +95,17 @@ func main() {
 		walDir     = flag.String("wal-dir", "", "durable lineage directory (write-ahead log + checkpoints); recovered on start")
 		fsync      = flag.String("fsync", "always", "WAL fsync policy: always | interval | off")
 		ckptEvery  = flag.Int("checkpoint-every", 0, "arena checkpoint every N deltas (0 = default, <0 = never)")
+		follow     = flag.String("follow", "", "run as a read-only replica of the leader certainfixd at this base URL")
 	)
 	flag.Parse()
 	if *rulesPath == "" {
 		fatalf("-rules is required")
 	}
-	if *masterPath == "" && *snapshot == "" && *walDir == "" {
-		fatalf("-master is required (or -master-snapshot naming an existing image, or -wal-dir holding a recovered lineage)")
+	if *follow != "" && (*masterPath != "" || *snapshot != "" || *walDir != "") {
+		fatalf("-follow is mutually exclusive with -master, -master-snapshot and -wal-dir: a replica's lineage comes from its leader")
+	}
+	if *follow == "" && *masterPath == "" && *snapshot == "" && *walDir == "" {
+		fatalf("-master is required (or -master-snapshot naming an existing image, -wal-dir holding a recovered lineage, or -follow naming a leader)")
 	}
 	fsyncPolicy, err := certainfix.ParseFsyncPolicy(*fsync)
 	if err != nil {
@@ -104,6 +123,7 @@ func main() {
 		walDir:          *walDir,
 		fsync:           fsyncPolicy,
 		checkpointEvery: *ckptEvery,
+		follow:          *follow,
 	})
 	if err != nil {
 		// *certainfix.MasterBuildError renders the failing tuple's
@@ -129,6 +149,11 @@ func main() {
 		fmt.Fprintf(os.Stderr,
 			"certainfixd: durable lineage %s (checkpoint epoch %d, replayed %d, torn bytes %d)\n",
 			*walDir, st.Recovery.BaseEpoch, st.Recovery.Replayed, st.Recovery.TornBytes)
+	}
+	if st, ok := sys.Replication(); ok {
+		fmt.Fprintf(os.Stderr,
+			"certainfixd: read-only replica following %s (bootstrapped at epoch %d)\n",
+			st.Leader, st.Epoch)
 	}
 
 	select {
@@ -159,6 +184,7 @@ type serverConfig struct {
 	walDir                          string
 	fsync                           certainfix.FsyncPolicy
 	checkpointEvery                 int
+	follow                          string
 }
 
 // buildSystem loads the rules file (schema headers + DSL) and constructs
@@ -186,6 +212,10 @@ func buildSystem(cfg serverConfig) (*certainfix.System, error) {
 	}
 	if cfg.history > 0 {
 		opts = append(opts, certainfix.WithMasterHistory(cfg.history))
+	}
+	if cfg.follow != "" {
+		// Replica: the leader's checkpoint and WAL are the only sources.
+		return certainfix.NewFollower(rules, cfg.follow, opts...)
 	}
 	if cfg.walDir != "" {
 		opts = append(opts,

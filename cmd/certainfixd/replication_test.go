@@ -1,0 +1,186 @@
+package main
+
+// Two-node epoch shipping with real binaries: a leader under an update
+// storm, a follower started mid-storm (behind a truncation, so its
+// bootstrap is the checkpoint catch-up path), SIGKILLed and restarted,
+// and still ending epoch-identical — with session tokens minted on the
+// leader finishing on the follower and writes to the follower refused.
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/pkg/certainfix"
+)
+
+// healthSnapshot is the /healthz subset the smoke asserts on.
+type healthSnapshot struct {
+	Epoch       uint64 `json:"epoch"`
+	MasterSize  int    `json:"masterSize"`
+	Replication *struct {
+		State string `json:"state"`
+		Lag   uint64 `json:"lag"`
+	} `json:"replication"`
+}
+
+func getHealth(t *testing.T, base string) healthSnapshot {
+	t.Helper()
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var h healthSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestFollowerReplicationSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and kills real binaries")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "certainfixd")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	rules := filepath.Join(dir, "kv.rules")
+	if err := os.WriteFile(rules, []byte(
+		"schema R: K, V\nmaster Rm: K, V\nrule kv: (K ; K) -> (V ; V) when K != nil\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	masterCSV := filepath.Join(dir, "master.csv")
+	if err := os.WriteFile(masterCSV, []byte("K,V\nk1,v1\nk2,v2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	start := func(args ...string) (*exec.Cmd, string) {
+		t.Helper()
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addr := ln.Addr().String()
+		ln.Close()
+		cmd := exec.Command(bin, append([]string{"-rules", rules, "-addr", addr}, args...)...)
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		base := "http://" + addr
+		for i := 0; ; i++ {
+			resp, err := http.Get(base + "/healthz")
+			if err == nil {
+				resp.Body.Close()
+				break
+			}
+			if i > 100 {
+				t.Fatalf("daemon did not come up: %v", err)
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+		return cmd, base
+	}
+	kill := func(cmd *exec.Cmd) {
+		_ = cmd.Process.Kill()
+		_, _ = cmd.Process.Wait()
+	}
+
+	leader, leaderBase := start("-master", masterCSV,
+		"-wal-dir", filepath.Join(dir, "wal"), "-fsync", "always", "-checkpoint-every", "8")
+	defer kill(leader)
+
+	update := func(i int) {
+		t.Helper()
+		var upd struct {
+			Epoch uint64 `json:"epoch"`
+		}
+		if code := post(t, leaderBase+"/v1/update-master", map[string]any{
+			"adds": [][]string{{fmt.Sprintf("add-%d", i), fmt.Sprintf("val-%d", i)}},
+		}, &upd); code != http.StatusOK {
+			t.Fatalf("update %d: HTTP %d", i, code)
+		}
+	}
+	// First half of the storm before the follower exists: with
+	// -checkpoint-every 8 the early epochs are already truncated, so the
+	// follower's bootstrap MUST come from the leader's checkpoint image.
+	for i := 0; i < 16; i++ {
+		update(i)
+	}
+
+	follower, followerBase := start("-follow", leaderBase)
+	waitConverged := func(what string) {
+		t.Helper()
+		deadline := time.Now().Add(20 * time.Second)
+		for {
+			lh, fh := getHealth(t, leaderBase), getHealth(t, followerBase)
+			if fh.Replication == nil {
+				t.Fatal("follower /healthz has no replication block")
+			}
+			if fh.Epoch == lh.Epoch && fh.MasterSize == lh.MasterSize && fh.Replication.Lag == 0 {
+				return
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("%s: follower at epoch %d/|Dm| %d, leader %d/%d (state %s)",
+					what, fh.Epoch, fh.MasterSize, lh.Epoch, lh.MasterSize, fh.Replication.State)
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+	}
+	// Second half of the storm lands while the follower tails live.
+	for i := 16; i < 30; i++ {
+		update(i)
+	}
+	waitConverged("mid-storm attach")
+
+	// SIGKILL the follower, keep the leader moving (past another
+	// checkpoint), restart: the re-bootstrap converges again.
+	kill(follower)
+	for i := 30; i < 45; i++ {
+		update(i)
+	}
+	follower2, followerBase := start("-follow", leaderBase)
+	defer kill(follower2)
+	waitConverged("restart after SIGKILL")
+
+	// A fix session begun on the LEADER finishes on the FOLLOWER: the
+	// token pins an epoch both lineages hold, and shipping made them
+	// probe-for-probe identical.
+	var sess wireSession
+	if code := post(t, leaderBase+"/v1/begin", map[string]any{
+		"tuple": []string{"add-41", "junk"},
+	}, &sess); code != http.StatusOK {
+		t.Fatalf("begin on leader: HTTP %d", code)
+	}
+	truth := certainfix.StringTuple("add-41", "val-41")
+	for i := 0; !sess.Done; i++ {
+		if i > 5 {
+			t.Fatal("cross-node fix did not converge")
+		}
+		sess = answer(t, followerBase, sess, truth)
+	}
+	if !sess.Completed || sess.Tuple[1].Str() != "val-41" {
+		t.Fatalf("cross-node fix: %+v", sess)
+	}
+
+	// Writes to the replica are refused with the machine code.
+	var errReply struct {
+		Code string `json:"code"`
+	}
+	if code := post(t, followerBase+"/v1/update-master", map[string]any{
+		"adds": [][]string{{"rogue", "x"}},
+	}, &errReply); code != http.StatusForbidden || errReply.Code != "read_only_replica" {
+		t.Fatalf("follower write: HTTP %d code %q", code, errReply.Code)
+	}
+	// And the refusal changed nothing: still converged with the leader.
+	waitConverged("after refused write")
+}

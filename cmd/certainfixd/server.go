@@ -31,6 +31,11 @@ func newHandler(sys *certainfix.System) http.Handler {
 	mux.HandleFunc("POST /v1/answer", s.handleAnswer)
 	mux.HandleFunc("POST /v1/result", s.handleResult)
 	mux.HandleFunc("POST /v1/update-master", s.handleUpdateMaster)
+	// Epoch shipping, the leader side: followers stream acknowledged WAL
+	// records and fetch the checkpoint image to bootstrap or catch up.
+	// Both answer 404 {"code": "not_durable"} without -wal-dir.
+	mux.HandleFunc("GET /v1/wal", sys.ServeWAL)
+	mux.HandleFunc("GET /v1/checkpoint", sys.ServeCheckpoint)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		body := map[string]any{
 			"ok":         true,
@@ -44,6 +49,11 @@ func newHandler(sys *certainfix.System) http.Handler {
 		// epoch, log shape, and what recovery found on the last start.
 		if st, ok := sys.Durability(); ok {
 			body["durability"] = st
+		}
+		// The shipping state, when running with -follow: leader, lag,
+		// catch-ups, and whether the loop is tailing or diverged.
+		if st, ok := sys.Replication(); ok {
+			body["replication"] = st
 		}
 		writeJSON(w, http.StatusOK, body)
 	})
@@ -225,6 +235,10 @@ func writeErr(w http.ResponseWriter, err error) {
 		writeJSON(w, http.StatusConflict, errBody(err, "epoch_evicted"))
 	case errors.Is(err, certainfix.ErrSessionDone):
 		writeJSON(w, http.StatusConflict, errBody(err, "session_done"))
+	case errors.Is(err, certainfix.ErrReadOnlyReplica):
+		// Forbidden, not 409: retrying here can never succeed — the
+		// write belongs on the leader this replica follows.
+		writeJSON(w, http.StatusForbidden, errBody(err, "read_only_replica"))
 	case errors.Is(err, certainfix.ErrInconsistent):
 		writeJSON(w, http.StatusConflict, errBody(err, "inconsistent"))
 	default:

@@ -415,6 +415,22 @@ func (v *Versioned) publishDerived(next *Data) {
 	v.trimLocked()
 }
 
+// resetTo replaces the whole chain with a single snapshot, evicting every
+// retained epoch. It is the follower's catch-up seam: when the leader
+// truncated the WAL epochs a replica still needed, the replica rebases
+// onto the leader's checkpoint image and tails from there. Sessions
+// pinned to evicted epochs fail with ErrEpochEvicted on resume, exactly
+// as they do when the ring outruns them.
+func (v *Versioned) resetTo(d *Data) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	for i := range v.hist {
+		v.hist[i] = nil
+	}
+	v.hist = append(v.hist[:0], d)
+	v.cur.Store(d)
+}
+
 // trimLocked evicts the oldest snapshots beyond histCap; v.mu held.
 func (v *Versioned) trimLocked() {
 	if drop := len(v.hist) - v.histCap; drop > 0 {

@@ -91,9 +91,16 @@ type DurabilityStats struct {
 	CheckpointEpoch uint64
 	// SinceCheckpoint is how many deltas the WAL holds past it.
 	SinceCheckpoint int
-	// CheckpointFailures counts checkpoints that failed (durability is
-	// unaffected — the WAL retains the tail — but disk usage grows).
+	// CheckpointFailures counts checkpoints whose arena never became
+	// durable (durability is unaffected — the WAL retains the tail — but
+	// disk usage grows until one succeeds).
 	CheckpointFailures int
+	// TruncateFailures counts checkpoints whose arena DID land durably
+	// but whose WAL truncation failed afterwards: the checkpoint is good,
+	// the log just kept segments it no longer needs until the next
+	// truncation retries. Reported separately so /healthz never calls a
+	// durable checkpoint failed.
+	TruncateFailures int
 	// WAL is the log's own shape.
 	WAL wal.Stats
 	// Recovery is what the open found.
@@ -113,11 +120,12 @@ type DurableVersioned struct {
 
 	// dmu serializes Apply/Checkpoint/Close (it is never held while
 	// ver.mu is wanted by readers — publishes go through ver's own lock).
-	dmu       sync.Mutex
-	ckptEpoch uint64
-	ckptFails int
-	recovery  RecoveryStats
-	closed    bool
+	dmu        sync.Mutex
+	ckptEpoch  uint64
+	ckptFails  int
+	truncFails int
+	recovery   RecoveryStats
+	closed     bool
 }
 
 // OpenDurable opens (or initialises) the durable lineage rooted at dir.
@@ -265,10 +273,9 @@ func (dv *DurableVersioned) Apply(adds []relation.Tuple, deletes []int) (*Data, 
 	dv.ver.publishDerived(next)
 	if dv.every > 0 && next.Epoch()-dv.ckptEpoch >= uint64(dv.every) {
 		// The delta is already durable in the log; a checkpoint failure
-		// costs disk, not data.
-		if err := dv.checkpointLocked(next); err != nil {
-			dv.ckptFails++
-		}
+		// costs disk, not data. checkpointLocked counts its own failures
+		// (split by phase: arena vs truncation).
+		_ = dv.checkpointLocked(next)
 	}
 	return next, nil
 }
@@ -281,45 +288,53 @@ func (dv *DurableVersioned) Checkpoint() error {
 	if dv.closed {
 		return fmt.Errorf("master: durable lineage closed")
 	}
-	if err := dv.checkpointLocked(dv.ver.Current()); err != nil {
-		dv.ckptFails++
-		return err
-	}
-	return nil
+	return dv.checkpointLocked(dv.ver.Current())
 }
 
 // checkpointLocked writes head's arena atomically+durably through the FS
-// seam, then truncates the WAL through head's epoch. Caller holds dv.dmu.
+// seam, then truncates the WAL through head's epoch. It counts failures
+// by phase: a failure before the rename+dirsync completes is a
+// CheckpointFailure (no new durable checkpoint exists); a failure after
+// it is a TruncateFailure only — the checkpoint IS durable, ckptEpoch
+// advances, and only the log housekeeping is behind. Caller holds dv.dmu.
 func (dv *DurableVersioned) checkpointLocked(head *Data) error {
 	ckptPath := filepath.Join(dv.dir, CheckpointFile)
 	tmpPath := ckptPath + ".tmp"
+	fail := func(err error) error {
+		dv.ckptFails++
+		return err
+	}
 	f, err := dv.fsys.OpenFile(tmpPath, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
-		return fmt.Errorf("master: checkpoint: %w", err)
+		return fail(fmt.Errorf("master: checkpoint: %w", err))
 	}
 	if err := head.SaveArena(f, dv.sigma); err != nil {
 		f.Close()
 		dv.fsys.Remove(tmpPath)
-		return err
+		return fail(err)
 	}
 	if err := f.Sync(); err != nil {
 		f.Close()
 		dv.fsys.Remove(tmpPath)
-		return fmt.Errorf("master: checkpoint: %w", err)
+		return fail(fmt.Errorf("master: checkpoint: %w", err))
 	}
 	if err := f.Close(); err != nil {
 		dv.fsys.Remove(tmpPath)
-		return fmt.Errorf("master: checkpoint: %w", err)
+		return fail(fmt.Errorf("master: checkpoint: %w", err))
 	}
 	if err := dv.fsys.Rename(tmpPath, ckptPath); err != nil {
 		dv.fsys.Remove(tmpPath)
-		return fmt.Errorf("master: checkpoint: %w", err)
+		return fail(fmt.Errorf("master: checkpoint: %w", err))
 	}
 	if err := dv.fsys.SyncDir(dv.dir); err != nil {
-		return fmt.Errorf("master: checkpoint: %w", err)
+		return fail(fmt.Errorf("master: checkpoint: %w", err))
 	}
 	dv.ckptEpoch = head.Epoch()
-	return dv.log.TruncateThrough(head.Epoch())
+	if err := dv.log.TruncateThrough(head.Epoch()); err != nil {
+		dv.truncFails++
+		return fmt.Errorf("master: checkpoint durable at epoch %d, wal truncation pending: %w", head.Epoch(), err)
+	}
+	return nil
 }
 
 // Close flushes and closes the WAL. The snapshot ring stays readable;
@@ -344,7 +359,35 @@ func (dv *DurableVersioned) Durability() DurabilityStats {
 		CheckpointEpoch:    dv.ckptEpoch,
 		SinceCheckpoint:    int(head - dv.ckptEpoch),
 		CheckpointFailures: dv.ckptFails,
+		TruncateFailures:   dv.truncFails,
 		WAL:                dv.log.Stats(),
 		Recovery:           dv.recovery,
 	}
+}
+
+// TailWAL streams acknowledged WAL records with epoch > after to fn, in
+// epoch order (see wal.Log.Tail) — the leader half of epoch shipping.
+// Safe to call concurrently with Apply and Checkpoint.
+func (dv *DurableVersioned) TailWAL(after uint64, fn func(wal.Record) error) (int, error) {
+	return dv.log.Tail(after, fn)
+}
+
+// WALSynced reports the WAL shipping watermark and its advance channel
+// (see wal.Log.Synced).
+func (dv *DurableVersioned) WALSynced() (uint64, <-chan struct{}) {
+	return dv.log.Synced()
+}
+
+// CheckpointImage returns the raw bytes of the newest durable arena
+// checkpoint together with its epoch: what a follower that fell behind
+// the WAL loads to catch up. Taken under dmu so the bytes and the epoch
+// always correspond.
+func (dv *DurableVersioned) CheckpointImage() ([]byte, uint64, error) {
+	dv.dmu.Lock()
+	defer dv.dmu.Unlock()
+	raw, err := dv.fsys.ReadFile(filepath.Join(dv.dir, CheckpointFile))
+	if err != nil {
+		return nil, 0, fmt.Errorf("master: checkpoint image: %w", err)
+	}
+	return raw, dv.ckptEpoch, nil
 }

@@ -1,0 +1,259 @@
+package master
+
+// Follower replication at the master level: the stats split between
+// checkpoint and truncation failures, the ApplyRecord guard ladder
+// (skip / apply / gap / divergence), and the convergence property —
+// a follower tailing a live leader's WAL directory through
+// wal.OpenReader, starting mid-storm so the checkpoint catch-up path
+// runs, must end probe-for-probe identical to the leader.
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/relation"
+	"repro/internal/wal"
+)
+
+// removeFailFS injects wal.FS Remove failures — the transient
+// disk-janitoring error that must surface as TruncateFailures, never as
+// CheckpointFailures and never as a poisoned writer.
+type removeFailFS struct {
+	wal.FS
+	failing atomic.Bool
+}
+
+func (f *removeFailFS) Remove(name string) error {
+	if f.failing.Load() {
+		return fmt.Errorf("remove %s: injected EIO", name)
+	}
+	return f.FS.Remove(name)
+}
+
+// TestDurableTruncateFailureStatSplit pins the healthz-lies regression:
+// a checkpoint whose arena durably renamed but whose WAL truncation
+// failed used to count as a CheckpointFailure. It must count as a
+// TruncateFailure, advance CheckpointEpoch, and leave Apply working.
+func TestDurableTruncateFailureStatSplit(t *testing.T) {
+	w := newDurableWorkload(42_000_007, 8)
+	fsys := &removeFailFS{FS: wal.OS}
+	dir := t.TempDir()
+	dv, err := OpenDurable(dir, func() (*Data, error) { return w.base, nil }, w.sigma, w.opts(fsys))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dv.Close()
+
+	fsys.failing.Store(true)
+	for _, d := range w.deltas {
+		if _, err := dv.Apply(d.adds, d.deletes); err != nil {
+			t.Fatalf("apply with failing truncation: %v", err)
+		}
+	}
+	st := dv.Durability()
+	if st.TruncateFailures == 0 {
+		t.Fatal("failing Remove produced no TruncateFailures")
+	}
+	if st.CheckpointFailures != 0 {
+		t.Fatalf("durable checkpoints reported as failed: CheckpointFailures %d", st.CheckpointFailures)
+	}
+	if st.CheckpointEpoch == w.base.Epoch() {
+		t.Fatal("CheckpointEpoch never advanced despite durable arenas")
+	}
+	segsStuck := st.WAL.Segments
+
+	// The failure is transient: once Remove works again, an explicit
+	// checkpoint truncates everything the stuck ones could not.
+	fsys.failing.Store(false)
+	if err := dv.Checkpoint(); err != nil {
+		t.Fatalf("checkpoint after Remove recovered: %v", err)
+	}
+	if st := dv.Durability(); st.WAL.Segments >= segsStuck {
+		t.Fatalf("retried truncation removed nothing: %d → %d segments", segsStuck, st.WAL.Segments)
+	}
+
+	// And the lineage is intact end to end.
+	checkState(t, "head after truncate failures", dv.Current(), w.expected[len(w.deltas)])
+	checkEquiv(t, "head after truncate failures", dv.Current(), w.sigma)
+}
+
+// TestFollowerApplyRecordGuards pins the guard ladder: duplicates are
+// skipped, gaps are ErrReplicaGap, an inapplicable delta is
+// ErrDivergence, and Reset refuses to move the lineage backwards.
+func TestFollowerApplyRecordGuards(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	d0, _, rm, vals := randomDeltaInstance(rng)
+	f := NewFollower(d0, 4)
+	head := d0.Epoch()
+
+	adds, dels := randomDelta(rng, d0.Len(), rm.Arity(), vals)
+	ok, err := f.ApplyRecord(wal.Record{Epoch: head + 1, Adds: adds, Deletes: dels})
+	if err != nil || !ok {
+		t.Fatalf("apply head+1: ok=%v err=%v", ok, err)
+	}
+	if f.Epoch() != head+1 || f.Applied() != 1 {
+		t.Fatalf("follower at epoch %d applied %d", f.Epoch(), f.Applied())
+	}
+
+	// Duplicate (reconnect overlap): skipped, not an error.
+	if ok, err := f.ApplyRecord(wal.Record{Epoch: head + 1, Adds: adds, Deletes: dels}); err != nil || ok {
+		t.Fatalf("duplicate record: ok=%v err=%v", ok, err)
+	}
+	// Gap: typed, recoverable.
+	if _, err := f.ApplyRecord(wal.Record{Epoch: head + 5}); !errors.Is(err, ErrReplicaGap) {
+		t.Fatalf("gap record: want ErrReplicaGap, got %v", err)
+	}
+	// Inapplicable delta at the right epoch: divergence, nothing published.
+	before := f.Epoch()
+	_, err = f.ApplyRecord(wal.Record{Epoch: before + 1, Deletes: []int{1 << 20}})
+	var de *DivergenceError
+	if !errors.Is(err, ErrDivergence) || !errors.As(err, &de) {
+		t.Fatalf("bad delta: want *DivergenceError, got %v", err)
+	}
+	if f.Epoch() != before {
+		t.Fatalf("divergence published a head: epoch %d → %d", before, f.Epoch())
+	}
+	// Reset must never rewind under readers.
+	if err := f.Reset(d0); err == nil {
+		t.Fatal("Reset behind the head succeeded")
+	}
+}
+
+// TestFollowerConvergenceProperty is the replication half of the
+// durability proof: a leader applies a random delta storm to a
+// DurableVersioned (checkpointing and truncating aggressively) while a
+// follower tails the WAL directory through wal.OpenReader. The follower
+// starts after the storm is underway — behind a truncation, so it MUST
+// catch up from the leader's checkpoint image — and still converges to a
+// head that is tuple-exact and probe-for-probe equivalent.
+func TestFollowerConvergenceProperty(t *testing.T) {
+	for _, seed := range []int64{43_000_001, 43_000_002, 43_000_003} {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			const nDeltas = 40
+			w := newDurableWorkload(seed, nDeltas)
+			dir := t.TempDir()
+			dv, err := OpenDurable(dir, func() (*Data, error) { return w.base, nil }, w.sigma, w.opts(wal.OS))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer dv.Close()
+			base := w.base.Epoch()
+			last := base + nDeltas
+
+			// First half before the follower exists: CheckpointEvery=2 has
+			// truncated the early epochs, so the follower cannot tail from
+			// its base and must take the checkpoint path.
+			for i := 0; i < nDeltas/2; i++ {
+				if _, err := dv.Apply(w.deltas[i].adds, w.deltas[i].deletes); err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			f := NewFollower(w.base, 4)
+			rd, err := wal.OpenReader(dir, wal.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			catchUp := func() {
+				raw, epoch, err := dv.CheckpointImage()
+				if err != nil {
+					t.Fatalf("checkpoint image: %v", err)
+				}
+				img, err := LoadArenaBytes(raw, w.sigma)
+				if err != nil {
+					t.Fatalf("load checkpoint image: %v", err)
+				}
+				if img.Epoch() != epoch {
+					t.Fatalf("checkpoint image at epoch %d, leader said %d", img.Epoch(), epoch)
+				}
+				if err := f.Reset(img); err != nil {
+					t.Fatalf("reset onto checkpoint: %v", err)
+				}
+			}
+
+			// Second half concurrently with the tailer.
+			storm := make(chan struct{})
+			go func() {
+				defer close(storm)
+				for i := nDeltas / 2; i < nDeltas; i++ {
+					if _, err := dv.Apply(w.deltas[i].adds, w.deltas[i].deletes); err != nil {
+						t.Errorf("storm apply %d: %v", i, err)
+						return
+					}
+				}
+			}()
+
+			caughtUp := 0
+			deadline := time.Now().Add(20 * time.Second)
+			for f.Epoch() < last {
+				if time.Now().After(deadline) {
+					t.Fatalf("follower stuck at epoch %d of %d", f.Epoch(), last)
+				}
+				n, err := rd.ReplayFrom(f.Epoch(), func(rec wal.Record) error {
+					_, aerr := f.ApplyRecord(rec)
+					return aerr
+				})
+				switch {
+				case err == nil:
+					// The log gave us everything it holds. An empty read
+					// while the leader's checkpoint is ahead means the
+					// epochs we need were truncated into it — the shipping
+					// protocol's catch-up rule (an empty directory cannot
+					// say "truncated" on its own).
+					if n == 0 {
+						if _, ckpt, cerr := dv.CheckpointImage(); cerr == nil && ckpt > f.Epoch() {
+							catchUp()
+							caughtUp++
+						}
+					}
+				case errors.Is(err, wal.ErrTruncated), errors.Is(err, ErrReplicaGap):
+					catchUp()
+					caughtUp++
+				default:
+					t.Fatalf("tail at epoch %d: %v", f.Epoch(), err)
+				}
+			}
+			<-storm
+			if caughtUp == 0 {
+				t.Fatal("follower never took the checkpoint catch-up path")
+			}
+
+			if f.Epoch() != dv.Epoch() {
+				t.Fatalf("follower epoch %d, leader %d", f.Epoch(), dv.Epoch())
+			}
+			checkState(t, "converged follower", f.Current(), w.expected[nDeltas])
+			checkEquiv(t, "converged follower", f.Current(), w.sigma)
+		})
+	}
+}
+
+// BenchmarkFollowerApply measures replica apply throughput: one op is a
+// 256-record catch-up through ApplyRecord — the rate bound on follower
+// lag drain (the shipping decode is benchmarked in internal/wal).
+func BenchmarkFollowerApply(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	d0, _, rm, vals := randomDeltaInstance(rng)
+	const nRecs = 256
+	recs := make([]wal.Record, nRecs)
+	state := append([]relation.Tuple(nil), d0.Relation().Tuples()...)
+	epoch := d0.Epoch()
+	for i := range recs {
+		adds, dels := randomDelta(rng, len(state), rm.Arity(), vals)
+		epoch++
+		recs[i] = wal.Record{Epoch: epoch, Adds: adds, Deletes: dels}
+		state = shadowApply(state, adds, dels)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f := NewFollower(d0, 4)
+		for _, r := range recs {
+			if ok, err := f.ApplyRecord(r); err != nil || !ok {
+				b.Fatalf("apply epoch %d: ok=%v err=%v", r.Epoch, ok, err)
+			}
+		}
+	}
+}

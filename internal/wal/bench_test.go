@@ -34,6 +34,39 @@ func BenchmarkWALAppendAlways(b *testing.B)   { benchmarkAppend(b, SyncAlways) }
 func BenchmarkWALAppendInterval(b *testing.B) { benchmarkAppend(b, SyncInterval) }
 func BenchmarkWALAppendOff(b *testing.B)      { benchmarkAppend(b, SyncNever) }
 
+// BenchmarkWALTail measures shipping throughput: one Tail pass over a
+// 10k-record log on an open, live Log — the read a follower repeats as
+// the leader appends. records/sec here bounds how fast a follower can
+// drain a backlog.
+func BenchmarkWALTail(b *testing.B) {
+	l, err := Open(b.TempDir(), Options{Sync: SyncNever})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer l.Close()
+	const recs = 10_000
+	var bytes int64
+	for e := uint64(1); e <= recs; e++ {
+		r := testRecord(e)
+		buf, _ := appendRecord(nil, r)
+		bytes += int64(len(buf))
+		if err := l.Append(r); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(bytes)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		if _, err := l.Tail(0, func(Record) error { n++; return nil }); err != nil {
+			b.Fatal(err)
+		}
+		if n != recs {
+			b.Fatalf("tailed %d", n)
+		}
+	}
+}
+
 // BenchmarkWALReplay measures decoding throughput of a 10k-record log —
 // the WAL half of recovery cost (the arena load is benchmarked in
 // internal/master).

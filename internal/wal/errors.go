@@ -38,3 +38,31 @@ func (e *CorruptError) Error() string {
 
 // Unwrap makes the error match ErrWALCorrupt through errors.Is.
 func (e *CorruptError) Unwrap() error { return ErrWALCorrupt }
+
+// ErrTruncated is the sentinel matched (errors.Is) by a Tail or
+// ReplayFrom whose caller fell behind TruncateThrough: the epochs it
+// still needs were removed because a durable checkpoint covers them.
+// Unlike ErrWALCorrupt this is a recoverable condition — catch up from
+// the checkpoint, then resume tailing from its epoch.
+var ErrTruncated = errors.New("wal: epochs truncated behind checkpoint")
+
+// TruncatedError reports which epochs a shipping reader asked for that
+// the log no longer holds. It matches ErrTruncated through errors.Is.
+type TruncatedError struct {
+	// After is the caller's position: it wanted epochs > After.
+	After uint64
+	// First is the oldest epoch still in the log, when known (0 when the
+	// reader lost a removal race and could not tell).
+	First uint64
+}
+
+func (e *TruncatedError) Error() string {
+	if e.First == 0 {
+		return fmt.Sprintf("wal: epochs after %d truncated behind checkpoint", e.After)
+	}
+	return fmt.Sprintf("wal: epochs %d..%d truncated behind checkpoint (log starts at %d)",
+		e.After+1, e.First-1, e.First)
+}
+
+// Unwrap makes the error match ErrTruncated through errors.Is.
+func (e *TruncatedError) Unwrap() error { return ErrTruncated }

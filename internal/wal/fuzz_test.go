@@ -64,6 +64,25 @@ func FuzzWALReplay(f *testing.F) {
 		}); err != nil && !errors.Is(err, ErrWALCorrupt) {
 			t.Fatalf("Replay failed with an untyped error: %v", err)
 		}
+		// Mutate the file BEHIND the open log — shrink it mid-frame — and
+		// scan again: the segment no longer matches the sizes Open cached,
+		// which must surface as a typed error (or a clean short replay),
+		// never a panic on an out-of-bounds slice.
+		path := filepath.Join(dir, segmentName(1))
+		if fi, err := os.Stat(path); err == nil && fi.Size() > 0 {
+			cut := int64(len(data)) % fi.Size() // data-derived cut point in [0, size)
+			if err := os.Truncate(path, cut); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := l.Replay(0, func(Record) error { return nil }); err != nil &&
+				!errors.Is(err, ErrWALCorrupt) {
+				t.Fatalf("Replay after shrink failed untyped: %v", err)
+			}
+			if _, err := l.Tail(0, func(Record) error { return nil }); err != nil &&
+				!errors.Is(err, ErrWALCorrupt) && !errors.Is(err, ErrTruncated) {
+				t.Fatalf("Tail after shrink failed untyped: %v", err)
+			}
+		}
 	})
 }
 

@@ -1,0 +1,159 @@
+package wal
+
+// Reader is the cross-process half of epoch shipping: a read-only view of
+// a WAL directory some other process (or an in-process Log) is writing.
+// It holds no file handles and no position between calls — every
+// ReplayFrom re-lists the directory, so segments rolling or truncating
+// under it are ordinary, not errors.
+//
+// A Reader trusts the bytes it can see: frames that parse and pass their
+// CRC are delivered, including bytes the writer has written but not yet
+// fsynced (the OS page cache makes them visible to same-machine readers).
+// That is the right contract for a warm-standby tailer; a follower that
+// must never run ahead of the leader's durability ships over HTTP from
+// the leader's in-process watermark instead (certainfixd GET /v1/wal).
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	iofs "io/fs"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Reader tails a WAL directory without writing to it. Methods are safe
+// for concurrent use (the Reader itself is stateless).
+type Reader struct {
+	dir  string
+	fsys FS
+}
+
+// OpenReader opens a read-only view of the log directory. Only
+// Options.FS is honored; the directory must exist (a Reader never
+// creates or repairs anything).
+func OpenReader(dir string, opts Options) (*Reader, error) {
+	opts = opts.withDefaults()
+	if _, err := opts.FS.ReadDir(dir); err != nil {
+		return nil, fmt.Errorf("wal: open reader %s: %w", dir, err)
+	}
+	return &Reader{dir: dir, fsys: opts.FS}, nil
+}
+
+// ReplayFrom streams every complete record with epoch > after to fn, in
+// epoch order, stopping cleanly at the writer's in-flight tail: a torn or
+// partial frame at the end of the NEWEST segment is where the writer
+// currently is, not corruption. It returns the number of records
+// delivered. A *TruncatedError (matching ErrTruncated) means epoch
+// after+1 was truncated behind a checkpoint — catch up from the
+// checkpoint and resume. A *CorruptError means the log itself is bad
+// mid-stream. Call it in a loop to tail: each call picks up where the
+// previous position left off.
+func (r *Reader) ReplayFrom(after uint64, fn func(Record) error) (int, error) {
+	entries, err := r.fsys.ReadDir(r.dir)
+	if err != nil {
+		return 0, fmt.Errorf("wal: reader %s: %w", r.dir, err)
+	}
+	type segRef struct {
+		path  string
+		start uint64
+	}
+	var segs []segRef
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, segmentSuffix) {
+			continue
+		}
+		start, err := strconv.ParseUint(strings.TrimSuffix(name, segmentSuffix), 10, 64)
+		if err != nil {
+			continue // not a segment file
+		}
+		segs = append(segs, segRef{path: filepath.Join(r.dir, name), start: start})
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].start < segs[j].start })
+
+	replayed := 0
+	expect := after + 1
+	for i, s := range segs {
+		isLast := i == len(segs)-1
+		if !isLast && segs[i+1].start <= expect {
+			continue // every record here is <= after: skip without reading
+		}
+		if s.start > expect {
+			if replayed == 0 {
+				return 0, &TruncatedError{After: after, First: s.start}
+			}
+			return replayed, &CorruptError{Path: s.path, Offset: -1,
+				Msg: fmt.Sprintf("epoch gap: log resumes at %d, reader covered through %d", s.start, expect-1)}
+		}
+		b, err := r.fsys.ReadFile(s.path)
+		if err != nil {
+			if errors.Is(err, iofs.ErrNotExist) {
+				// Removed between ReadDir and here: truncation won the race,
+				// so a checkpoint covers these epochs.
+				return replayed, &TruncatedError{After: after, First: 0}
+			}
+			return replayed, fmt.Errorf("wal: reader %s: %w", s.path, err)
+		}
+		corrupt := func(off int64, format string, args ...any) error {
+			return &CorruptError{Path: s.path, Offset: off, Msg: fmt.Sprintf(format, args...)}
+		}
+		off := int64(0)
+		for off < int64(len(b)) {
+			rem := int64(len(b)) - off
+			if rem < frameHeaderSize {
+				if isLast {
+					return replayed, nil // in-flight frame header
+				}
+				return replayed, corrupt(off, "truncated frame header in sealed segment")
+			}
+			plen := int64(binary.LittleEndian.Uint32(b[off:]))
+			sum := binary.LittleEndian.Uint32(b[off+4:])
+			if plen > maxRecordBytes {
+				if isLast {
+					return replayed, nil // garbage length ⇒ torn tail
+				}
+				return replayed, corrupt(off, "frame length %d exceeds limit %d", plen, maxRecordBytes)
+			}
+			if rem-frameHeaderSize < plen {
+				if isLast {
+					return replayed, nil // in-flight frame body
+				}
+				return replayed, corrupt(off, "truncated frame in sealed segment")
+			}
+			payload := b[off+frameHeaderSize : off+frameHeaderSize+plen]
+			if crc32.Checksum(payload, crcTable) != sum {
+				if isLast {
+					return replayed, nil // frame bytes still landing
+				}
+				return replayed, corrupt(off, "frame checksum mismatch")
+			}
+			rec, err := decodePayload(payload)
+			if err != nil {
+				// A CRC-valid payload that does not decode is corruption
+				// wherever it sits — bytes this wrong cannot be in flight.
+				return replayed, corrupt(off, "checksum-valid record does not decode: %v", err)
+			}
+			off += frameHeaderSize + plen
+			if rec.Epoch <= after {
+				continue
+			}
+			if rec.Epoch != expect {
+				if replayed == 0 && rec.Epoch > expect {
+					return 0, &TruncatedError{After: after, First: rec.Epoch}
+				}
+				return replayed, corrupt(off-plen-frameHeaderSize,
+					"epoch gap: log resumes at %d, reader covered through %d", rec.Epoch, expect-1)
+			}
+			if err := fn(rec); err != nil {
+				return replayed, err
+			}
+			expect++
+			replayed++
+		}
+	}
+	return replayed, nil
+}

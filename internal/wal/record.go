@@ -26,6 +26,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
+	"io"
 	"math"
 
 	"repro/internal/relation"
@@ -93,6 +94,47 @@ func appendRecord(buf []byte, r Record) ([]byte, error) {
 	binary.LittleEndian.PutUint32(buf[start:], uint32(len(payload)))
 	binary.LittleEndian.PutUint32(buf[start+4:], crc32.Checksum(payload, crcTable))
 	return buf, nil
+}
+
+// AppendFrame appends r as one wire frame — the exact on-disk framing
+// (u32 length | u32 CRC-32C | payload) — to buf and returns it. The
+// epoch-shipping wire format is deliberately identical to the segment
+// format: the leader can copy validated frames byte-for-byte, and a
+// follower verifies each frame with the same checksum the log uses.
+func AppendFrame(buf []byte, r Record) ([]byte, error) {
+	return appendRecord(buf, r)
+}
+
+// ReadFrame reads and verifies one wire frame from r (see AppendFrame).
+// It returns io.EOF at a clean frame boundary, io.ErrUnexpectedEOF when
+// the stream breaks mid-frame (reconnect and resume), and an error
+// matching ErrWALCorrupt when a complete frame fails its checksum or its
+// checksum-valid payload does not decode.
+func ReadFrame(r io.Reader) (Record, error) {
+	var hdr [frameHeaderSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return Record{}, err
+	}
+	plen := int64(binary.LittleEndian.Uint32(hdr[:]))
+	sum := binary.LittleEndian.Uint32(hdr[4:])
+	if plen > maxRecordBytes {
+		return Record{}, fmt.Errorf("wal: stream frame length %d exceeds limit %d: %w", plen, maxRecordBytes, ErrWALCorrupt)
+	}
+	payload := make([]byte, plen)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return Record{}, err
+	}
+	if crc32.Checksum(payload, crcTable) != sum {
+		return Record{}, fmt.Errorf("wal: stream frame checksum mismatch: %w", ErrWALCorrupt)
+	}
+	rec, err := decodePayload(payload)
+	if err != nil {
+		return Record{}, fmt.Errorf("wal: stream frame does not decode (%v): %w", err, ErrWALCorrupt)
+	}
+	return rec, nil
 }
 
 // decodePayload decodes one CRC-verified payload. Failures here mean the

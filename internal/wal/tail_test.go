@@ -1,0 +1,442 @@
+package wal
+
+// The shipping-read contract: Tail/Replay bounded by the watermark and
+// safe under concurrent Append/TruncateThrough, truncation typed as
+// ErrTruncated, housekeeping failures that must not poison the writer,
+// and the cross-process Reader. The two regression tests at the top pin
+// the bugs a live tailer flushed out of the PR-7 code: an unbounded
+// frame slice (panic on a short read) and a truncate failure bricking
+// Append.
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestReplayShortReadIsTypedNotPanic pins the bounds-check regression:
+// a segment that shrank after Open (external mutation, admin mishap)
+// used to panic Replay mid-slice; it must surface as *CorruptError.
+func TestReplayShortReadIsTypedNotPanic(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{Sync: SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	appendAll(t, l, 1, 10)
+
+	// Cut the segment mid-frame behind the log's back: the cached sizes
+	// now promise more bytes than the file holds.
+	seg := lastSegment(t, dir)
+	fi, err := os.Stat(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(seg, fi.Size()-3); err != nil {
+		t.Fatal(err)
+	}
+
+	_, err = l.Replay(0, func(Record) error { return nil })
+	var ce *CorruptError
+	if !errors.Is(err, ErrWALCorrupt) || !errors.As(err, &ce) {
+		t.Fatalf("short read must fail as *CorruptError, got %v", err)
+	}
+	if _, err := l.Tail(0, func(Record) error { return nil }); !errors.Is(err, ErrWALCorrupt) {
+		t.Fatalf("Tail over the short read must fail typed too, got %v", err)
+	}
+}
+
+// failingRemoveFS injects Remove failures: the disk-janitoring error
+// TruncateThrough must survive. (walfault's crash model fails every op
+// after the injection point, which is the wrong shape for "the error was
+// transient and the writer must keep going" — this wrapper is that
+// shape.)
+type failingRemoveFS struct {
+	FS
+	failures atomic.Int32 // remaining Remove calls to fail
+}
+
+func (f *failingRemoveFS) Remove(name string) error {
+	if f.failures.Add(-1) >= 0 {
+		return fmt.Errorf("remove %s: injected EIO", name)
+	}
+	return f.FS.Remove(name)
+}
+
+// TestTruncateFailureDoesNotPoisonAppend pins the writer-poisoning
+// regression: a failed segment Remove is housekeeping, not data loss —
+// Append must keep working and a later TruncateThrough must retry.
+func TestTruncateFailureDoesNotPoisonAppend(t *testing.T) {
+	fsys := &failingRemoveFS{FS: OS}
+	dir := t.TempDir()
+	l, err := Open(dir, Options{Sync: SyncNever, SegmentBytes: 256, FS: fsys})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	appendAll(t, l, 1, 60)
+	segsBefore := l.Stats().Segments
+
+	fsys.failures.Store(1)
+	if err := l.TruncateThrough(30); err == nil {
+		t.Fatal("truncate with a failing Remove reported success")
+	}
+
+	// The writer is alive: appends, syncs and replays all still work.
+	appendAll(t, l, 61, 70)
+	if err := l.Sync(); err != nil {
+		t.Fatalf("sync after failed truncate: %v", err)
+	}
+	recs := replayAll(t, l, 30)
+	if len(recs) != 40 || recs[len(recs)-1].Epoch != 70 {
+		t.Fatalf("replay after failed truncate: %d records, last %d", len(recs), recs[len(recs)-1].Epoch)
+	}
+
+	// And the truncate is retryable: the next call removes what the
+	// failed one could not.
+	if err := l.TruncateThrough(30); err != nil {
+		t.Fatalf("retried truncate: %v", err)
+	}
+	if after := l.Stats().Segments; after >= segsBefore {
+		t.Fatalf("retried truncate removed nothing: %d → %d segments", segsBefore, after)
+	}
+	if recs := replayAll(t, l, 30); len(recs) != 40 {
+		t.Fatalf("records lost by retried truncate: %d", len(recs))
+	}
+}
+
+// TestTailWatermark: Tail never delivers records the policy has not
+// acknowledged, and Synced's channel signals the advance.
+func TestTailWatermark(t *testing.T) {
+	l, err := Open(t.TempDir(), Options{Sync: SyncInterval, Interval: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	appendAll(t, l, 1, 5)
+
+	// Nothing synced yet: the records exist but are not shippable.
+	if n, err := l.Tail(0, func(Record) error { return nil }); err != nil || n != 0 {
+		t.Fatalf("Tail before sync delivered %d records (err %v), want 0", n, err)
+	}
+	epoch, ch := l.Synced()
+	if epoch != 0 {
+		t.Fatalf("watermark %d before any sync", epoch)
+	}
+	select {
+	case <-ch:
+		t.Fatal("sync channel closed before any sync")
+	default:
+	}
+
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-ch:
+	case <-time.After(2 * time.Second):
+		t.Fatal("sync channel not closed by the watermark advance")
+	}
+	if epoch, _ := l.Synced(); epoch != 5 {
+		t.Fatalf("watermark %d after sync, want 5", epoch)
+	}
+	var got []uint64
+	if _, err := l.Tail(0, func(r Record) error { got = append(got, r.Epoch); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 5 || got[0] != 1 || got[4] != 5 {
+		t.Fatalf("Tail after sync: %v", got)
+	}
+}
+
+// TestTailTruncatedIsTyped: asking for epochs behind a truncation is the
+// recoverable ErrTruncated, not corruption.
+func TestTailTruncatedIsTyped(t *testing.T) {
+	l, err := Open(t.TempDir(), Options{Sync: SyncNever, SegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	appendAll(t, l, 1, 60)
+	if err := l.TruncateThrough(30); err != nil {
+		t.Fatal(err)
+	}
+
+	_, err = l.Tail(0, func(Record) error { return nil })
+	var te *TruncatedError
+	if !errors.Is(err, ErrTruncated) || !errors.As(err, &te) {
+		t.Fatalf("Tail behind truncation: want *TruncatedError, got %v", err)
+	}
+	if te.First == 0 || te.First > 31 {
+		t.Fatalf("TruncatedError.First = %d, want the log's first epoch ≤ 31", te.First)
+	}
+	// Tailing from the surviving range works; so does Tail at the head.
+	if n, err := l.Tail(te.First-1, func(Record) error { return nil }); err != nil || n != 60-int(te.First-1) {
+		t.Fatalf("Tail from %d: %d records, err %v", te.First-1, n, err)
+	}
+	if n, err := l.Tail(60, func(Record) error { return nil }); err != nil || n != 0 {
+		t.Fatalf("Tail at head: %d records, err %v", n, err)
+	}
+}
+
+// TestReplayTailConcurrent is the enforced version of the Log's
+// concurrency contract: Replay and Tail run against live Append and
+// TruncateThrough (run under -race in CI). Each Tail call must deliver a
+// contiguous ascending window, truncation must surface only as
+// ErrTruncated, and the tailer must reach the final epoch.
+func TestReplayTailConcurrent(t *testing.T) {
+	const last = 300
+	l, err := Open(t.TempDir(), Options{Sync: SyncAlways, SegmentBytes: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	var wg sync.WaitGroup
+	wg.Add(3)
+	go func() { // writer: appends with periodic truncation behind it
+		defer wg.Done()
+		for e := uint64(1); e <= last; e++ {
+			if err := l.Append(testRecord(e)); err != nil {
+				t.Errorf("append %d: %v", e, err)
+				return
+			}
+			if e%40 == 0 {
+				if err := l.TruncateThrough(e - 30); err != nil {
+					t.Errorf("truncate through %d: %v", e-30, err)
+					return
+				}
+			}
+		}
+	}()
+	go func() { // tailer: contiguous windows, typed truncation only
+		defer wg.Done()
+		pos := uint64(0)
+		for pos < last {
+			n, err := l.Tail(pos, func(r Record) error {
+				if r.Epoch != pos+1 {
+					return fmt.Errorf("tail gap: got %d at pos %d", r.Epoch, pos)
+				}
+				pos++
+				return nil
+			})
+			if err != nil {
+				var te *TruncatedError
+				if errors.As(err, &te) && te.First > pos {
+					pos = te.First - 1 // catch up past the truncation
+					continue
+				}
+				t.Errorf("tail at %d: %v", pos, err)
+				return
+			}
+			if n == 0 {
+				epoch, ch := l.Synced()
+				if epoch <= pos {
+					select {
+					case <-ch:
+					case <-time.After(5 * time.Second):
+						t.Errorf("no watermark advance past %d", pos)
+						return
+					}
+				}
+			}
+		}
+	}()
+	go func() { // strict replayer from a position truncation never reaches
+		defer wg.Done()
+		for {
+			top := uint64(0)
+			if _, err := l.Replay(last-30, func(r Record) error {
+				top = r.Epoch
+				return nil
+			}); err != nil {
+				t.Errorf("concurrent Replay: %v", err)
+				return
+			}
+			if top >= last {
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	wg.Wait()
+}
+
+// TestOpenReaderTailsLiveDirectory: the cross-process reader follows a
+// directory another Log is actively writing and truncating, delivering
+// one contiguous lineage.
+func TestOpenReaderTailsLiveDirectory(t *testing.T) {
+	const last = 200
+	dir := t.TempDir()
+	l, err := Open(dir, Options{Sync: SyncAlways, SegmentBytes: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	r, err := OpenReader(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for e := uint64(1); e <= last; e++ {
+			if err := l.Append(testRecord(e)); err != nil {
+				t.Errorf("append %d: %v", e, err)
+				return
+			}
+			if e%50 == 0 {
+				if err := l.TruncateThrough(e - 40); err != nil {
+					t.Errorf("truncate: %v", err)
+					return
+				}
+			}
+		}
+	}()
+
+	pos := uint64(0)
+	deadline := time.Now().Add(10 * time.Second)
+	for pos < last {
+		if time.Now().After(deadline) {
+			t.Fatalf("reader stuck at epoch %d", pos)
+		}
+		_, err := r.ReplayFrom(pos, func(rec Record) error {
+			if rec.Epoch != pos+1 {
+				return fmt.Errorf("reader gap: got %d at pos %d", rec.Epoch, pos)
+			}
+			pos++
+			return nil
+		})
+		if err != nil {
+			var te *TruncatedError
+			if errors.As(err, &te) && te.First > pos {
+				pos = te.First - 1
+				continue
+			}
+			t.Fatalf("reader at %d: %v", pos, err)
+		}
+	}
+	<-done
+}
+
+// TestOpenReaderToleratesTornTail: garbage past the last complete frame
+// of the newest segment is an in-flight write from the reader's point of
+// view — stop cleanly, no error. The same garbage mid-log is corruption.
+func TestOpenReaderToleratesTornTail(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{Sync: SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, l, 1, 10)
+	l.Close()
+	seg := lastSegment(t, dir)
+	f, err := os.OpenFile(seg, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte{0xDE, 0xAD, 0xBE})
+	f.Close()
+
+	r, err := OpenReader(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := r.ReplayFrom(0, func(Record) error { return nil })
+	if err != nil || n != 10 {
+		t.Fatalf("reader over torn tail: %d records, err %v; want 10, nil", n, err)
+	}
+}
+
+func TestOpenReaderMidLogCorruptionIsTyped(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{Sync: SyncNever, SegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, l, 1, 40)
+	l.Close()
+	names, _ := filepath.Glob(filepath.Join(dir, "*"+segmentSuffix))
+	if len(names) < 2 {
+		t.Fatalf("want ≥2 segments, have %d", len(names))
+	}
+	b, err := os.ReadFile(names[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[len(b)/2] ^= 0xFF
+	if err := os.WriteFile(names[0], b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := OpenReader(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = r.ReplayFrom(0, func(Record) error { return nil })
+	if !errors.Is(err, ErrWALCorrupt) {
+		t.Fatalf("mid-log corruption: want ErrWALCorrupt, got %v", err)
+	}
+}
+
+// TestFrameStreamRoundTrip: the exported wire codec matches the on-disk
+// framing byte for byte and rejects a corrupted stream.
+func TestFrameStreamRoundTrip(t *testing.T) {
+	var buf []byte
+	for e := uint64(1); e <= 20; e++ {
+		var err error
+		buf, err = AppendFrame(buf, testRecord(e))
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	br := &sliceReader{b: buf}
+	for e := uint64(1); e <= 20; e++ {
+		rec, err := ReadFrame(br)
+		if err != nil {
+			t.Fatalf("frame %d: %v", e, err)
+		}
+		if rec.Epoch != e {
+			t.Fatalf("frame %d decoded epoch %d", e, rec.Epoch)
+		}
+	}
+	if _, err := ReadFrame(br); err == nil {
+		t.Fatal("read past the last frame succeeded")
+	}
+
+	buf[len(buf)-1] ^= 0xFF
+	br = &sliceReader{b: buf}
+	var lastErr error
+	for {
+		if _, lastErr = ReadFrame(br); lastErr != nil {
+			break
+		}
+	}
+	if !errors.Is(lastErr, ErrWALCorrupt) {
+		t.Fatalf("corrupted stream: want ErrWALCorrupt, got %v", lastErr)
+	}
+}
+
+// sliceReader is an io.Reader over a byte slice that returns short reads
+// (1 byte at a time) to exercise ReadFrame's ReadFull handling.
+type sliceReader struct {
+	b   []byte
+	off int
+}
+
+func (s *sliceReader) Read(p []byte) (int, error) {
+	if s.off >= len(s.b) {
+		return 0, io.EOF
+	}
+	p[0] = s.b[s.off]
+	s.off++
+	return 1, nil
+}

@@ -38,8 +38,10 @@ package wal
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
+	iofs "io/fs"
 	"os"
 	"path/filepath"
 	"sort"
@@ -160,27 +162,31 @@ type Stats struct {
 	TornBytes int64
 }
 
-// Log is an open write-ahead log. Append/Sync/TruncateThrough/Close are
-// safe for concurrent use; Replay must complete before the first Append
-// (the recovery sequence master.OpenDurable follows).
+// Log is an open write-ahead log. Every method — Append, Sync,
+// TruncateThrough, Replay, Tail, Synced, Stats, Close — is safe for
+// concurrent use. Readers never see past the shipping watermark (the
+// newest acknowledged epoch, see Synced), so a Tail racing Append
+// observes only complete, acknowledged records.
 type Log struct {
 	dir  string
 	opts Options
 
-	mu       sync.Mutex
-	sealed   []segment // ascending start epochs
-	active   File      // nil until the first append after open/truncate
-	activeAt segment   // metadata of the active segment
-	haveAny  bool      // any record in the log (sealed or active)
-	first    uint64    // first epoch in the log (valid when haveAny)
-	last     uint64    // last epoch in the log (valid when haveAny)
-	synced   uint64    // last epoch covered by a completed fsync
-	dirty    bool      // active segment has unsynced writes
-	torn     int64     // bytes truncated at Open
-	encBuf   []byte
-	failed   error // sticky: a failed write leaves a partial frame behind
-	closed   bool
-	stopSync chan struct{}
+	mu         sync.Mutex
+	sealed     []segment     // ascending start epochs
+	active     File          // nil until the first append after open/truncate
+	activeAt   segment       // metadata of the active segment
+	haveAny    bool          // any record in the log (sealed or active)
+	first      uint64        // first epoch in the log (valid when haveAny)
+	last       uint64        // last epoch in the log (valid when haveAny)
+	synced     uint64        // shipping watermark: newest acknowledged epoch
+	syncedSize int64         // bytes of the active segment covered by the watermark
+	syncCh     chan struct{} // closed and replaced when the watermark advances
+	dirty      bool          // active segment has unsynced writes
+	torn       int64         // bytes truncated at Open
+	encBuf     []byte
+	failed     error // sticky: a failed write leaves a partial frame behind
+	closed     bool
+	stopSync   chan struct{}
 }
 
 // Open validates the log in dir (creating the directory if needed),
@@ -210,7 +216,7 @@ func Open(dir string, opts Options) (*Log, error) {
 	}
 	sort.Slice(segs, func(i, j int) bool { return segs[i].start < segs[j].start })
 
-	l := &Log{dir: dir, opts: opts}
+	l := &Log{dir: dir, opts: opts, syncCh: make(chan struct{})}
 	prevLast := uint64(0)
 	havePrev := false
 	for i := range segs {
@@ -347,43 +353,126 @@ func (l *Log) scanSegment(s *segment, isLast, havePrev bool, prevLast uint64) (s
 }
 
 // Replay streams every record with epoch > after to fn, in epoch order,
-// verifying the stream starts at after+1 and stays contiguous. It returns
-// the number of records replayed. Recovery calls it once, before the
-// first Append; it also reads records appended in this process, provided
-// the FS makes unsynced writes readable (the real OS does).
+// verifying the stream starts at after+1 and stays contiguous (a gap is
+// a *CorruptError: recovery must not silently skip acknowledged epochs).
+// It returns the number of records replayed. Replay is safe to call at
+// any time — concurrently with Append if need be — and reads only up to
+// the shipping watermark, so it never observes a half-written frame.
 func (l *Log) Replay(after uint64, fn func(Record) error) (int, error) {
+	return l.scanFrom(after, true, fn)
+}
+
+// Tail streams every acknowledged record with epoch > after to fn, in
+// epoch order. It is the shipping read: safe under concurrent Append and
+// TruncateThrough, bounded by the watermark (see Synced). When the log no
+// longer holds epoch after+1 — TruncateThrough removed it behind a
+// checkpoint, possibly racing this call — Tail returns a *TruncatedError
+// matching ErrTruncated after delivering what it could: the caller must
+// catch up from the checkpoint and resume from its epoch. A log holding
+// no records returns (0, nil); the caller disambiguates "up to date" from
+// "everything truncated" with the checkpoint epoch it tracks anyway.
+func (l *Log) Tail(after uint64, fn func(Record) error) (int, error) {
+	return l.scanFrom(after, false, fn)
+}
+
+// Synced reports the shipping watermark — the newest epoch Tail may
+// deliver — and a channel that is closed the next time the watermark
+// advances (or the log closes). Under SyncAlways and SyncNever the
+// watermark is the last appended epoch; under SyncInterval it trails
+// Append by at most one sync tick. A shipping loop waits on the channel,
+// then calls Tail from its last delivered epoch.
+func (l *Log) Synced() (uint64, <-chan struct{}) {
 	l.mu.Lock()
-	segs := append([]segment(nil), l.sealed...)
-	if l.active != nil && l.activeAt.size > 0 {
-		segs = append(segs, l.activeAt)
+	defer l.mu.Unlock()
+	return l.synced, l.syncCh
+}
+
+// tailView is an immutable read plan for one segment: scan path up to
+// limit bytes, expecting epochs start..last. Taken under l.mu, used
+// outside it.
+type tailView struct {
+	path        string
+	start, last uint64
+	limit       int64
+}
+
+// scanFrom is the shared scanner under Replay (strict) and Tail. It
+// snapshots the segment list and watermark under l.mu, then reads files
+// without the lock: sealed segments are immutable, and the active segment
+// is only ever appended to past our limit. Every frame is bounds-checked
+// and CRC-verified before slicing — the file may legitimately differ from
+// what Open validated (truncation races, external mutation), and a short
+// read must surface as a typed error, never a panic.
+func (l *Log) scanFrom(after uint64, strict bool, fn func(Record) error) (int, error) {
+	l.mu.Lock()
+	segs := make([]tailView, 0, len(l.sealed)+1)
+	for _, s := range l.sealed {
+		segs = append(segs, tailView{s.path, s.start, s.last, s.size})
+	}
+	if l.active != nil && l.syncedSize > 0 {
+		segs = append(segs, tailView{l.activeAt.path, l.activeAt.start, l.synced, l.syncedSize})
 	}
 	l.mu.Unlock()
+
 	replayed := 0
 	expect := after + 1
 	for _, s := range segs {
 		if s.last <= after {
-			continue // fully covered by the checkpoint
+			continue // fully covered by the caller's position
+		}
+		if s.start > expect {
+			if !strict && replayed == 0 {
+				// The epochs between the caller and the log's first record
+				// were truncated behind a checkpoint: recoverable.
+				return 0, &TruncatedError{After: after, First: s.start}
+			}
+			return replayed, &CorruptError{Path: s.path, Offset: -1,
+				Msg: fmt.Sprintf("epoch gap: log resumes at %d, caller covered through %d", s.start, expect-1)}
 		}
 		b, err := l.opts.FS.ReadFile(s.path)
 		if err != nil {
+			if !strict && errors.Is(err, iofs.ErrNotExist) {
+				// Lost a race with TruncateThrough: the segment's epochs are
+				// behind a durable checkpoint now. Catch up from there.
+				return replayed, &TruncatedError{After: after, First: 0}
+			}
 			return replayed, fmt.Errorf("wal: replay: %w", err)
+		}
+		if s.limit < int64(len(b)) {
+			b = b[:s.limit] // never read past the watermark
+		}
+		corrupt := func(off int64, format string, args ...any) error {
+			return &CorruptError{Path: s.path, Offset: off, Msg: fmt.Sprintf(format, args...)}
 		}
 		off := int64(0)
 		for off < int64(len(b)) {
+			rem := int64(len(b)) - off
+			if rem < frameHeaderSize {
+				return replayed, corrupt(off, "truncated frame header: %d bytes remain, need %d", rem, frameHeaderSize)
+			}
 			plen := int64(binary.LittleEndian.Uint32(b[off:]))
+			sum := binary.LittleEndian.Uint32(b[off+4:])
+			if plen > maxRecordBytes {
+				return replayed, corrupt(off, "frame length %d exceeds limit %d", plen, maxRecordBytes)
+			}
+			if rem-frameHeaderSize < plen {
+				return replayed, corrupt(off, "truncated frame: needs %d payload bytes, %d remain", plen, rem-frameHeaderSize)
+			}
 			payload := b[off+frameHeaderSize : off+frameHeaderSize+plen]
-			off += frameHeaderSize + plen
+			if crc32.Checksum(payload, crcTable) != sum {
+				return replayed, corrupt(off, "frame checksum mismatch")
+			}
 			rec, err := decodePayload(payload)
 			if err != nil {
-				return replayed, &CorruptError{Path: s.path, Offset: off - plen - frameHeaderSize,
-					Msg: fmt.Sprintf("checksum-valid record does not decode: %v", err)}
+				return replayed, corrupt(off, "checksum-valid record does not decode: %v", err)
 			}
+			off += frameHeaderSize + plen
 			if rec.Epoch <= after {
 				continue
 			}
 			if rec.Epoch != expect {
-				return replayed, &CorruptError{Path: s.path, Offset: -1,
-					Msg: fmt.Sprintf("epoch gap: log resumes at %d, checkpoint covers through %d", rec.Epoch, expect-1)}
+				return replayed, corrupt(off-plen-frameHeaderSize,
+					"epoch gap: log resumes at %d, caller covered through %d", rec.Epoch, expect-1)
 			}
 			if err := fn(rec); err != nil {
 				return replayed, err
@@ -439,8 +528,13 @@ func (l *Log) Append(r Record) error {
 	}
 	l.last = r.Epoch
 	l.dirty = true
-	if l.opts.Sync == SyncAlways {
+	switch l.opts.Sync {
+	case SyncAlways:
 		return l.syncLocked()
+	case SyncNever:
+		// Durability is delegated to the OS, so the ack point is Append
+		// itself: the record joins the shipping watermark immediately.
+		l.advanceWatermarkLocked()
 	}
 	return nil
 }
@@ -477,6 +571,7 @@ func (l *Log) sealActiveLocked() error {
 	l.sealed = append(l.sealed, l.activeAt)
 	l.active = nil
 	l.activeAt = segment{}
+	l.syncedSize = 0 // the watermark's byte bound is per active segment
 	return nil
 }
 
@@ -492,7 +587,7 @@ func (l *Log) syncLocked() error {
 		return fmt.Errorf("wal: sync after failed write: %w", l.failed)
 	}
 	if l.active == nil || !l.dirty {
-		l.synced = l.last
+		l.advanceWatermarkLocked()
 		return nil
 	}
 	if err := l.active.Sync(); err != nil {
@@ -500,8 +595,24 @@ func (l *Log) syncLocked() error {
 		return fmt.Errorf("wal: sync: %w", err)
 	}
 	l.dirty = false
-	l.synced = l.last
+	l.advanceWatermarkLocked()
 	return nil
+}
+
+// advanceWatermarkLocked moves the shipping watermark to the current
+// append position and wakes Synced waiters when it actually moved.
+func (l *Log) advanceWatermarkLocked() {
+	size := int64(0)
+	if l.active != nil {
+		size = l.activeAt.size
+	}
+	if l.synced == l.last && l.syncedSize == size {
+		return
+	}
+	l.synced = l.last
+	l.syncedSize = size
+	close(l.syncCh)
+	l.syncCh = make(chan struct{})
 }
 
 func (l *Log) syncLoop() {
@@ -526,6 +637,13 @@ func (l *Log) syncLoop() {
 // new is durable). Segments are removed oldest-first, so a crash mid-way
 // always leaves a contiguous epoch suffix behind the checkpoint. The
 // active segment is sealed first when the checkpoint covers it entirely.
+//
+// A Remove or directory-sync failure here is housekeeping, not data loss:
+// the error is returned so the caller can count and retry it, but the
+// writer is NOT poisoned — Append keeps working, and the next
+// TruncateThrough picks up where this one stopped. (Sealing the active
+// segment is write-path work and does poison on failure, as every
+// sync/close does.)
 func (l *Log) TruncateThrough(epoch uint64) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -541,35 +659,37 @@ func (l *Log) TruncateThrough(epoch uint64) error {
 		}
 	}
 	removed := 0
+	var rmErr error
 	for _, s := range l.sealed {
 		if s.last > epoch {
 			break
 		}
-		if err := l.opts.FS.Remove(s.path); err != nil {
-			l.failed = err
-			return fmt.Errorf("wal: truncate: %w", err)
+		if err := l.opts.FS.Remove(s.path); err != nil && !errors.Is(err, iofs.ErrNotExist) {
+			rmErr = err // keep the segment listed; a later truncate retries it
+			break
 		}
 		removed++
 	}
-	if removed == 0 {
-		return nil
-	}
-	l.sealed = append(l.sealed[:0], l.sealed[removed:]...)
-	if err := l.opts.FS.SyncDir(l.dir); err != nil {
-		l.failed = err
-		return fmt.Errorf("wal: truncate: %w", err)
-	}
-	switch {
-	case len(l.sealed) > 0:
-		l.first = l.sealed[0].start
-	case l.active != nil && l.activeAt.size > 0:
-		l.first = l.activeAt.start
-	default:
-		l.haveAny = l.last > epoch // all records removed ⇒ empty log
-		if !l.haveAny {
-			l.first, l.last = 0, 0
-			l.synced = 0
+	if removed > 0 {
+		l.sealed = append(l.sealed[:0], l.sealed[removed:]...)
+		if err := l.opts.FS.SyncDir(l.dir); err != nil && rmErr == nil {
+			rmErr = err
 		}
+		switch {
+		case len(l.sealed) > 0:
+			l.first = l.sealed[0].start
+		case l.active != nil && l.activeAt.size > 0:
+			l.first = l.activeAt.start
+		default:
+			l.haveAny = l.last > epoch // all records removed ⇒ empty log
+			if !l.haveAny {
+				l.first, l.last = 0, 0
+				l.synced, l.syncedSize = 0, 0
+			}
+		}
+	}
+	if rmErr != nil {
+		return fmt.Errorf("wal: truncate (retryable, log still appendable): %w", rmErr)
 	}
 	return nil
 }
@@ -598,6 +718,9 @@ func (l *Log) Close() error {
 		}
 		l.active = nil
 	}
+	// Wake Synced waiters and leave the channel closed: the watermark will
+	// never advance again, so a waiter must not block on a closed log.
+	close(l.syncCh)
 	return firstErr
 }
 

@@ -200,6 +200,7 @@ type System struct {
 	ver   *master.Versioned
 	mon   *monitor.Monitor
 	dur   *master.DurableVersioned // non-nil under WithWAL
+	rep   *replica                 // non-nil for a NewFollower replica
 }
 
 // New builds a System. The master relation must be an instance of Σ's
@@ -262,8 +263,12 @@ func New(rules *Rules, masterRel *Relation, opts ...Option) (*System, error) {
 // fixes beginning after UpdateMaster returns see the new epoch.
 // Under WithWAL the delta is written to the log before the snapshot is
 // published — with FsyncAlways, an UpdateMaster that returned survives a
-// crash.
+// crash. On a follower System (NewFollower) the call fails with
+// ErrReadOnlyReplica: a replica's lineage is the leader's.
 func (s *System) UpdateMaster(adds []Tuple, deletes []int) (uint64, error) {
+	if s.rep != nil {
+		return 0, fmt.Errorf("certainfix: update on follower of %s: %w", s.rep.leader, ErrReadOnlyReplica)
+	}
 	var (
 		snap *master.Data
 		err  error

@@ -89,11 +89,15 @@ func (s *System) Checkpoint() error {
 	return s.dur.Checkpoint()
 }
 
-// Close flushes and closes the write-ahead log. In-flight reads and
-// sessions keep working against their pinned snapshots; further
-// UpdateMaster calls fail. A memory-only System (no WithWAL) has nothing
-// to release and Close is a no-op. Safe to call more than once.
+// Close flushes and closes the write-ahead log, and on a follower
+// System stops the shipping loop. In-flight reads and sessions keep
+// working against their pinned snapshots; further UpdateMaster calls
+// fail. A memory-only System (no WithWAL) has nothing to release and
+// Close is a no-op. Safe to call more than once.
 func (s *System) Close() error {
+	if s.rep != nil {
+		s.rep.stop()
+	}
 	if s.dur == nil {
 		return nil
 	}

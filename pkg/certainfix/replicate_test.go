@@ -1,0 +1,252 @@
+package certainfix_test
+
+// Epoch shipping at the API surface: a follower System bootstrapped over
+// HTTP converges to the leader, keeps converging while the leader
+// updates live, rebases from the checkpoint after a partition lets a
+// truncation pass it by, serves reads (including session tokens minted
+// on the leader), and refuses writes with the typed sentinel.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/pkg/certainfix"
+)
+
+// replicationLeader is the order/catalog fixture on a durable lineage
+// with aggressive checkpoints, so truncation (and with it the follower
+// catch-up path) actually happens inside a short test.
+func replicationLeader(t *testing.T, dir string) (*certainfix.System, *certainfix.Rules) {
+	t.Helper()
+	r := certainfix.StringSchema("order", "sku", "price", "desc")
+	rm := certainfix.StringSchema("catalog", "sku", "price", "desc")
+	rules, err := certainfix.ParseRules(r, rm, `
+rule price: (sku ; sku) -> (price ; price)
+rule desc:  (sku ; sku) -> (desc ; desc)
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	masterRel := certainfix.NewRelation(rm)
+	if err := masterRel.Append(skuTuple(1)); err != nil {
+		t.Fatal(err)
+	}
+	sys, err := certainfix.New(rules, masterRel,
+		certainfix.WithWAL(dir), certainfix.WithCheckpointEvery(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys, rules
+}
+
+func skuTuple(i int) certainfix.Tuple {
+	return certainfix.StringTuple(fmt.Sprintf("sku-%d", i), fmt.Sprintf("%d.50", i), fmt.Sprintf("item-%d", i))
+}
+
+func addSKU(t *testing.T, sys *certainfix.System, i int) {
+	t.Helper()
+	if _, err := sys.UpdateMaster([]certainfix.Tuple{skuTuple(i)}, nil); err != nil {
+		t.Fatalf("update sku-%d: %v", i, err)
+	}
+}
+
+// waitFor polls cond until it holds or the deadline trips.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestFollowerReplication(t *testing.T) {
+	leader, rules := replicationLeader(t, t.TempDir())
+	defer leader.Close()
+	// Storm before the follower exists: CheckpointEvery=2 truncates the
+	// early epochs, so the bootstrap MUST come from the checkpoint image.
+	for i := 2; i <= 6; i++ {
+		addSKU(t, leader, i)
+	}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/wal", leader.ServeWAL)
+	mux.HandleFunc("GET /v1/checkpoint", leader.ServeCheckpoint)
+	// The partition switch: while set, every request fails at the
+	// transport level, exactly like a leader behind a dead link.
+	var partitioned atomic.Bool
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if partitioned.Load() {
+			http.Error(w, "partitioned", http.StatusBadGateway)
+			return
+		}
+		mux.ServeHTTP(w, r)
+	}))
+	defer ts.Close()
+
+	// A request from before the checkpoint answers the protocol's 409 —
+	// the rule that makes an empty stream distinguishable from truncation.
+	resp, err := http.Get(ts.URL + "/v1/wal?after=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var conflict struct {
+		Code string `json:"code"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&conflict); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict || conflict.Code != "wal_truncated" {
+		t.Fatalf("after=0 behind checkpoint: status %d code %q", resp.StatusCode, conflict.Code)
+	}
+	if resp.Header.Get("X-Checkpoint-Epoch") == "" {
+		t.Fatal("409 carries no X-Checkpoint-Epoch")
+	}
+
+	follower, err := certainfix.NewFollower(rules, ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer follower.Close()
+	waitFor(t, "initial convergence", func() bool {
+		return follower.MasterEpoch() == leader.MasterEpoch()
+	})
+	if follower.MasterLen() != leader.MasterLen() {
+		t.Fatalf("converged |Dm| %d, leader %d", follower.MasterLen(), leader.MasterLen())
+	}
+
+	// Live tailing: updates land on the follower without reconnect churn.
+	for i := 7; i <= 9; i++ {
+		addSKU(t, leader, i)
+	}
+	waitFor(t, "live tail convergence", func() bool {
+		return follower.MasterEpoch() == leader.MasterEpoch()
+	})
+
+	// Partition the follower, move the leader past a truncation, heal:
+	// the follower's next tail gets 409 and must rebase from the
+	// checkpoint.
+	partitioned.Store(true)
+	waitFor(t, "follower to notice the partition", func() bool {
+		st, _ := follower.Replication()
+		return st.Reconnects >= 1
+	})
+	for i := 10; i <= 13; i++ {
+		addSKU(t, leader, i)
+	}
+	if err := leader.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	partitioned.Store(false)
+	waitFor(t, "post-partition convergence", func() bool {
+		return follower.MasterEpoch() == leader.MasterEpoch()
+	})
+	st, ok := follower.Replication()
+	if !ok {
+		t.Fatal("follower reports no replication stats")
+	}
+	if st.Catchups < 1 {
+		t.Fatalf("follower never rebased from the checkpoint: %+v", st)
+	}
+	if st.Lag != 0 || st.State != certainfix.ReplicaTailing {
+		t.Fatalf("converged follower unhealthy: %+v", st)
+	}
+
+	// Reads are the leader's reads: same repair, byte for byte.
+	dirty := certainfix.StringTuple("sku-12", "0.00", "junk")
+	wantT, _, wantFixed, err := leader.RepairOnce(dirty, []int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotT, _, gotFixed, err := follower.RepairOnce(dirty, []int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gotFixed) != len(wantFixed) || gotT[1].Str() != wantT[1].Str() || gotT[2].Str() != wantT[2].Str() {
+		t.Fatalf("follower repaired %v -> %v, leader %v -> %v", gotFixed, gotT, wantFixed, wantT)
+	}
+
+	// A session token minted on the leader resumes on the follower —
+	// the stateless-server pattern across nodes.
+	ctx := context.Background()
+	sess, err := leader.Begin(ctx, certainfix.StringTuple("sku-11", "", ""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	token, err := sess.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := follower.Resume(ctx, token)
+	if err != nil {
+		t.Fatalf("resume leader token on follower: %v", err)
+	}
+	truth := skuTuple(11)
+	for rounds := 0; !resumed.Done(); rounds++ {
+		if rounds > 4 {
+			t.Fatal("resumed session did not finish")
+		}
+		attrs := resumed.Suggested()
+		vals := make([]certainfix.Value, len(attrs))
+		for i, p := range attrs {
+			vals[i] = truth[p]
+		}
+		if err := resumed.Provide(attrs, vals); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !resumed.Completed() || resumed.Tuple()[1].Str() != "11.50" {
+		t.Fatalf("resumed fix on follower: completed=%v tuple=%v", resumed.Completed(), resumed.Tuple())
+	}
+
+	// Writes are refused with the typed sentinel; the leader still writes.
+	if _, err := follower.UpdateMaster([]certainfix.Tuple{skuTuple(99)}, nil); !errors.Is(err, certainfix.ErrReadOnlyReplica) {
+		t.Fatalf("follower write: want ErrReadOnlyReplica, got %v", err)
+	}
+	addSKU(t, leader, 14)
+	waitFor(t, "convergence after refused write", func() bool {
+		return follower.MasterEpoch() == leader.MasterEpoch()
+	})
+}
+
+// TestServeWALRequiresDurability pins the 404 contract: a memory-only
+// System has nothing to ship and says so with a machine code.
+func TestServeWALRequiresDurability(t *testing.T) {
+	r := certainfix.StringSchema("order", "sku", "price")
+	rm := certainfix.StringSchema("catalog", "sku", "price")
+	rules, err := certainfix.ParseRules(r, rm, `rule s: (sku ; sku) -> (price ; price)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	masterRel := certainfix.NewRelation(rm)
+	if err := masterRel.Append(certainfix.StringTuple("sku-1", "9.99")); err != nil {
+		t.Fatal(err)
+	}
+	sys, err := certainfix.New(rules, masterRel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range []http.HandlerFunc{sys.ServeWAL, sys.ServeCheckpoint} {
+		rec := httptest.NewRecorder()
+		h(rec, httptest.NewRequest(http.MethodGet, "/", nil))
+		var body struct {
+			Code string `json:"code"`
+		}
+		if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+			t.Fatal(err)
+		}
+		if rec.Code != http.StatusNotFound || body.Code != "not_durable" {
+			t.Fatalf("memory-only system: status %d code %q", rec.Code, body.Code)
+		}
+	}
+}
