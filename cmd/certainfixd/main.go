@@ -18,6 +18,8 @@
 //	                        behind the checkpoint; needs -wal-dir)
 //	GET  /v1/checkpoint     the newest arena checkpoint image, epoch in
 //	                        X-Checkpoint-Epoch (needs -wal-dir)
+//	GET  /v1/root           the published master commitment: {"epoch",
+//	                        "root", "authenticated"} (root needs -auth)
 //	GET  /healthz           liveness plus the master's memory accounting
 //	                        ("master": heap vs arena residency, see
 //	                        certainfix.MasterMemStats)
@@ -55,6 +57,15 @@
 // "always" — the default — makes an acknowledged update crash-proof.
 // /healthz gains a "durability" block, and SIGINT/SIGTERM flush and close
 // the log before exit.
+//
+// With -auth the daemon maintains a Merkle commitment over the master
+// data: GET /v1/root publishes the (epoch, root) pair, session replies
+// carry the pinned root, and /v1/result responses include per-attribute
+// provenance — the rule that fired, the master tuple it consumed, and an
+// inclusion proof. A client holding only the rules and the root checks a
+// fix offline with certainfix.VerifyFix; replicas of an -auth leader
+// audit every shipped epoch against the leader's logged root and refuse
+// to publish a diverged lineage.
 //
 // With -follow the daemon is a read-only replica of another certainfixd:
 // it bootstraps from the leader's GET /v1/checkpoint, tails GET /v1/wal,
@@ -96,6 +107,7 @@ func main() {
 		fsync      = flag.String("fsync", "always", "WAL fsync policy: always | interval | off")
 		ckptEvery  = flag.Int("checkpoint-every", 0, "arena checkpoint every N deltas (0 = default, <0 = never)")
 		follow     = flag.String("follow", "", "run as a read-only replica of the leader certainfixd at this base URL")
+		auth       = flag.Bool("auth", false, "maintain a Merkle commitment over the master: /v1/root publishes it, fix results carry inclusion proofs, followers audit shipped epochs")
 	)
 	flag.Parse()
 	if *rulesPath == "" {
@@ -124,6 +136,7 @@ func main() {
 		fsync:           fsyncPolicy,
 		checkpointEvery: *ckptEvery,
 		follow:          *follow,
+		auth:            *auth,
 	})
 	if err != nil {
 		// *certainfix.MasterBuildError renders the failing tuple's
@@ -185,6 +198,7 @@ type serverConfig struct {
 	fsync                           certainfix.FsyncPolicy
 	checkpointEvery                 int
 	follow                          string
+	auth                            bool
 }
 
 // buildSystem loads the rules file (schema headers + DSL) and constructs
@@ -212,6 +226,9 @@ func buildSystem(cfg serverConfig) (*certainfix.System, error) {
 	}
 	if cfg.history > 0 {
 		opts = append(opts, certainfix.WithMasterHistory(cfg.history))
+	}
+	if cfg.auth {
+		opts = append(opts, certainfix.WithAuth())
 	}
 	if cfg.follow != "" {
 		// Replica: the leader's checkpoint and WAL are the only sources.

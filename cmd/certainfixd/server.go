@@ -36,6 +36,21 @@ func newHandler(sys *certainfix.System) http.Handler {
 	// Both answer 404 {"code": "not_durable"} without -wal-dir.
 	mux.HandleFunc("GET /v1/wal", sys.ServeWAL)
 	mux.HandleFunc("GET /v1/checkpoint", sys.ServeCheckpoint)
+	// The published master commitment: (epoch, root) identify the master
+	// contents exactly. Clients pin or audit this root and check fix
+	// provenance against it offline (certainfix.VerifyFix) — the server
+	// never has to be trusted about which master tuples a fix consumed.
+	mux.HandleFunc("GET /v1/root", func(w http.ResponseWriter, r *http.Request) {
+		body := map[string]any{
+			"epoch":         sys.MasterEpoch(),
+			"authenticated": false,
+		}
+		if root, ok := sys.MasterRoot(); ok {
+			body["authenticated"] = true
+			body["root"] = root
+		}
+		writeJSON(w, http.StatusOK, body)
+	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		body := map[string]any{
 			"ok":         true,
@@ -72,6 +87,10 @@ type sessionResponse struct {
 	Done           bool             `json:"done"`
 	Completed      bool             `json:"completed"`
 	Epoch          uint64           `json:"epoch"`
+	// Root is the Merkle root of the session's pinned master snapshot,
+	// present only under -auth. POST /v1/result returns the inclusion
+	// proofs that tie the fix's provenance to it.
+	Root string `json:"root,omitempty"`
 }
 
 func (s *server) sessionReply(w http.ResponseWriter, sess *certainfix.FixSession) {
@@ -97,6 +116,7 @@ func (s *server) sessionReply(w http.ResponseWriter, sess *certainfix.FixSession
 		Done:           sess.Done(),
 		Completed:      sess.Completed(),
 		Epoch:          sess.Epoch(),
+		Root:           sess.Root(),
 	})
 }
 

@@ -1,0 +1,71 @@
+package authtree
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/relation"
+)
+
+// benchTree builds an n-tuple tree once per benchmark; proofs are
+// generated and verified against tuples spread across it.
+func benchTree(b *testing.B, n int) (*Tree, []relation.Tuple) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(11))
+	tuples := make([]relation.Tuple, n)
+	tr := New()
+	for i := range tuples {
+		tuples[i] = relation.Tuple{
+			relation.String(randWord(rng)),
+			relation.Int(int64(i)),
+			relation.String(randWord(rng)),
+		}
+		tr = tr.Insert(tuples[i])
+	}
+	return tr, tuples
+}
+
+func randWord(rng *rand.Rand) string {
+	const letters = "abcdefghijklmnop"
+	w := make([]byte, 4+rng.Intn(8))
+	for i := range w {
+		w[i] = letters[rng.Intn(len(letters))]
+	}
+	return string(w)
+}
+
+// BenchmarkProofGen measures Prove on a 10k-tuple tree — the per-witness
+// cost a fix response pays when the master is authenticated.
+func BenchmarkProofGen(b *testing.B) {
+	tr, tuples := benchTree(b, 10_000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := tr.Prove(tuples[i%len(tuples)]); !ok {
+			b.Fatal("Prove failed")
+		}
+	}
+}
+
+// BenchmarkProofVerify measures the client side: VerifyInclusion with no
+// tree in hand, the cost an untrusting verifier pays per witness.
+func BenchmarkProofVerify(b *testing.B) {
+	tr, tuples := benchTree(b, 10_000)
+	root := tr.Root()
+	proofs := make([]*Proof, len(tuples))
+	for i, tu := range tuples {
+		p, ok := tr.Prove(tu)
+		if !ok {
+			b.Fatal("Prove failed")
+		}
+		proofs[i] = p
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j := i % len(tuples)
+		if err := VerifyInclusion(root, tuples[j], proofs[j]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

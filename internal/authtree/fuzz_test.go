@@ -1,0 +1,87 @@
+package authtree
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/relation"
+)
+
+// fuzzFixture is the known-good world every fuzz input attacks: a small
+// tree, one committed tuple, its genuine proof and the genuine root.
+func fuzzFixture() (Hash, relation.Tuple, *Proof, []byte) {
+	tuples := []relation.Tuple{
+		{relation.String("x"), relation.Int(1), relation.String("y")},
+		{relation.String("y"), relation.Int(2), relation.String("")},
+		{relation.Null, relation.Int(3), relation.String("z")},
+		{relation.String("x"), relation.Int(1), relation.String("y")}, // duplicate
+		{relation.String("w"), relation.Int(7), relation.String("q")},
+	}
+	tr := New()
+	for _, tu := range tuples {
+		tr = tr.Insert(tu)
+	}
+	target := tuples[0]
+	p, ok := tr.Prove(target)
+	if !ok {
+		panic("fuzz fixture: Prove failed")
+	}
+	raw, err := json.Marshal(p)
+	if err != nil {
+		panic(err)
+	}
+	return tr.Root(), target, p, raw
+}
+
+// FuzzProofVerify feeds hostile proof bytes and mutated roots to
+// VerifyInclusion: it must never panic, and it may only accept when the
+// decoded proof is semantically the genuine one under the genuine root —
+// anything else accepted would be a forged inclusion.
+func FuzzProofVerify(f *testing.F) {
+	root, target, genuine, raw := fuzzFixture()
+	f.Add(raw, []byte{0})
+	f.Add(raw, root[:])
+	f.Add([]byte(`{"key":"0","entries":[],"siblings":[]}`), []byte{1, 2, 3})
+	f.Add([]byte(`{}`), []byte{})
+	f.Add([]byte(`{"key":"18446744073709551615","entries":[{"h":"`+
+		(Hash{}).String()+`","n":1}],"siblings":["`+(Hash{}).String()+`"]}`), root[:8])
+
+	f.Fuzz(func(t *testing.T, proofJSON, rootSeed []byte) {
+		var p Proof
+		if err := json.Unmarshal(proofJSON, &p); err != nil {
+			return
+		}
+		fuzzedRoot := root
+		for i, b := range rootSeed {
+			if i >= len(fuzzedRoot) {
+				break
+			}
+			fuzzedRoot[i] ^= b
+		}
+		err := VerifyInclusion(fuzzedRoot, target, &p)
+		if err != nil {
+			return
+		}
+		// Accepted: this must be the genuine (root, proof) pair. Any other
+		// accepted combination is a break of the commitment.
+		if fuzzedRoot != root {
+			t.Fatalf("forged root accepted: %v", fuzzedRoot)
+		}
+		if p.Key != genuine.Key ||
+			len(p.Entries) != len(genuine.Entries) ||
+			len(p.Siblings) != len(genuine.Siblings) {
+			t.Fatalf("forged proof shape accepted: %+v", p)
+		}
+		for i := range p.Entries {
+			if p.Entries[i] != genuine.Entries[i] {
+				t.Fatalf("forged entry accepted: %+v", p.Entries[i])
+			}
+		}
+		for i := range p.Siblings {
+			if !bytes.Equal(p.Siblings[i][:], genuine.Siblings[i][:]) {
+				t.Fatalf("forged sibling accepted: %v", p.Siblings[i])
+			}
+		}
+	})
+}

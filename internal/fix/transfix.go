@@ -33,6 +33,24 @@ func (e *ConflictError) Error() string {
 // errors.Is without naming the concrete type.
 func (e *ConflictError) Is(target error) bool { return target == ErrInconsistent }
 
+// Witness records where one fixed attribute's value came from: the rule
+// that fired and the master tuple id whose RHSM cell supplied the value.
+// One witness per fixed attribute, in application order — together they
+// are the fix's provenance, checkable by anyone holding the rules, the
+// claimed master tuples and the master commitment root
+// (pkg/certainfix.VerifyFix).
+type Witness struct {
+	// Attr is the tuple position the rule fixed.
+	Attr int
+	// Rule is the name of the editing rule that fired.
+	Rule string
+	// MasterID is the id (at the fix's epoch) of a master tuple matching
+	// the rule against the tuple's validated premise. Any match works as a
+	// witness: TransFix only fixes when every applicable rule/master pair
+	// agrees on the value, so every match carries it.
+	MasterID int
+}
+
 // node processing states for TransFix.
 const (
 	nodeUnusable = iota // premise not validated, not yet reachable
@@ -51,6 +69,15 @@ const (
 // are frozen once validated, so re-examination can never change the
 // outcome. Complexity O(|V|·|Σ|), as analyzed in the paper.
 func TransFix(g *rule.DepGraph, dm *master.Data, t relation.Tuple, zSet *relation.AttrSet) ([]int, error) {
+	return TransFixTrace(g, dm, t, zSet, nil)
+}
+
+// TransFixTrace is TransFix with provenance: when trace is non-nil, one
+// Witness is appended per fixed attribute, naming the rule that fired and
+// a master tuple that supplied the value. The fix itself is identical —
+// the witness is read off the match set TransFix already consults, at no
+// extra probing.
+func TransFixTrace(g *rule.DepGraph, dm *master.Data, t relation.Tuple, zSet *relation.AttrSet, trace *[]Witness) ([]int, error) {
 	sigma := g.Set()
 	n := sigma.Len()
 	state := make([]int, n)
@@ -77,6 +104,13 @@ func TransFix(g *rule.DepGraph, dm *master.Data, t relation.Tuple, zSet *relatio
 			values := certainValues(sigma, dm, t, *zSet, rv.RHS())
 			if len(values) > 1 {
 				return fixed, &ConflictError{Attr: rv.RHS(), Values: values}
+			}
+			if trace != nil {
+				// Any master match of rv witnesses the value: rv is
+				// applicable here, so each of its matches contributes its
+				// RHSM cell to values — and values has exactly one element.
+				ids := dm.MatchIDs(rv, t)
+				*trace = append(*trace, Witness{Attr: rv.RHS(), Rule: rv.Name(), MasterID: ids[0]})
 			}
 			t[rv.RHS()] = values[0]
 			zSet.Add(rv.RHS())

@@ -10,9 +10,9 @@ package master
 //
 // Layout (see DESIGN.md, "Columnar arena format"):
 //
-//	header   112 bytes: magic "CFXARENA", version, endian marker,
+//	header   120 bytes: magic "CFXARENA", version, endian marker,
 //	         epoch, |Dm|, shard/arity/symbol/structure counts, file
-//	         size, and the 6 section offsets
+//	         size, and the 7 section offsets
 //	schema   master schema name + typed attribute list (load-time
 //	         validation against Σ's master schema)
 //	symbols  every distinct cell value: fixed 16-byte records + a string
@@ -27,6 +27,11 @@ package master
 //	postings per posting list: its column, then per-shard tables
 //	rules    per rule of Σ, in Σ order: an FNV-1a signature of its
 //	         rendering plus its pattern-support bitmap
+//	auth     a presence flag plus the snapshot's 32-byte sparse-Merkle
+//	         root (authtree). Version-2 addition: version-1 images have
+//	         no auth section and load as explicitly unauthenticated;
+//	         a version-2 image with the flag set is recomputed-and-
+//	         verified against the stored root at load time.
 //
 // Saving is deterministic: table keys are inserted in ascending order,
 // symbols in id order, extension values in row-major cell-scan order —
@@ -47,9 +52,14 @@ import (
 
 const (
 	arenaMagic      = "CFXARENA"
-	arenaVersion    = 1
+	arenaVersion    = 2
 	arenaEndianMark = 0x01020304
-	arenaHeaderSize = 112
+	arenaHeaderSize = 120
+	// Version-1 images (pre-auth): 112-byte header, 6 sections, no root.
+	// The loader still accepts them — as explicitly unauthenticated.
+	arenaVersionV1    = 1
+	arenaHeaderSizeV1 = 112
+	numSectionsV1     = 6
 )
 
 // Header field offsets. The offset table holds the absolute position of
@@ -67,7 +77,7 @@ const (
 	hdrNPosts   = 48 // u32
 	hdrNRules   = 52 // u32
 	hdrFileSize = 56 // u64
-	hdrSections = 64 // 6 × u64
+	hdrSections = 64 // 7 × u64 (6 in version 1)
 )
 
 // Section indexes into the header offset table.
@@ -78,11 +88,12 @@ const (
 	secIndexes
 	secPostings
 	secRules
+	secAuth
 	numSections
 )
 
 var sectionName = [numSections]string{
-	"schema", "symbols", "columns", "indexes", "postings", "rules",
+	"schema", "symbols", "columns", "indexes", "postings", "rules", "auth",
 }
 
 // ruleSig fingerprints a rule by its canonical rendering, binding a saved
@@ -256,6 +267,21 @@ func (d *Data) SaveArena(w io.Writer, sigma *rule.Set) error {
 		}
 	}
 	b.align8()
+
+	// Auth: presence flag + the snapshot's sparse-Merkle root. Saved even
+	// when unauthenticated (flag 0, zero root) so the section table is
+	// uniform; the loader rebuilds and verifies the tree only when the
+	// flag is set.
+	b.section(secAuth)
+	if root, ok := d.AuthRoot(); ok {
+		b.u32(1)
+		b.u32(0)
+		b.bytes(root[:])
+	} else {
+		b.u32(0)
+		b.u32(0)
+		b.bytes(make([]byte, 32))
+	}
 
 	hdr := b.buf[:arenaHeaderSize]
 	copy(hdr[hdrMagic:], arenaMagic)

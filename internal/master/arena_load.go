@@ -27,6 +27,7 @@ import (
 	"os"
 	"unsafe"
 
+	"repro/internal/authtree"
 	"repro/internal/relation"
 	"repro/internal/rule"
 )
@@ -163,8 +164,8 @@ func loadArena(b []byte, sigma *rule.Set, mapped bool) (*Data, error) {
 	}
 
 	hr := &areader{b: b, sec: "header"}
-	if len(b) < arenaHeaderSize {
-		hr.fail("truncated: %d bytes, header needs %d", len(b), arenaHeaderSize)
+	if len(b) < arenaHeaderSizeV1 {
+		hr.fail("truncated: %d bytes, header needs %d", len(b), arenaHeaderSizeV1)
 		return nil, hr.err
 	}
 	if string(b[hdrMagic:hdrMagic+8]) != arenaMagic {
@@ -172,10 +173,21 @@ func loadArena(b []byte, sigma *rule.Set, mapped bool) (*Data, error) {
 		hr.fail("bad magic %q", b[hdrMagic:hdrMagic+8])
 		return nil, hr.err
 	}
+	// Version gates the header shape: v1 images (112-byte header, 6
+	// sections, no auth) still load — as explicitly unauthenticated.
 	hr.off = hdrVersion
-	if v := hr.u32(); v != arenaVersion {
+	version := hr.u32()
+	if version != arenaVersion && version != arenaVersionV1 {
 		hr.off = hdrVersion
-		hr.fail("unsupported version %d (want %d)", v, arenaVersion)
+		hr.fail("unsupported version %d (want %d or %d)", version, arenaVersionV1, arenaVersion)
+		return nil, hr.err
+	}
+	headerSize, nsec := arenaHeaderSize, numSections
+	if version == arenaVersionV1 {
+		headerSize, nsec = arenaHeaderSizeV1, numSectionsV1
+	}
+	if len(b) < headerSize {
+		hr.fail("truncated: %d bytes, version-%d header needs %d", len(b), version, headerSize)
 		return nil, hr.err
 	}
 	// Read the endian marker in HOST order: a mismatch means either a
@@ -207,11 +219,11 @@ func loadArena(b []byte, sigma *rule.Set, mapped bool) (*Data, error) {
 		hr.fail("header file size %d does not match actual size %d", sz, len(b))
 	}
 	var secOff [numSections]int
-	for i := 0; i < numSections; i++ {
+	for i := 0; i < nsec; i++ {
 		secOff[i] = hr.count(hr.u64(), len(b), "section offset")
 	}
-	prev := arenaHeaderSize
-	for i := 0; i < numSections && hr.err == nil; i++ {
+	prev := headerSize
+	for i := 0; i < nsec && hr.err == nil; i++ {
 		if secOff[i] < prev || secOff[i]%8 != 0 {
 			hr.off = hdrSections + 8*i
 			hr.fail("section %s offset %d out of order or misaligned", sectionName[i], secOff[i])
@@ -298,6 +310,34 @@ func loadArena(b []byte, sigma *rule.Set, mapped bool) (*Data, error) {
 		}
 		d.plans[ru] = idx
 		d.compat[ru] = cp
+	}
+
+	// Auth (version 2 only): when the flag is set, rebuild the Merkle
+	// commitment from the decoded relation and verify it against the
+	// stored root — a recompute-and-verify, so a tampered image cannot
+	// smuggle in either a wrong root or wrong tuples under a right one.
+	// Version-1 images, and flag-0 images, load unauthenticated.
+	if version == arenaVersion {
+		ar := &areader{b: b, off: secOff[secAuth], sec: "auth"}
+		flag := ar.u32()
+		ar.u32() // padding
+		stored := ar.take(32)
+		if ar.err != nil {
+			return nil, ar.err
+		}
+		switch flag {
+		case 0:
+		case 1:
+			tree := authtree.Build(rel)
+			if root := tree.Root(); string(root[:]) != string(stored) {
+				return nil, &SnapshotError{Section: "auth", Offset: secOff[secAuth],
+					Msg: fmt.Sprintf("stored root %x does not match recomputed root %s", stored, root)}
+			}
+			d.auth = tree
+		default:
+			return nil, &SnapshotError{Section: "auth", Offset: secOff[secAuth],
+				Msg: fmt.Sprintf("invalid auth flag %d", flag)}
+		}
 	}
 	return d, nil
 }

@@ -160,11 +160,20 @@ func (d *Data) ApplyDelta(adds []relation.Tuple, deletes []int) (*Data, error) {
 	perShard := make([][]shardOp, nd.nshards)
 	enqueue := func(s int, op shardOp) { perShard[s] = append(perShard[s], op) }
 
+	// The Merkle commitment is keyed by tuple CONTENT, so only genuine
+	// deletes and adds touch it — the swap-remove renames below shuffle
+	// ids, not content, and leave the root alone. O(delta · depth) node
+	// copies per epoch, sharing every untouched subtree with the parent.
+	nd.auth = d.auth
+
 	for _, id := range del {
 		last := len(tuples) - 1
 		t := tuples[id]
 		enqueue(nd.shardOf(t), shardOp{kind: opUnindex, t: t, id: id})
 		nd.unsetBits(id)
+		if nd.auth != nil {
+			nd.auth = authRemove(nd.auth, t)
+		}
 		if last != id {
 			moved := tuples[last]
 			enqueue(nd.shardOf(moved), shardOp{kind: opRename, t: moved, id: last, to: id})
@@ -183,6 +192,9 @@ func (d *Data) ApplyDelta(adds []relation.Tuple, deletes []int) (*Data, error) {
 		}
 		enqueue(nd.shardOf(tc), shardOp{kind: opAppend, t: tc, id: id})
 		nd.setBitsFor(tc, id)
+		if nd.auth != nil {
+			nd.auth = nd.auth.Insert(tc)
+		}
 	}
 
 	// Apply: per-shard op lists touch disjoint maps, so a large delta

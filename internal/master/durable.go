@@ -67,6 +67,12 @@ type DurableOptions struct {
 	// FS overrides the filesystem for the WAL and the checkpoint
 	// (default wal.OS); the crash-injection harness hooks in here.
 	FS wal.FS
+	// Auth authenticates the lineage: the base snapshot gets a Merkle
+	// commitment before replay (a no-op when the checkpoint already
+	// carries one — those are verified by the arena loader), every Apply
+	// stamps its WAL record with the root it produces, and replay checks
+	// each recovered epoch against the logged root.
+	Auth bool
 }
 
 // RecoveryStats describes what OpenDurable found on disk.
@@ -178,6 +184,12 @@ func OpenDurable(dir string, base func() (*Data, error), sigma *rule.Set, opts D
 	default:
 		return nil, fmt.Errorf("master: open durable %s: %w", dir, err)
 	}
+	if opts.Auth {
+		// Build the commitment before replay so delta application keeps it
+		// incrementally from here on. No-op when the checkpoint was saved
+		// authenticated — the loader has already verified its root.
+		d.Authenticate()
+	}
 
 	lg, err := wal.Open(dir, wal.Options{
 		Sync:         opts.Sync,
@@ -201,6 +213,12 @@ func OpenDurable(dir string, base func() (*Data, error), sigma *rule.Set, opts D
 		}
 		if next.Epoch() != rec.Epoch {
 			return fmt.Errorf("master: replay produced epoch %d for record %d", next.Epoch(), rec.Epoch)
+		}
+		// An authenticated lineage logs the root each delta produces;
+		// replay re-derives it incrementally and must land on the same
+		// commitment, or the log and the lineage contradict each other.
+		if root, ok := next.AuthRoot(); ok && len(rec.Root) == 32 && string(rec.Root) != string(root[:]) {
+			return fmt.Errorf("master: replay epoch %d: recovered auth root %s does not match logged root %x", rec.Epoch, root, rec.Root)
 		}
 		ver.publishDerived(next)
 		return nil
@@ -267,7 +285,13 @@ func (dv *DurableVersioned) Apply(adds []relation.Tuple, deletes []int) (*Data, 
 	if err != nil {
 		return nil, err
 	}
-	if err := dv.log.Append(wal.Record{Epoch: next.Epoch(), Adds: adds, Deletes: deletes}); err != nil {
+	rec := wal.Record{Epoch: next.Epoch(), Adds: adds, Deletes: deletes}
+	if root, ok := next.AuthRoot(); ok {
+		// Stamp the record with the root this delta produces: recovery and
+		// followers re-derive it and refuse the epoch on a mismatch.
+		rec.Root = append([]byte(nil), root[:]...)
+	}
+	if err := dv.log.Append(rec); err != nil {
 		return nil, err
 	}
 	dv.ver.publishDerived(next)

@@ -128,6 +128,16 @@ func (f *Follower) ApplyRecord(rec wal.Record) (bool, error) {
 		return false, &DivergenceError{Epoch: rec.Epoch, Head: head,
 			Msg: fmt.Sprintf("delta produced epoch %d", next.Epoch())}
 	}
+	// Root audit: an authenticated leader stamps every record with the
+	// Merkle root its delta produces. If our incrementally maintained root
+	// disagrees, the bytes we applied are not the bytes the leader applied
+	// — even though the delta itself went through cleanly — and nothing
+	// after this epoch can be trusted. Detected HERE, at the exact epoch
+	// the lineages fork, not whenever a probe happens to notice.
+	if root, ok := next.AuthRoot(); ok && len(rec.Root) == 32 && string(rec.Root) != string(root[:]) {
+		return false, &DivergenceError{Epoch: rec.Epoch, Head: head,
+			Msg: fmt.Sprintf("applied root %s does not match leader root %x", root, rec.Root)}
+	}
 	f.ver.publishDerived(next)
 	f.applied++
 	return true, nil

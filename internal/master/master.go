@@ -62,6 +62,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/authtree"
 	"repro/internal/relation"
 	"repro/internal/rule"
 )
@@ -126,12 +127,20 @@ type Data struct {
 	// cells and flat index layers alias the bytes for the snapshot chain's
 	// whole lifetime. See arena.go / arena_load.go.
 	arena *arenaRef
+	// auth is the snapshot's sparse-Merkle commitment over the tuple
+	// multiset (nil = unauthenticated, the default). Built by WithAuth /
+	// Authenticate and maintained copy-on-write by ApplyDelta; see auth.go.
+	auth *authtree.Tree
 }
 
 // New wraps a master relation. Indexes are added with Index or NewForRules.
 func New(rel *relation.Relation, opts ...BuildOption) *Data {
 	cfg := resolveBuildConfig(opts)
-	return newData(rel, cfg.shards)
+	d := newData(rel, cfg.shards)
+	if cfg.auth {
+		d.auth = authtree.Build(rel)
+	}
+	return d
 }
 
 func newData(rel *relation.Relation, shards int) *Data {
@@ -169,6 +178,9 @@ func NewForRules(rel *relation.Relation, sigma *rule.Set, opts ...BuildOption) (
 	}
 	if err := d.buildParallel(sigma, cfg.workers); err != nil {
 		return nil, err
+	}
+	if cfg.auth {
+		d.auth = authtree.Build(rel)
 	}
 	return d, nil
 }

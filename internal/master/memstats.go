@@ -43,6 +43,13 @@ type MemStats struct {
 	ArenaBacked bool  `json:"arena_backed"`
 	ArenaMapped bool  `json:"arena_mapped"`
 	ArenaBytes  int64 `json:"arena_bytes"`
+
+	// Authenticated reports whether the snapshot carries a sparse-Merkle
+	// commitment (WithAuth lineages and flag-set arena images); Root is its
+	// hex form, empty when unauthenticated — pre-auth arena images load
+	// with Authenticated false, explicitly.
+	Authenticated bool   `json:"authenticated"`
+	Root          string `json:"root,omitempty"`
 }
 
 // MemStats walks the snapshot's structures and returns their accounting.
@@ -86,6 +93,10 @@ func (d *Data) MemStats() MemStats {
 		ms.ArenaBacked = true
 		ms.ArenaMapped = d.arena.mapped
 		ms.ArenaBytes = int64(len(d.arena.data))
+	}
+	if root, ok := d.AuthRoot(); ok {
+		ms.Authenticated = true
+		ms.Root = root.String()
 	}
 	return ms
 }

@@ -53,6 +53,7 @@ type BuildOption func(*buildConfig)
 type buildConfig struct {
 	shards  int
 	workers int
+	auth    bool
 }
 
 // WithShards selects the number of hash shards the snapshot's indexes,
@@ -68,6 +69,17 @@ func WithShards(p int) BuildOption {
 // shards; w <= 0 selects GOMAXPROCS. Probe behavior is unaffected.
 func WithBuildWorkers(w int) BuildOption {
 	return func(c *buildConfig) { c.workers = w }
+}
+
+// WithAuth authenticates the snapshot lineage: construction commits the
+// relation to a sparse-Merkle root (see internal/authtree) and ApplyDelta
+// maintains it copy-on-write alongside the indexes, so every epoch
+// carries a 32-byte commitment, tuples gain inclusion proofs, and
+// followers can compare roots instead of probe-sweeping for divergence.
+// Probe paths are untouched; builds and deltas pay O(n·log n) /
+// O(delta·log n) extra hashing, which is why authentication is opt-in.
+func WithAuth() BuildOption {
+	return func(c *buildConfig) { c.auth = true }
 }
 
 // DefaultShards is the shard count used when WithShards is not given:

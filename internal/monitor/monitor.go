@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/authtree"
 	"repro/internal/bdd"
 	"repro/internal/fix"
 	"repro/internal/master"
@@ -58,6 +59,26 @@ type RoundStat struct {
 	Tuple         relation.Tuple   // tuple state at end of round
 }
 
+// Witness is one AutoFixed attribute's provenance: the rule that fired,
+// the master tuple that supplied the value, and — when the session's
+// snapshot is authenticated — an inclusion proof tying that tuple to the
+// snapshot's Merkle root. Together with Result.Root this is everything a
+// client needs to re-check the fix without trusting the server
+// (pkg/certainfix.VerifyFix).
+type Witness struct {
+	// Attr is the tuple position the rule fixed.
+	Attr int `json:"attr"`
+	// Rule is the editing rule's name.
+	Rule string `json:"rule"`
+	// MasterID is the witnessing master tuple's id at the fix's epoch.
+	MasterID int `json:"master_id"`
+	// Master is that tuple's content (a copy).
+	Master relation.Tuple `json:"master"`
+	// Proof is the tuple's inclusion proof under Result.Root; nil when the
+	// snapshot is unauthenticated.
+	Proof *authtree.Proof `json:"proof,omitempty"`
+}
+
 // Result is the outcome of fixing one tuple.
 type Result struct {
 	Tuple         relation.Tuple // final tuple
@@ -66,6 +87,15 @@ type Result struct {
 	UserValidated relation.AttrSet
 	AutoFixed     relation.AttrSet
 	PerRound      []RoundStat
+
+	// Epoch is the master epoch the session was pinned to.
+	Epoch uint64
+	// Root is the hex Merkle root of that snapshot, empty when it is
+	// unauthenticated.
+	Root string
+	// Provenance holds one Witness per AutoFixed attribute, in the order
+	// the rules fired.
+	Provenance []Witness
 }
 
 // Config tunes the monitor.

@@ -50,6 +50,10 @@ type Session struct {
 	maxRounds  int
 	done       bool
 	perRound   []RoundStat
+	// witnesses is one fix.Witness per autoSet attribute, in firing order
+	// — the raw provenance TransFixTrace records. Result materializes the
+	// master tuples and (on authenticated snapshots) inclusion proofs.
+	witnesses []fix.Witness
 
 	// dedup scratch for the per-round suggestion merge: an epoch-stamped
 	// dense array over attribute positions (bounded by arity), reused
@@ -103,6 +107,7 @@ func (m *Monitor) initSession(s *Session, d *suggest.Deriver, input relation.Tup
 	s.maxRounds = maxRounds
 	s.done = false
 	s.perRound = nil
+	s.witnesses = s.witnesses[:0]
 	return nil
 }
 
@@ -131,6 +136,15 @@ func (s *Session) Rounds() int { return s.rounds }
 // Epoch returns the epoch of the master snapshot the session is pinned
 // to — the epoch a resumed session will try to re-pin (Versioned.At).
 func (s *Session) Epoch() uint64 { return s.d.Epoch() }
+
+// Root returns the hex Merkle root of the pinned snapshot, empty when it
+// is unauthenticated — the root Result.Provenance proofs verify against.
+func (s *Session) Root() string {
+	if root, ok := s.d.Master().AuthRoot(); ok {
+		return root.String()
+	}
+	return ""
+}
 
 // Tuple returns the current tuple state (copy).
 func (s *Session) Tuple() relation.Tuple { return s.t.Clone() }
@@ -174,7 +188,7 @@ func (s *Session) Provide(attrs []int, values []relation.Value) error {
 	// routed back to the users rather than guessed.
 	var conflicted []int
 	if s.d.ConsistentRow(s.zSet.Positions(), s.t.Project(s.zSet.Positions())) {
-		fixed, err := fix.TransFix(s.m.graph, s.d.Master(), s.t, &s.zSet)
+		fixed, err := fix.TransFixTrace(s.m.graph, s.d.Master(), s.t, &s.zSet, &s.witnesses)
 		s.autoSet.AddAll(fixed)
 		if len(fixed) == 0 {
 			s.noProgress++
@@ -235,14 +249,50 @@ func (s *Session) Provide(attrs []int, values []relation.Value) error {
 // observe the snapshot the session itself is bound to.
 func (s *Session) Result() Result {
 	r := s.d.Sigma().Schema()
-	return Result{
+	res := Result{
 		Tuple:         s.t.Clone(),
 		Rounds:        s.rounds,
 		Completed:     s.zSet.Len() == r.Arity(),
 		UserValidated: s.userSet.Clone(),
 		AutoFixed:     s.autoSet.Clone(),
 		PerRound:      s.perRound,
+		Epoch:         s.d.Epoch(),
+		Provenance:    s.provenance(),
 	}
+	if root, ok := s.d.Master().AuthRoot(); ok {
+		res.Root = root.String()
+	}
+	return res
+}
+
+// provenance materializes the session's raw witnesses against the pinned
+// snapshot: tuple contents always, inclusion proofs when the snapshot is
+// authenticated. Ids recorded at fix time are resolved against the same
+// snapshot, so they cannot have moved under a later delta.
+func (s *Session) provenance() []Witness {
+	if len(s.witnesses) == 0 {
+		return nil
+	}
+	dm := s.d.Master()
+	out := make([]Witness, len(s.witnesses))
+	for i, w := range s.witnesses {
+		out[i] = Witness{
+			Attr:     w.Attr,
+			Rule:     w.Rule,
+			MasterID: w.MasterID,
+			Master:   dm.Tuple(w.MasterID).Clone(),
+		}
+		if dm.Authenticated() {
+			p, err := dm.ProveTuple(w.MasterID)
+			if err != nil {
+				// The id came from this snapshot's own match set; failure
+				// here is the broken-mirror invariant ProveTuple documents.
+				panic(fmt.Sprintf("monitor: witness proof for master id %d: %v", w.MasterID, err))
+			}
+			out[i].Proof = p
+		}
+	}
+	return out
 }
 
 // dedupInts removes duplicate attribute positions from xs in place,

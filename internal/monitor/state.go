@@ -35,6 +35,7 @@ import (
 	"errors"
 	"fmt"
 
+	"repro/internal/fix"
 	"repro/internal/relation"
 )
 
@@ -82,6 +83,11 @@ type SessionState struct {
 	Done bool `json:"done"`
 	// PerRound carries the per-round history feeding Result.PerRound.
 	PerRound []roundState `json:"perRound,omitempty"`
+	// Witnesses carries the raw fix provenance (one entry per Auto
+	// attribute, in firing order). Optional: tokens minted before the
+	// field existed resume with empty provenance, nothing else changes —
+	// which is why Version stays 1.
+	Witnesses []witnessState `json:"witnesses,omitempty"`
 }
 
 // roundState is the serialized form of one RoundStat.
@@ -90,6 +96,15 @@ type roundState struct {
 	UserValidated relation.AttrSet `json:"user"`
 	AutoFixed     relation.AttrSet `json:"auto"`
 	Tuple         relation.Tuple   `json:"tuple"`
+}
+
+// witnessState is the serialized form of one fix.Witness — ids only; the
+// master tuple and proof are re-materialized from the pinned snapshot by
+// Result, never trusted from a client-held token.
+type witnessState struct {
+	Attr     int    `json:"attr"`
+	Rule     string `json:"rule"`
+	MasterID int    `json:"masterId"`
 }
 
 // State captures the session's current state for suspension. The
@@ -116,6 +131,12 @@ func (s *Session) State() *SessionState {
 			// RoundStat's slices and sets are immutable once recorded
 			// (Provide always builds fresh ones), so sharing is safe.
 			st.PerRound[i] = roundState(r)
+		}
+	}
+	if len(s.witnesses) > 0 {
+		st.Witnesses = make([]witnessState, len(s.witnesses))
+		for i, w := range s.witnesses {
+			st.Witnesses[i] = witnessState(w)
 		}
 	}
 	return st
@@ -168,6 +189,14 @@ func (m *Monitor) ResumeSession(st *SessionState, opt ResumeOptions) (*Session, 
 			return nil, fmt.Errorf("%w: suggested position %d out of range [0, %d)", ErrBadState, p, arity)
 		}
 	}
+	for _, w := range st.Witnesses {
+		if w.Attr < 0 || w.Attr >= arity {
+			return nil, fmt.Errorf("%w: witness attribute %d out of range [0, %d)", ErrBadState, w.Attr, arity)
+		}
+		if w.MasterID < 0 {
+			return nil, fmt.Errorf("%w: negative witness master id %d", ErrBadState, w.MasterID)
+		}
+	}
 	if st.Rounds < 0 || st.NoProgress < 0 {
 		return nil, fmt.Errorf("%w: negative counters", ErrBadState)
 	}
@@ -207,6 +236,19 @@ func (m *Monitor) ResumeSession(st *SessionState, opt ResumeOptions) (*Session, 
 		s.perRound = make([]RoundStat, len(st.PerRound))
 		for i, r := range st.PerRound {
 			s.perRound[i] = RoundStat(r)
+		}
+	}
+	if len(st.Witnesses) > 0 {
+		// Ids must resolve inside the re-pinned snapshot: Result will
+		// materialize tuples (and proofs) from them. A token whose ids
+		// exceed the snapshot is structurally bad, not evicted.
+		dmLen := d.Master().Len()
+		s.witnesses = make([]fix.Witness, len(st.Witnesses))
+		for i, w := range st.Witnesses {
+			if w.MasterID >= dmLen {
+				return nil, fmt.Errorf("%w: witness master id %d exceeds master size %d", ErrBadState, w.MasterID, dmLen)
+			}
+			s.witnesses[i] = fix.Witness(w)
 		}
 	}
 	if m.cache != nil && !s.done {

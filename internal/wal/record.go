@@ -14,6 +14,8 @@ package wal
 //	        0x00                     null
 //	        0x01 uvarint len, bytes  string
 //	        0x02 varint              int64
+//	[u8 32, 32 bytes]      optional post-apply auth root (authenticated
+//	                       lineages only; absent entirely otherwise)
 //
 // The frame CRC is what tells a torn tail from a valid record; the fixed
 // little-endian length prefix is what lets the scanner skip a record
@@ -40,6 +42,14 @@ type Record struct {
 	Epoch   uint64
 	Adds    []relation.Tuple
 	Deletes []int
+
+	// Root, when non-nil, is the 32-byte authenticated-master root the
+	// delta PRODUCES — what AuthRoot() returns after applying this record.
+	// Unauthenticated lineages leave it nil and their frames are
+	// byte-identical to the pre-root format; decoding a frame written
+	// before the field existed also yields nil. Followers compare it
+	// against their own post-apply root (follower.go).
+	Root []byte
 }
 
 const (
@@ -48,6 +58,7 @@ const (
 	cellInt    = 0x02
 
 	frameHeaderSize = 8
+	rootSize        = 32
 	// maxRecordBytes bounds one frame's payload: a length prefix beyond
 	// it is treated as corruption (or a torn tail), never as an
 	// allocation request.
@@ -86,6 +97,13 @@ func appendRecord(buf []byte, r Record) ([]byte, error) {
 				return nil, fmt.Errorf("wal: record: unknown value kind %v", v.Kind())
 			}
 		}
+	}
+	if len(r.Root) != 0 {
+		if len(r.Root) != rootSize {
+			return nil, fmt.Errorf("wal: record: root is %d bytes, want %d", len(r.Root), rootSize)
+		}
+		buf = append(buf, rootSize)
+		buf = append(buf, r.Root...)
 	}
 	payload := buf[start+frameHeaderSize:]
 	if len(payload) > maxRecordBytes {
@@ -177,6 +195,14 @@ func decodePayload(b []byte) (Record, error) {
 			}
 			r.Adds[i] = t
 		}
+	}
+	if d.err == nil && d.off < len(d.b) {
+		// Optional trailing section: the auth root. A payload that ends at
+		// the adds is a legacy (or unauthenticated) record — Root stays nil.
+		if n := d.u8("root length"); int(n) != rootSize {
+			d.fail("root length %d, want %d", n, rootSize)
+		}
+		r.Root = append([]byte(nil), d.take(rootSize, "root bytes")...)
 	}
 	if d.err == nil && d.off != len(d.b) {
 		d.fail("%d trailing bytes after record", len(d.b)-d.off)

@@ -55,6 +55,11 @@ func NewFromArena(rules *Rules, arenaPath string, opts ...Option) (*System, erro
 	if err != nil {
 		return nil, err
 	}
+	if cfg.Auth {
+		// No-op when the image was saved authenticated (the loader verified
+		// its root); builds the commitment for pre-auth images.
+		dm.Authenticate()
+	}
 	ver := master.NewVersioned(dm)
 	if cfg.MasterHistory > 0 {
 		ver.SetHistory(cfg.MasterHistory)

@@ -58,6 +58,7 @@ import (
 	"strings"
 
 	"repro/internal/analysis"
+	"repro/internal/authtree"
 	"repro/internal/fix"
 	"repro/internal/master"
 	"repro/internal/monitor"
@@ -91,6 +92,12 @@ type (
 	SimulatedUser = monitor.SimulatedUser
 	// Result reports a finished fix.
 	Result = monitor.Result
+	// Witness is one auto-fixed attribute's provenance: the rule that
+	// fired, the master tuple that supplied the value, and (under
+	// WithAuth) its inclusion proof.
+	Witness = monitor.Witness
+	// Proof is a Merkle inclusion proof tying one master tuple to a root.
+	Proof = authtree.Proof
 	// Verdict is the outcome of a consistency or coverage check.
 	Verdict = analysis.Verdict
 	// RegionCandidate is a derived certain region with its quality score.
@@ -229,7 +236,11 @@ func New(rules *Rules, masterRel *Relation, opts ...Option) (*System, error) {
 			return master.NewForRules(masterRel, rules, master.WithShards(cfg.Shards))
 		}, cfg)
 	}
-	dm, err := master.NewForRules(masterRel, rules, master.WithShards(cfg.Shards))
+	buildOpts := []master.BuildOption{master.WithShards(cfg.Shards)}
+	if cfg.Auth {
+		buildOpts = append(buildOpts, master.WithAuth())
+	}
+	dm, err := master.NewForRules(masterRel, rules, buildOpts...)
 	if err != nil {
 		return nil, err
 	}
@@ -287,6 +298,19 @@ func (s *System) UpdateMaster(adds []Tuple, deletes []int) (uint64, error) {
 // MasterEpoch returns the currently published master epoch (0 until the
 // first UpdateMaster).
 func (s *System) MasterEpoch() uint64 { return s.ver.Epoch() }
+
+// MasterRoot returns the hex Merkle root of the currently published
+// master snapshot, with ok=false when the System was built without
+// WithAuth. The pair (MasterEpoch, MasterRoot) identifies the master
+// contents exactly: any client holding the root can check fix provenance
+// with VerifyFix, no server trust required.
+func (s *System) MasterRoot() (root string, ok bool) {
+	h, ok := s.ver.Current().AuthRoot()
+	if !ok {
+		return "", false
+	}
+	return h.String(), true
+}
 
 // MasterLen returns |Dm| of the currently published snapshot.
 func (s *System) MasterLen() int { return s.ver.Current().Len() }

@@ -47,6 +47,7 @@ func newDurableSystem(rules *Rules, base func() (*master.Data, error), cfg Optio
 		Sync:            cfg.Fsync,
 		CheckpointEvery: cfg.CheckpointEvery,
 		History:         cfg.MasterHistory,
+		Auth:            cfg.Auth,
 	})
 	if err != nil {
 		return nil, err

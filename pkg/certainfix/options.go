@@ -51,6 +51,11 @@ type Options struct {
 	// arena checkpoints when WALDir is set (0 = the master package
 	// default; < 0 disables automatic checkpoints).
 	CheckpointEvery int
+	// Auth maintains a Merkle commitment over the master data: snapshots
+	// expose a root, WAL records and checkpoints carry it, fix results
+	// include per-attribute inclusion proofs, and followers audit every
+	// shipped epoch against the leader's root (see WithAuth).
+	Auth bool
 }
 
 // apply implements Option: the whole struct replaces the accumulated
@@ -116,6 +121,22 @@ func WithFsync(p FsyncPolicy) Option {
 // System.Close or an explicit save).
 func WithCheckpointEvery(n int) Option {
 	return optionFunc(func(o *Options) { o.CheckpointEvery = n })
+}
+
+// WithAuth turns on authenticated master epochs: the system maintains a
+// sparse-Merkle commitment over Dm's tuple multiset, incrementally across
+// UpdateMaster. The root is a pure function of the master contents —
+// identical across shard counts, delta orderings and processes — and it
+// travels with the lineage: MasterRoot exposes it, arena checkpoints
+// persist it (verified on load), WAL records carry the root each delta
+// produces (verified on recovery), and a follower compares its own root
+// against the leader's after every shipped epoch. Fix results gain
+// per-attribute provenance with inclusion proofs; VerifyFix checks them
+// against a published root with no access to the master data at all.
+// Costs one tree build at New and O(delta·log|Dm|) hashing per
+// UpdateMaster; off by default.
+func WithAuth() Option {
+	return optionFunc(func(o *Options) { o.Auth = true })
 }
 
 // WithShards partitions the master data's indexes, posting lists and

@@ -217,6 +217,12 @@ type ReplicationStats struct {
 	// Lag is max(LeaderEpoch-Epoch, 0) — how many observed epochs the
 	// follower has yet to apply.
 	Lag uint64 `json:"lag"`
+	// Root is the hex Merkle root of the follower's head, empty when the
+	// lineage is unauthenticated. On an authenticated lineage every
+	// applied epoch was already audited against the leader's shipped root,
+	// so comparing this against the leader's /v1/root is a liveness check,
+	// not the integrity check — that one already happened.
+	Root string `json:"root,omitempty"`
 	// Catchups counts checkpoint rebases (bootstrap not included).
 	Catchups int `json:"catchups"`
 	// Reconnects counts stream breaks that needed a backoff retry.
@@ -260,6 +266,7 @@ func NewFollower(rules *Rules, leaderURL string, opts ...Option) (*System, error
 		// run context cancels in-flight requests on Close.
 		client:  &http.Client{},
 		history: cfg.MasterHistory,
+		auth:    cfg.Auth,
 		done:    make(chan struct{}),
 		state:   ReplicaCatchingUp,
 	}
@@ -298,6 +305,7 @@ type replica struct {
 	rules     *Rules
 	client    *http.Client
 	history   int
+	auth      bool
 	f         *master.Follower
 	runCancel context.CancelFunc
 	done      chan struct{}
@@ -448,6 +456,11 @@ func (rp *replica) fetchCheckpoint(ctx context.Context) (*master.Data, uint64, e
 	if err != nil {
 		return nil, 0, err
 	}
+	if rp.auth {
+		// A follower opted into auth keeps a root even when the leader's
+		// image carries none; no-op when the (verified) image has one.
+		img.Authenticate()
+	}
 	epoch := img.Epoch()
 	if h := resp.Header.Get("X-Checkpoint-Epoch"); h != "" {
 		claimed, perr := strconv.ParseUint(h, 10, 64)
@@ -498,12 +511,13 @@ func (rp *replica) setState(st ReplicaState, lastErr string) {
 func (rp *replica) stats() ReplicationStats {
 	rp.mu.Lock()
 	defer rp.mu.Unlock()
-	epoch := rp.f.Epoch()
+	head := rp.f.Current()
+	epoch := head.Epoch()
 	var lag uint64
 	if rp.leaderEpoch > epoch {
 		lag = rp.leaderEpoch - epoch
 	}
-	return ReplicationStats{
+	st := ReplicationStats{
 		Leader:      rp.leader,
 		State:       rp.state,
 		Epoch:       epoch,
@@ -513,6 +527,10 @@ func (rp *replica) stats() ReplicationStats {
 		Reconnects:  rp.reconnects,
 		LastError:   rp.lastErr,
 	}
+	if root, ok := head.AuthRoot(); ok {
+		st.Root = root.String()
+	}
+	return st
 }
 
 // stop cancels the shipping loop and waits for it to exit.

@@ -157,6 +157,11 @@ func (fs *FixSession) Validated() AttrSet { return fs.sess.Validated() }
 // re-pin.
 func (fs *FixSession) Epoch() uint64 { return fs.sess.Epoch() }
 
+// Root returns the hex Merkle root of the pinned master snapshot, empty
+// without WithAuth. Clients record it alongside the token: the proofs in
+// Result().Provenance verify against exactly this root (VerifyFix).
+func (fs *FixSession) Root() string { return fs.sess.Root() }
+
 // Result summarizes the session so far (or finally, once Done).
 func (fs *FixSession) Result() Result { return fs.sess.Result() }
 

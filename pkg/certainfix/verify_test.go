@@ -1,0 +1,287 @@
+package certainfix_test
+
+// VerifyFix at the public surface: every fix produced under WithAuth
+// verifies offline against the published root with nothing but (rules,
+// result, root); any single-cell tampering — of the fixed tuple, the
+// witnessed master tuple, the proof, or the root — is rejected; old
+// results keep verifying against the root they were produced under
+// after the master moves on; and provenance survives the session-token
+// round trip while hostile tokens are rejected.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/authtree"
+	"repro/internal/paperex"
+	"repro/internal/relation"
+	"repro/pkg/certainfix"
+)
+
+// paperTruth is the ground truth for paperex.InputT1 (Fig. 1's t1).
+func paperTruth() certainfix.Tuple {
+	return certainfix.StringTuple(
+		"Robert", "Brady", "131", "079172485", "2",
+		"51 Elm Row", "Edi", "EH7 4AH", "CD")
+}
+
+// cloneResult deep-copies the parts of a Result the tamper tests mutate.
+func cloneResult(res certainfix.Result) certainfix.Result {
+	out := res
+	out.Tuple = res.Tuple.Clone()
+	out.Provenance = make([]certainfix.Witness, len(res.Provenance))
+	for i, w := range res.Provenance {
+		out.Provenance[i] = w
+		out.Provenance[i].Master = w.Master.Clone()
+		if w.Proof != nil {
+			out.Provenance[i].Proof = &certainfix.Proof{
+				Key:      w.Proof.Key,
+				Entries:  append([]authtree.Entry(nil), w.Proof.Entries...),
+				Siblings: append([]authtree.Hash(nil), w.Proof.Siblings...),
+			}
+		}
+	}
+	return out
+}
+
+func authFix(t *testing.T, sys *certainfix.System, dirty certainfix.Tuple) certainfix.Result {
+	t.Helper()
+	res, err := sys.Fix(dirty, certainfix.SimulatedUser{Truth: paperTruth()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestVerifyFixEndToEnd(t *testing.T) {
+	sys := paperSystem(t, certainfix.Options{Auth: true})
+	root, ok := sys.MasterRoot()
+	if !ok {
+		t.Fatal("MasterRoot unavailable under Auth")
+	}
+	sigma := paperex.Sigma0()
+
+	res := authFix(t, sys, paperex.InputT1())
+	if !res.Completed {
+		t.Fatal("fix did not complete")
+	}
+	if res.Root != root {
+		t.Fatalf("result root %q, published root %q", res.Root, root)
+	}
+	if res.AutoFixed.Len() == 0 {
+		t.Fatal("fix exercised no rules — nothing to verify")
+	}
+	if len(res.Provenance) != res.AutoFixed.Len() {
+		t.Fatalf("%d witnesses for %d auto-fixed attributes", len(res.Provenance), res.AutoFixed.Len())
+	}
+	for _, w := range res.Provenance {
+		if w.Proof == nil {
+			t.Fatalf("witness for attribute %d carries no proof", w.Attr)
+		}
+	}
+	if err := certainfix.VerifyFix(sigma, &res, root); err != nil {
+		t.Fatalf("genuine fix rejected: %v", err)
+	}
+
+	// Single-cell tampering of any component must fail, and never panic.
+	expectReject := func(t *testing.T, bad certainfix.Result, root string) {
+		t.Helper()
+		err := certainfix.VerifyFix(sigma, &bad, root)
+		if err == nil {
+			t.Fatal("tampered fix verified")
+		}
+		if !errors.Is(err, certainfix.ErrVerifyFailed) {
+			t.Fatalf("rejection does not match ErrVerifyFailed: %v", err)
+		}
+	}
+	t.Run("master-cell", func(t *testing.T) {
+		bad := cloneResult(res)
+		bad.Provenance[0].Master[0] = relation.String("evil")
+		expectReject(t, bad, root)
+	})
+	t.Run("fixed-value", func(t *testing.T) {
+		bad := cloneResult(res)
+		bad.Tuple[bad.Provenance[0].Attr] = relation.String("evil")
+		expectReject(t, bad, root)
+	})
+	t.Run("proof-entry", func(t *testing.T) {
+		bad := cloneResult(res)
+		bad.Provenance[0].Proof.Entries[0].VHash[0] ^= 1
+		expectReject(t, bad, root)
+	})
+	t.Run("proof-sibling", func(t *testing.T) {
+		bad := cloneResult(res)
+		if len(bad.Provenance[0].Proof.Siblings) == 0 {
+			t.Skip("single-leaf tree has no siblings")
+		}
+		bad.Provenance[0].Proof.Siblings[0][0] ^= 1
+		expectReject(t, bad, root)
+	})
+	t.Run("proof-dropped", func(t *testing.T) {
+		bad := cloneResult(res)
+		bad.Provenance[0].Proof = nil
+		expectReject(t, bad, root)
+	})
+	t.Run("wrong-root", func(t *testing.T) {
+		bad := cloneResult(res)
+		flipped := []byte(root)
+		if flipped[0] == '0' {
+			flipped[0] = '1'
+		} else {
+			flipped[0] = '0'
+		}
+		expectReject(t, bad, string(flipped))
+	})
+	t.Run("witness-removed", func(t *testing.T) {
+		bad := cloneResult(res)
+		bad.Provenance = bad.Provenance[1:]
+		expectReject(t, bad, root)
+	})
+	t.Run("witness-misattributed", func(t *testing.T) {
+		bad := cloneResult(res)
+		foreign := -1
+		for _, p := range res.UserValidated.Positions() {
+			if !res.AutoFixed.Has(p) {
+				foreign = p
+				break
+			}
+		}
+		if foreign < 0 {
+			t.Skip("every attribute is auto-fixed")
+		}
+		bad.Provenance[0].Attr = foreign
+		expectReject(t, bad, root)
+	})
+	t.Run("duplicate-witness", func(t *testing.T) {
+		bad := cloneResult(res)
+		bad.Provenance = append(bad.Provenance, bad.Provenance[0])
+		expectReject(t, bad, root)
+	})
+}
+
+// TestVerifyFixProperty runs randomized corruptions of the ground truth
+// through the full interactive fix and requires every produced result to
+// verify against the published root.
+func TestVerifyFixProperty(t *testing.T) {
+	sys := paperSystem(t, certainfix.Options{Auth: true})
+	root, _ := sys.MasterRoot()
+	sigma := paperex.Sigma0()
+	truth := paperTruth()
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 40; trial++ {
+		dirty := truth.Clone()
+		for _, p := range rng.Perm(len(dirty))[:1+rng.Intn(len(dirty)-1)] {
+			dirty[p] = relation.String(fmt.Sprintf("junk%d", rng.Intn(5)))
+		}
+		res := authFix(t, sys, dirty)
+		if res.Root != root {
+			t.Fatalf("trial %d: result root %q, published %q", trial, res.Root, root)
+		}
+		if err := certainfix.VerifyFix(sigma, &res, root); err != nil {
+			t.Fatalf("trial %d (dirty %v): %v", trial, dirty, err)
+		}
+	}
+}
+
+// TestVerifyFixAcrossMasterUpdate pins the root-rotation semantics: a
+// result verifies against the root it was produced under — no other.
+func TestVerifyFixAcrossMasterUpdate(t *testing.T) {
+	sys := paperSystem(t, certainfix.Options{Auth: true})
+	sigma := paperex.Sigma0()
+	root1, _ := sys.MasterRoot()
+	res1 := authFix(t, sys, paperex.InputT1())
+
+	add := paperex.MasterRelation().Tuples()[0].Clone()
+	add[len(add)-1] = relation.String("XX")
+	if _, err := sys.UpdateMaster([]certainfix.Tuple{add}, nil); err != nil {
+		t.Fatal(err)
+	}
+	root2, ok := sys.MasterRoot()
+	if !ok || root2 == root1 {
+		t.Fatalf("master update did not rotate the root: %q → %q", root1, root2)
+	}
+
+	if err := certainfix.VerifyFix(sigma, &res1, root1); err != nil {
+		t.Fatalf("old result no longer verifies against its own root: %v", err)
+	}
+	if err := certainfix.VerifyFix(sigma, &res1, root2); !errors.Is(err, certainfix.ErrVerifyFailed) {
+		t.Fatalf("old result verified against the new root: %v", err)
+	}
+
+	res2 := authFix(t, sys, paperex.InputT1())
+	if res2.Root != root2 {
+		t.Fatalf("new result root %q, head root %q", res2.Root, root2)
+	}
+	if err := certainfix.VerifyFix(sigma, &res2, root2); err != nil {
+		t.Fatalf("new result rejected: %v", err)
+	}
+}
+
+// TestProvenanceSurvivesSessionToken suspends and resumes the session
+// through its JSON token after every round; the final result must carry
+// full, verifiable provenance. Hostile tokens with out-of-range witness
+// ids must be rejected at Resume.
+func TestProvenanceSurvivesSessionToken(t *testing.T) {
+	sys := paperSystem(t, certainfix.Options{Auth: true})
+	truth := paperTruth()
+
+	sess, err := sys.Begin(nil, paperex.InputT1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var token []byte
+	for !sess.Done() {
+		attrs := sess.Suggested()
+		vals := make([]certainfix.Value, len(attrs))
+		for i, p := range attrs {
+			vals[i] = truth[p]
+		}
+		if token, err = sess.MarshalBinary(); err != nil {
+			t.Fatal(err)
+		}
+		if sess, err = sys.Resume(nil, token); err != nil {
+			t.Fatal(err)
+		}
+		if err := sess.Provide(attrs, vals); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res := sess.Result()
+	if !res.Completed || res.AutoFixed.Len() == 0 {
+		t.Fatalf("token-churned session: completed=%v autofixed=%v", res.Completed, res.AutoFixed.Positions())
+	}
+	root, _ := sys.MasterRoot()
+	if err := certainfix.VerifyFix(paperex.Sigma0(), &res, root); err != nil {
+		t.Fatalf("resumed session's provenance rejected: %v", err)
+	}
+
+	// A hostile token asserting a witness id beyond the master must be
+	// rejected structurally, before any proof is ever materialized.
+	if token, err = sess.MarshalBinary(); err != nil {
+		t.Fatal(err)
+	}
+	var raw map[string]json.RawMessage
+	if err := json.Unmarshal(token, &raw); err != nil {
+		t.Fatal(err)
+	}
+	var witnesses []map[string]any
+	if err := json.Unmarshal(raw["witnesses"], &witnesses); err != nil {
+		t.Fatalf("token has no witnesses array: %v", err)
+	}
+	witnesses[0]["masterId"] = 1 << 30
+	evil, err := json.Marshal(witnesses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw["witnesses"] = evil
+	hostile, err := json.Marshal(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Resume(nil, hostile); !errors.Is(err, certainfix.ErrBadToken) {
+		t.Fatalf("hostile witness id = %v, want ErrBadToken", err)
+	}
+}
