@@ -1,18 +1,41 @@
-// Package discover mines candidate editing rules from master data — the
-// direction §7 of the paper singles out as future work ("effective
-// algorithms have to be in place for discovering editing rules from
-// sample inputs and master data, along the same lines as discovering
-// other data quality rules [12, 26]").
+// Package discover mines editing rules from master data — the problem §7
+// of the paper leaves open ("effective algorithms have to be in place for
+// discovering editing rules from sample inputs and master data").
 //
-// The miner searches for functional relationships inside the master
-// relation: an attribute list Xm determines Bm in Dm when no two master
-// tuples agree on Xm but differ on Bm. Every such dependency with enough
-// support yields the editing rule ((X, Xm) → (B, Bm), ()) over an input
-// schema aligned with the master schema — the shape the paper's HOSP and
-// DBLP rule sets take. Like CFD discovery, the search is inherently
-// exponential in the lhs width, so the miner enumerates lhs lists up to
-// a configured width and prunes by support and by the usual
-// minimality/augmentation rules.
+// The miner searches the master relation for (possibly approximate)
+// functional relationships: an attribute list Xm determines Bm in Dm when
+// tuples agreeing on Xm (almost) always agree on Bm. Every dependency
+// with enough support yields the editing rule ((X, Xm) → (B, Bm), ())
+// over an input schema aligned with the master schema — the shape the
+// paper's HOSP and DBLP rule sets take. Like CFD discovery the lattice
+// search is exponential in the lhs width, so lhs lists are enumerated up
+// to a configured width and pruned by support, by probe-worthiness, and
+// by the usual minimality/augmentation rules.
+//
+// Two engines implement the same search:
+//
+//   - Dependencies is the naive row-scan oracle from PR 0: per candidate
+//     it rehashes every master tuple into string-keyed groups. It is kept,
+//     like the naive probe and closure paths of PRs 2–5, as the reference
+//     the property tests compare against.
+//   - Mine / DependenciesMaster run on the sharded inverted-postings
+//     layer of internal/master: each column is decoded once into dense
+//     interned-value ids (Data.ColumnIDs), lhs support is counted by
+//     TANE-style stripped-partition refinement over those ids, and the
+//     candidate lattice fans out per level on internal/parallel. Output
+//     is deterministic — byte-identical for every worker and shard
+//     count — because partitions are ordered by first occurrence in
+//     tuple order, never by interning order.
+//
+// Mining tolerates dirty masters: with MinConfidence below 1 a dependency
+// is kept when at most a (1 − MinConfidence) fraction of tuples violate
+// it, and the mined rule carries the measured confidence as a weight
+// (rule.Rule.Confidence) that Suggest uses to rank competing suggestions.
+// Loop closes the circle — mine weighted dependencies, majority-repair
+// the cells that violate them, re-mine on the cleaned master — so a
+// deployment with no hand-written Σ can bootstrap one from its own data
+// (the discover→fix→re-discover loop surfaced as certainfix.Discover and
+// `rulemine -loop`).
 package discover
 
 import (
@@ -37,6 +60,18 @@ type Options struct {
 	// (default 0.05). Near-constant attributes (e.g. type =
 	// "inproceedings") make poor probe keys on their own.
 	MinDistinctRatio float64
+	// MinConfidence is the weighted-mining knob: a dependency is kept
+	// when its confidence 1 − violations/|Dm| reaches this threshold,
+	// where violations counts the tuples that would have to change for
+	// the dependency to hold exactly. The default (and any value ≤ 0)
+	// is 1: exact mining, zero violations tolerated — the original
+	// behavior. Values below 1 mine from dirty masters and stamp each
+	// rule with its measured confidence (rule.Rule.Confidence).
+	MinConfidence float64
+	// Workers bounds the goroutines the postings miner fans each lattice
+	// level out on (≤ 0 selects GOMAXPROCS). Output is identical for
+	// every worker count. The naive oracle ignores it.
+	Workers int
 }
 
 func (o Options) withDefaults() Options {
@@ -49,6 +84,9 @@ func (o Options) withDefaults() Options {
 	if o.MinDistinctRatio == 0 {
 		o.MinDistinctRatio = 0.05
 	}
+	if o.MinConfidence <= 0 || o.MinConfidence > 1 {
+		o.MinConfidence = 1
+	}
 	return o
 }
 
@@ -57,100 +95,66 @@ type Candidate struct {
 	LHS     []int // master attribute positions Xm
 	RHS     int   // master attribute position Bm
 	Support int   // distinct lhs keys witnessed
+	// Violations counts the master tuples that disagree with their lhs
+	// group's majority rhs value — the cells that would have to change
+	// for the dependency to hold exactly. 0 for exact dependencies.
+	Violations int
+	// Confidence is 1 − Violations/|Dm|, the weight mined rules carry.
+	Confidence float64
 }
 
-// Rules mines editing rules over (r, rm) from the master relation. The
-// input schema r must align positionally with rm (the §6 datasets use
-// the same attribute list for R and Rm; rules map position i to
-// position i). Rules are named "m<N>" in discovery order.
+// confEps absorbs float rounding at the acceptance boundary so that e.g.
+// MinConfidence 0.9 keeps a dependency whose confidence is exactly 0.9.
+const confEps = 1e-9
+
+func confidence(n, viol int) float64 { return 1 - float64(viol)/float64(n) }
+
+// maxViolations is the largest violation count acceptable under opts:
+// viol ≤ maxViolations(n, opts) iff confidence(n, viol) + confEps ≥
+// MinConfidence. Both miners share this single acceptance formula.
+func maxViolations(n int, opts Options) int {
+	return int(float64(n)*(1-opts.MinConfidence) + float64(n)*confEps)
+}
+
+// Rules mines editing rules over (r, rm) from the master relation using
+// the postings engine. The input schema r must align positionally with rm
+// (the §6 datasets use the same attribute list for R and Rm; rules map
+// position i to position i). Rules are named "m<N>" in discovery order
+// and carry their mined confidence as a weight when it is below 1.
 func Rules(r *relation.Schema, masterRel *relation.Relation, opts Options) (*rule.Set, []Candidate, error) {
 	rm := masterRel.Schema()
 	if r.Arity() != rm.Arity() {
 		return nil, nil, fmt.Errorf("discover: input schema %s and master schema %s must align positionally", r, rm)
 	}
-	cands := Dependencies(masterRel, opts)
+	cands := Mine(masterRel, opts)
+	set, err := rulesFromCandidates(r, rm, cands)
+	if err != nil {
+		return nil, nil, err
+	}
+	return set, cands, nil
+}
+
+func rulesFromCandidates(r, rm *relation.Schema, cands []Candidate) (*rule.Set, error) {
 	out := rule.MustNewSet(r, rm)
 	for i, c := range cands {
-		ru, err := rule.New(fmt.Sprintf("m%02d", i+1), r, rm, c.LHS, c.LHS, c.RHS, c.RHS, patternEmpty())
+		ru, err := rule.New(fmt.Sprintf("m%02d", i+1), r, rm, c.LHS, c.LHS, c.RHS, c.RHS, pattern.Empty())
 		if err != nil {
-			return nil, nil, fmt.Errorf("discover: candidate %d: %w", i, err)
+			return nil, fmt.Errorf("discover: candidate %d: %w", i, err)
+		}
+		if c.Confidence < 1 {
+			if ru, err = ru.WithConfidence(c.Confidence); err != nil {
+				return nil, fmt.Errorf("discover: candidate %d: %w", i, err)
+			}
 		}
 		if err := out.Add(ru); err != nil {
-			return nil, nil, err
+			return nil, err
 		}
 	}
-	return out, cands, nil
+	return out, nil
 }
 
-// Dependencies mines the functional dependencies Xm → Bm holding in the
-// master relation, minimal in the lhs: once X → B holds, no superset of
-// X is reported for the same B.
-func Dependencies(masterRel *relation.Relation, opts Options) []Candidate {
-	opts = opts.withDefaults()
-	n := masterRel.Len()
-	arity := masterRel.Schema().Arity()
-	if n == 0 {
-		return nil
-	}
-
-	// Distinct-value counts per attribute, for probe-key pruning and for
-	// skipping trivial rhs (constant columns are "determined" by
-	// anything).
-	distinct := make([]int, arity)
-	for a := 0; a < arity; a++ {
-		seen := map[relation.Value]bool{}
-		for _, tm := range masterRel.Tuples() {
-			seen[tm[a]] = true
-		}
-		distinct[a] = len(seen)
-	}
-
-	var out []Candidate
-	// covered[b] holds the minimal lhs sets already found for rhs b.
-	covered := make([][]relation.AttrSet, arity)
-
-	var lhsLists [][]int
-	for width := 1; width <= opts.MaxLHS; width++ {
-		lhsLists = lhsLists[:0]
-		enumerateLists(arity, width, &lhsLists)
-		for _, lhs := range lhsLists {
-			if !probeWorthy(lhs, distinct, n, opts) {
-				continue
-			}
-			for b := 0; b < arity; b++ {
-				if contains(lhs, b) || distinct[b] <= 1 {
-					continue
-				}
-				if subsumed(covered[b], lhs) {
-					continue // a subset lhs already determines b
-				}
-				support, ok := functional(masterRel, lhs, b)
-				if ok && support >= opts.MinSupport {
-					out = append(out, Candidate{LHS: append([]int(nil), lhs...), RHS: b, Support: support})
-					covered[b] = append(covered[b], relation.NewAttrSet(lhs...))
-				}
-			}
-		}
-	}
+func sortCandidates(out []Candidate) {
 	sort.SliceStable(out, func(i, j int) bool { return out[i].Support > out[j].Support })
-	return out
-}
-
-// functional checks Xm → Bm over the master tuples, returning the number
-// of distinct lhs keys when it holds.
-func functional(rel *relation.Relation, lhs []int, b int) (int, bool) {
-	values := make(map[string]relation.Value, rel.Len())
-	for _, tm := range rel.Tuples() {
-		key := tm.Key(lhs)
-		if prev, ok := values[key]; ok {
-			if !prev.Equal(tm[b]) {
-				return 0, false
-			}
-			continue
-		}
-		values[key] = tm[b]
-	}
-	return len(values), true
 }
 
 // probeWorthy rejects lhs lists whose key space is too small to be a
@@ -201,5 +205,3 @@ func enumerateLists(arity, width int, out *[][]int) {
 	}
 	walk(0, 0)
 }
-
-func patternEmpty() pattern.Tuple { return pattern.Empty() }

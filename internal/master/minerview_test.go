@@ -1,0 +1,101 @@
+package master_test
+
+import (
+	"testing"
+
+	"repro/internal/master"
+	"repro/internal/relation"
+)
+
+func minerRel() *relation.Relation {
+	schema := relation.StringSchema("T", "a", "b", "c")
+	rel := relation.NewRelation(schema)
+	rows := [][3]string{
+		{"x", "1", "p"},
+		{"y", "2", "p"},
+		{"x", "1", "q"},
+		{"z", "2", "p"},
+		{"x", "1", "q"},
+	}
+	for _, r := range rows {
+		rel.MustAppend(relation.Tuple{relation.String(r[0]), relation.String(r[1]), relation.String(r[2])})
+	}
+	return rel
+}
+
+func TestColumnIDsRequiresPostings(t *testing.T) {
+	dm := master.New(minerRel())
+	if _, ok := dm.ColumnIDs(0); ok {
+		t.Fatal("ColumnIDs should report missing postings before IndexPostings")
+	}
+	dm.IndexPostings(0)
+	if _, ok := dm.ColumnIDs(0); !ok {
+		t.Fatal("ColumnIDs should succeed after IndexPostings")
+	}
+	if _, ok := dm.ColumnIDs(1); ok {
+		t.Fatal("column 1 was never indexed")
+	}
+}
+
+// ColumnIDs must reproduce the relation's equality structure — ids equal
+// iff cell values equal — and agree with SymbolValues, for every shard
+// count.
+func TestColumnIDsEqualityStructure(t *testing.T) {
+	rel := minerRel()
+	for _, shards := range []int{1, 2, 7, 16} {
+		dm := master.New(rel, master.WithShards(shards))
+		dm.IndexPostings(0, 1, 2)
+		vals := dm.SymbolValues()
+		for col := 0; col < 3; col++ {
+			ids, ok := dm.ColumnIDs(col)
+			if !ok {
+				t.Fatalf("shards=%d col=%d: no postings", shards, col)
+			}
+			if len(ids) != rel.Len() {
+				t.Fatalf("shards=%d col=%d: len %d want %d", shards, col, len(ids), rel.Len())
+			}
+			for i := 0; i < rel.Len(); i++ {
+				if int(ids[i]) >= dm.SymbolCount() {
+					t.Fatalf("shards=%d: id %d out of symbol range %d", shards, ids[i], dm.SymbolCount())
+				}
+				if !vals[ids[i]].Equal(rel.Tuple(i)[col]) {
+					t.Fatalf("shards=%d col=%d row=%d: SymbolValues disagrees with cell", shards, col, i)
+				}
+				for j := i + 1; j < rel.Len(); j++ {
+					sameVal := rel.Tuple(i)[col].Equal(rel.Tuple(j)[col])
+					sameID := ids[i] == ids[j]
+					if sameVal != sameID {
+						t.Fatalf("shards=%d col=%d rows %d,%d: value equality %v but id equality %v",
+							shards, col, i, j, sameVal, sameID)
+					}
+				}
+			}
+		}
+	}
+}
+
+// Postings built by IndexPostings must survive ApplyDelta like any other
+// registered postings: a derived snapshot's ColumnIDs reflect the delta.
+func TestIndexPostingsSurviveDelta(t *testing.T) {
+	rel := minerRel()
+	dm := master.New(rel)
+	dm.IndexPostings(0, 1, 2)
+	add := relation.Tuple{relation.String("w"), relation.String("3"), relation.String("q")}
+	d2, err := dm.ApplyDelta([]relation.Tuple{add}, []int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids, ok := d2.ColumnIDs(0)
+	if !ok {
+		t.Fatal("derived snapshot lost postings")
+	}
+	if len(ids) != d2.Len() {
+		t.Fatalf("len %d want %d", len(ids), d2.Len())
+	}
+	vals := d2.SymbolValues()
+	for i := 0; i < d2.Len(); i++ {
+		if !vals[ids[i]].Equal(d2.Tuple(i)[0]) {
+			t.Fatalf("row %d: id does not decode to cell after delta", i)
+		}
+	}
+}

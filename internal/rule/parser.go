@@ -17,13 +17,15 @@ import (
 //
 // Grammar:
 //
-//	rule <name>: (<X attrs> ; <Xm attrs>) -> (<B> ; <Bm>) [when <cond> {, <cond>}]
+//	rule <name>: (<X attrs> ; <Xm attrs>) -> (<B> ; <Bm>) [when <cond> {, <cond>}] [weight <float>]
 //	cond    := <attr> = <literal> | <attr> != <literal> | <attr> = _
 //	literal := "double-quoted string" | integer | nil
 //
 // Attribute names resolve against R on the left of each ';' / in conditions,
 // and against Rm on the right. `<attr> = _` writes an explicit wildcard
-// (useful to document intent; it normalizes away).
+// (useful to document intent; it normalizes away). The optional trailing
+// `weight` clause sets the rule's confidence in (0, 1] (see
+// Rule.Confidence); mined rule files produced by cmd/rulemine carry it.
 
 // ParseRules reads the DSL from rd and returns the rule set over (r, rm).
 func ParseRules(r, rm *relation.Schema, rd io.Reader) (*Set, error) {
@@ -71,6 +73,10 @@ func ParseRule(r, rm *relation.Schema, line string) (*Rule, error) {
 		return nil, fmt.Errorf("rule: empty rule name in %q", line)
 	}
 
+	rest, conf, hasConf, err := cutWeight(rest)
+	if err != nil {
+		return nil, fmt.Errorf("rule %s: %w", name, err)
+	}
 	body, cond, _ := cutTopLevel(rest, " when ")
 
 	lhsPart, rhsPart, ok := strings.Cut(body, "->")
@@ -96,7 +102,50 @@ func ParseRule(r, rm *relation.Schema, line string) (*Rule, error) {
 			return nil, fmt.Errorf("rule %s: %w", name, err)
 		}
 	}
-	return New(name, r, rm, x, xm, bs[0], bms[0], tp)
+	ru, err := New(name, r, rm, x, xm, bs[0], bms[0], tp)
+	if err != nil {
+		return nil, err
+	}
+	if hasConf {
+		return ru.WithConfidence(conf)
+	}
+	return ru, nil
+}
+
+// cutWeight strips a trailing top-level "weight <float>" clause. The cut
+// is at the LAST top-level " weight " whose suffix is a bare number — a
+// condition on an attribute literally named weight (`when weight = "3"`)
+// contains '=' or quotes in the suffix and is left alone.
+func cutWeight(s string) (core string, conf float64, found bool, err error) {
+	idx := lastTopLevel(s, " weight ")
+	if idx < 0 {
+		return s, 0, false, nil
+	}
+	suffix := strings.TrimSpace(s[idx+len(" weight "):])
+	if suffix == "" || strings.ContainsAny(suffix, `="`) {
+		return s, 0, false, nil
+	}
+	conf, perr := strconv.ParseFloat(suffix, 64)
+	if perr != nil {
+		return s, 0, false, fmt.Errorf("bad weight %q", suffix)
+	}
+	return s[:idx], conf, true, nil
+}
+
+// lastTopLevel returns the index of the last occurrence of sep outside
+// double quotes, or -1.
+func lastTopLevel(s, sep string) int {
+	last, inQuote := -1, false
+	for i := 0; i+len(sep) <= len(s); i++ {
+		if s[i] == '"' {
+			inQuote = !inQuote
+			continue
+		}
+		if !inQuote && strings.HasPrefix(s[i:], sep) {
+			last = i
+		}
+	}
+	return last
 }
 
 // cutTopLevel splits s at the first occurrence of sep that is not inside

@@ -30,6 +30,11 @@ type Rule struct {
 	xSet   relation.AttrSet
 	xpSet  relation.AttrSet
 	xxpSet relation.AttrSet // X ∪ Xp, the attributes that must be validated
+	// conf is the rule's confidence weight in (0, 1]: the fraction of
+	// evidence supporting the rule when it was mined from (possibly
+	// dirty) data. Hand-written rules and exact mined dependencies carry
+	// 1 — the paper's unweighted semantics; see WithConfidence.
+	conf float64
 }
 
 // New constructs and validates an editing rule.
@@ -73,6 +78,7 @@ func New(name string, r, rm *relation.Schema, x, xm []int, b, bm int, tp pattern
 		name: name, r: r, rm: rm,
 		x: append([]int(nil), x...), xm: append([]int(nil), xm...),
 		b: b, bm: bm, tp: tp,
+		conf: 1,
 	}
 	ru.xSet = relation.NewAttrSet(x...)
 	ru.xpSet = tp.AttrSet()
@@ -178,6 +184,27 @@ func (ru *Rule) WithPattern(tp pattern.Tuple) (*Rule, error) {
 	return &out, nil
 }
 
+// Confidence returns the rule's confidence weight in (0, 1]. 1 means the
+// rule is taken as ground truth (hand-written, or mined with zero
+// violations); smaller values record how much of the mining evidence the
+// rule explains — 1 − violations/|Dm| for a dependency mined from dirty
+// master data. Suggest uses these weights to rank otherwise-tied
+// suggestions; fix semantics are unaffected.
+func (ru *Rule) Confidence() float64 { return ru.conf }
+
+// WithConfidence returns a copy of the rule carrying confidence c
+// (0 < c ≤ 1). Like WithPattern this shares the validated (X, Xm) state;
+// the rule name is unchanged, so a weighted rule prints and serializes
+// under its original identity.
+func (ru *Rule) WithConfidence(c float64) (*Rule, error) {
+	if !(c > 0 && c <= 1) {
+		return nil, fmt.Errorf("rule %s: confidence %v outside (0, 1]", ru.name, c)
+	}
+	out := *ru
+	out.conf = c
+	return &out, nil
+}
+
 // MatchesPattern reports t ≈ tp for this rule's pattern.
 func (ru *Rule) MatchesPattern(t relation.Tuple) bool { return ru.tp.Matches(t) }
 
@@ -210,5 +237,8 @@ func (ru *Rule) String() string {
 		strings.Join(xn, ", "), strings.Join(xmn, ", "),
 		ru.r.Attr(ru.b).Name, ru.rm.Attr(ru.bm).Name,
 		ru.tp.Format(ru.r))
+	if ru.conf != 1 {
+		s += fmt.Sprintf(" weight %.4g", ru.conf)
+	}
 	return s
 }

@@ -70,6 +70,19 @@ func (s *Set) Rule(i int) *Rule { return s.rules[i] }
 // Rules returns the backing rule slice (not a copy).
 func (s *Set) Rules() []*Rule { return s.rules }
 
+// Weighted reports whether any rule carries a confidence weight below 1.
+// Unweighted sets — every hand-written Σ, and exact mined ones — keep the
+// paper's original semantics everywhere; weighted behavior (confidence
+// tie-breaking in Suggest) switches on only when this is true.
+func (s *Set) Weighted() bool {
+	for _, ru := range s.rules {
+		if ru.conf != 1 {
+			return true
+		}
+	}
+	return false
+}
+
 // LHS returns lhs(Σ) = ∪ lhs(ϕ) as an attribute set over R.
 func (s *Set) LHS() relation.AttrSet {
 	var out relation.AttrSet

@@ -86,6 +86,14 @@ type Suggestion struct {
 // each greedy round evaluates every candidate's closure gain in one
 // GainAll pass (the base closure plus undone marginal trials) instead of
 // one full O(|Σ|²) fixpoint per candidate.
+//
+// When the refined set is weighted (mined rules carrying confidence
+// below 1 — see rule.Rule.Confidence), equal closure gains are broken by
+// confidence mass: among tied attributes, prefer the one whose dependent
+// rules are most trustworthy, so the fixes riding on the validated
+// attribute lean on the best-supported evidence. Unweighted sets (every
+// hand-written Σ) keep the original first-index tie-break, byte for
+// byte.
 func (d *Deriver) Suggest(t relation.Tuple, zSet relation.AttrSet) Suggestion {
 	d = d.Pin()
 	refined := d.ApplicableRules(t, zSet)
@@ -95,6 +103,20 @@ func (d *Deriver) Suggest(t relation.Tuple, zSet relation.AttrSet) Suggestion {
 	// Every refined rule passed condition (c), so all are enabled.
 	prog := refined.CompileInto(nil, sc.prog)
 	sc.prog = prog
+
+	// confMass[a] = Σ confidence over refined rules whose premise
+	// contains a: how much mined evidence stands behind validating a.
+	// Computed only for weighted sets; nil keeps the unweighted path
+	// allocation-free and behaviorally identical.
+	var confMass []float64
+	if refined.Weighted() {
+		confMass = make([]float64, arity)
+		for _, ru := range refined.Rules() {
+			for _, p := range ru.PremiseSet().Positions() {
+				confMass[p] += ru.Confidence()
+			}
+		}
+	}
 
 	cur := zSet.Clone()
 	var s relation.AttrSet
@@ -110,6 +132,8 @@ func (d *Deriver) Suggest(t relation.Tuple, zSet relation.AttrSet) Suggestion {
 			}
 			if gains[a] > bestGain {
 				bestGain, bestAttr = gains[a], a
+			} else if confMass != nil && gains[a] == bestGain && bestAttr >= 0 && confMass[a] > confMass[bestAttr] {
+				bestAttr = a // weighted tie-break: higher confidence mass wins
 			}
 		}
 		if bestAttr < 0 {

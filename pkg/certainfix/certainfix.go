@@ -83,6 +83,11 @@ type (
 	AttrSet = relation.AttrSet
 	// Rules is a set Σ of editing rules over (R, Rm).
 	Rules = rule.Set
+	// Rule is one editing rule ϕ = ((X, Xm) → (B, Bm), tp[Xp]). Mined
+	// rules may carry a confidence weight (Rule.Confidence, the DSL's
+	// trailing `weight` clause) that Suggest uses to rank otherwise-tied
+	// suggestions.
+	Rule = rule.Rule
 	// Region is a pair (Z, Tc): user-validated attributes plus a pattern
 	// tableau describing which tuples the guarantee covers.
 	Region = fix.Region
